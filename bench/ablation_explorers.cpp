@@ -1,0 +1,76 @@
+// Ablation — exploration strategies for the online setting: the paper's
+// LSR (combinatorial UCB) vs epsilon-greedy vs Thompson sampling, measured
+// by cumulative reward during learning and by the quality of the final
+// exploit selection.
+#include <numeric>
+
+#include "bench_common.h"
+#include "learning/baselines.h"
+#include "learning/lsr.h"
+#include "learning/simulator.h"
+
+namespace rnt::bench {
+namespace {
+
+int main_body(Flags& flags) {
+  const CommonOptions opts = parse_common(flags);
+  const std::string topology =
+      opts.topology.empty() ? "AS1755" : opts.topology;
+  const auto paths = static_cast<std::size_t>(
+      flags.get_int("paths", opts.full ? 200 : 60));
+  const auto epochs = static_cast<std::size_t>(
+      flags.get_int("epochs", opts.full ? 1000 : 250));
+  const double budget_frac = flags.get_double("budget-frac", 0.12);
+  print_header("Ablation: exploration strategy, " + std::to_string(epochs) +
+                   " epochs (" + topology + ")",
+               opts);
+
+  exp::WorkloadSpec spec;
+  spec.topology = graph::parse_isp_topology(topology);
+  spec.candidate_paths = paths;
+  spec.seed = opts.seed;
+  spec.failure_intensity = 5.0;
+  const exp::Workload w = exp::make_workload(spec);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double budget = budget_frac * w.costs.subset_cost(*w.system, all);
+
+  learning::Lsr lsr(*w.system, w.costs, learning::LsrConfig{.budget = budget});
+  learning::EpsilonGreedy eg01(*w.system, w.costs, budget, 0.1,
+                               Rng(opts.seed * 3));
+  learning::EpsilonGreedy eg03(*w.system, w.costs, budget, 0.3,
+                               Rng(opts.seed * 5));
+  learning::ThompsonSampling ts(*w.system, w.costs, budget,
+                                Rng(opts.seed * 7));
+
+  struct Entry {
+    std::string name;
+    learning::PathLearner* learner;
+  };
+  const std::vector<Entry> entries = {{"LSR (UCB)", &lsr},
+                                      {"eps-greedy 0.1", &eg01},
+                                      {"eps-greedy 0.3", &eg03},
+                                      {"Thompson", &ts}};
+
+  TablePrinter table({"strategy", "cumulative reward", "final score"});
+  for (const Entry& e : entries) {
+    Rng sim_rng(opts.seed * 31);  // Same failure stream for all learners.
+    const auto result = learning::run_learner(*e.learner, *w.system,
+                                              *w.failures, epochs, sim_rng);
+    Rng eval_rng(opts.seed * 63);
+    const double final_score = learning::estimate_expected_reward(
+        *w.system, e.learner->final_selection().paths, *w.failures, 400,
+        eval_rng);
+    table.add_row({e.name, fmt(result.cumulative_reward, 1),
+                   fmt(final_score, 2)});
+  }
+  table.print(std::cout, opts.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rnt::bench
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv, rnt::bench::main_body);
+}

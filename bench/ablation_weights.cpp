@@ -1,0 +1,111 @@
+// Ablation — RoMe's cost-benefit greedy weight (marginal ER / cost, as in
+// Algorithm 1) vs. an unnormalized variant that greedily maximizes the raw
+// marginal ER.  Under the paper's heterogeneous probing costs the
+// cost-benefit rule should reach a higher surviving rank per unit budget;
+// under unit costs both coincide.
+#include <numeric>
+#include <queue>
+
+#include "bench_common.h"
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+
+namespace rnt::bench {
+namespace {
+
+/// RoMe with the unnormalized weight w_q = marginal ER (no cost division),
+/// same lazy-greedy skeleton as core::rome.
+core::Selection rome_unnormalized(const tomo::PathSystem& system,
+                                  const tomo::CostModel& costs, double budget,
+                                  const core::ErEngine& engine) {
+  const std::vector<double> cost = costs.path_costs(system);
+  auto acc = engine.make_accumulator();
+  core::Selection out;
+  struct Entry {
+    double weight;
+    std::size_t path;
+    bool operator<(const Entry& o) const { return weight < o.weight; }
+  };
+  std::priority_queue<Entry> heap;
+  for (std::size_t q = 0; q < system.path_count(); ++q) {
+    heap.push({acc->gain(q), q});
+  }
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const double g = acc->gain(top.path);
+    if (!heap.empty() && g + 1e-12 < heap.top().weight) {
+      heap.push({g, top.path});
+      continue;
+    }
+    if (out.cost + cost[top.path] <= budget) {
+      acc->add(top.path);
+      out.paths.push_back(top.path);
+      out.cost += cost[top.path];
+    }
+  }
+  out.objective = acc->value();
+  return out;
+}
+
+int main_body(Flags& flags) {
+  const CommonOptions opts = parse_common(flags);
+  const std::string topology =
+      opts.topology.empty() ? "AS1755" : opts.topology;
+  const auto paths = static_cast<std::size_t>(
+      flags.get_int("paths", opts.full ? 400 : 200));
+  const auto scenarios = static_cast<std::size_t>(
+      flags.get_int("scenarios", opts.full ? 300 : 100));
+  const auto monitor_sets = static_cast<std::size_t>(
+      flags.get_int("monitor-sets", 2));
+  print_header(
+      "Ablation: RoMe weight = gain/cost vs unnormalized gain (" + topology +
+          ")",
+      opts);
+
+  TablePrinter table({"budget-frac", "gain/cost rank", "unnormalized rank"});
+  const std::vector<double> fractions = {0.03, 0.06, 0.1, 0.18};
+  std::vector<RunningStats> ratio_stats(fractions.size());
+  std::vector<RunningStats> raw_stats(fractions.size());
+  for (std::size_t ms = 0; ms < monitor_sets; ++ms) {
+    exp::WorkloadSpec spec;
+    spec.topology = graph::parse_isp_topology(topology);
+    spec.candidate_paths = paths;
+    spec.seed = opts.seed + ms * 1000;
+    spec.failure_intensity = 5.0;
+    const exp::Workload w = exp::make_workload(spec);
+    std::vector<std::size_t> all(w.system->path_count());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const double total = w.costs.subset_cost(*w.system, all);
+    core::ProbBoundEr engine(*w.system, *w.failures);
+
+    for (std::size_t b = 0; b < fractions.size(); ++b) {
+      const double budget = fractions[b] * total;
+      const auto ratio_sel = core::rome(*w.system, w.costs, budget, engine);
+      const auto raw_sel =
+          rome_unnormalized(*w.system, w.costs, budget, engine);
+      Rng rng(w.seed * 13 + b);
+      for (std::size_t s = 0; s < scenarios; ++s) {
+        const auto v = w.failures->sample(rng);
+        ratio_stats[b].add(static_cast<double>(
+            w.system->surviving_rank(ratio_sel.paths, v)));
+        raw_stats[b].add(static_cast<double>(
+            w.system->surviving_rank(raw_sel.paths, v)));
+      }
+    }
+  }
+  for (std::size_t b = 0; b < fractions.size(); ++b) {
+    table.add_row({fmt(fractions[b], 2), fmt(ratio_stats[b].mean(), 2),
+                   fmt(raw_stats[b].mean(), 2)});
+  }
+  table.print(std::cout, opts.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rnt::bench
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv, rnt::bench::main_body);
+}

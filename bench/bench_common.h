@@ -1,0 +1,62 @@
+// Shared plumbing for the figure-reproduction drivers.
+//
+// Every driver prints the rows/series of one paper figure or table.
+// Defaults are scaled down so the whole bench suite completes on a laptop
+// core while preserving each figure's *shape* (who wins, by what factor,
+// where curves cross); pass --full for the paper-scale parameters recorded
+// in EXPERIMENTS.md, and --csv for machine-readable output.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "exp/metrics.h"
+#include "exp/workload.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rnt::bench {
+
+/// Flags shared by all figure drivers.
+struct CommonOptions {
+  bool full = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+  std::string topology;  ///< Empty = driver default.
+};
+
+inline CommonOptions parse_common(Flags& flags) {
+  CommonOptions opts;
+  opts.full = flags.get_bool("full", false);
+  opts.csv = flags.get_bool("csv", false);
+  opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opts.topology = flags.get_string("topology", "");
+  return opts;
+}
+
+inline void print_header(const std::string& title, const CommonOptions& opts) {
+  if (opts.csv) return;
+  std::cout << "=== " << title << " ===\n";
+  std::cout << (opts.full ? "[paper-scale parameters]"
+                          : "[reduced default parameters; --full for "
+                            "paper scale]")
+            << "\n\n";
+}
+
+/// Wraps driver main bodies with uniform error reporting.
+template <typename Fn>
+int run_driver(int argc, char** argv, Fn&& body) {
+  try {
+    Flags flags(argc, argv);
+    const int rc = body(flags);
+    flags.finish();
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rnt::bench

@@ -1,0 +1,84 @@
+// Shared implementation of Figures 8 and 9 — rank loss / identifiability
+// loss under failures for MatRoMe vs. the original SelectPath, as the
+// number of candidate paths grows (paper: AS1239, linear-independence
+// constraint, unit path costs, budget = rank of the candidate set).
+//
+// Expected shape: MatRoMe's loss stays nearly flat as candidates increase
+// (more candidates = more robust bases to choose from), while SelectPath's
+// loss grows (more candidates = more arbitrary bases, picked blindly).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/matrome.h"
+#include "core/select_path.h"
+#include "exp/metrics.h"
+
+namespace rnt::bench {
+
+/// Runs the Fig 8/9 sweep and prints one loss metric.
+/// `identifiability` selects Fig 9's metric over Fig 8's rank loss.
+inline int run_loss_sweep(Flags& flags, bool identifiability) {
+  const CommonOptions opts = parse_common(flags);
+  const std::string topology =
+      opts.topology.empty() ? (opts.full ? "AS1239" : "AS3257") : opts.topology;
+  const auto monitor_sets = static_cast<std::size_t>(
+      flags.get_int("monitor-sets", opts.full ? 5 : 2));
+  const auto scenarios = static_cast<std::size_t>(
+      flags.get_int("scenarios", opts.full ? 500 : (identifiability ? 40 : 80)));
+  const std::string metric = identifiability ? "identifiability" : "rank";
+  print_header("Fig " + std::string(identifiability ? "9" : "8") + ": " +
+                   metric + " loss vs candidate paths (" + topology +
+                   ", MatRoMe vs SelectPath)",
+               opts);
+
+  std::vector<std::size_t> path_counts;
+  if (opts.full) {
+    path_counts = {400, 800, 1600, 2500};
+  } else {
+    path_counts = {200, 400, 800, 1600};
+  }
+
+  TablePrinter table({"candidate paths", "MatRoMe loss", "MatRoMe std",
+                      "SelectPath loss", "SelectPath std"});
+  for (std::size_t paths : path_counts) {
+    RunningStats mat_stats;
+    RunningStats sp_stats;
+    for (std::size_t ms = 0; ms < monitor_sets; ++ms) {
+      exp::WorkloadSpec spec;
+      spec.topology = graph::parse_isp_topology(topology);
+      spec.candidate_paths = paths;
+      spec.seed = opts.seed + ms * 1000;
+      spec.failure_intensity = 5.0;
+      spec.unit_costs = true;  // Matroid setting.
+      const exp::Workload w = exp::make_workload(spec);
+
+      const auto mat_sel = core::matrome(*w.system, *w.failures);
+      Rng sp_rng(w.seed * 77);
+      const auto sp_sel = core::select_path_basis(*w.system, sp_rng);
+
+      Rng rng = w.eval_rng();
+      const auto mat_loss = exp::evaluate_loss(
+          *w.system, mat_sel.paths, *w.failures, scenarios, identifiability,
+          rng);
+      const auto sp_loss = exp::evaluate_loss(
+          *w.system, sp_sel.paths, *w.failures, scenarios, identifiability,
+          rng);
+      const RunningStats& m =
+          identifiability ? mat_loss.identifiability_loss : mat_loss.rank_loss;
+      const RunningStats& s =
+          identifiability ? sp_loss.identifiability_loss : sp_loss.rank_loss;
+      mat_stats.merge(m);
+      sp_stats.merge(s);
+    }
+    table.add_row({std::to_string(paths), fmt(mat_stats.mean(), 2),
+                   fmt(mat_stats.stddev(), 2), fmt(sp_stats.mean(), 2),
+                   fmt(sp_stats.stddev(), 2)});
+  }
+  table.print(std::cout, opts.csv);
+  return 0;
+}
+
+}  // namespace rnt::bench

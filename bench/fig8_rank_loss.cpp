@@ -1,0 +1,9 @@
+// Figure 8 — rank loss under failures vs. number of candidate paths,
+// MatRoMe vs. SelectPath (see fig89_common.h for the experiment design).
+#include "fig89_common.h"
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv, [](rnt::Flags& flags) {
+    return rnt::bench::run_loss_sweep(flags, /*identifiability=*/false);
+  });
+}

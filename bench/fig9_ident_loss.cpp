@@ -1,0 +1,9 @@
+// Figure 9 — link identifiability loss under failures vs. number of
+// candidate paths, MatRoMe vs. SelectPath (see fig89_common.h).
+#include "fig89_common.h"
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv, [](rnt::Flags& flags) {
+    return rnt::bench::run_loss_sweep(flags, /*identifiability=*/true);
+  });
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks for the Expected Rank machinery: per-gain cost of the
+// ProbBound vs. Monte Carlo accumulators (the paper's "ProbRoMe is ~5x
+// faster than MonteRoMe" claim reduces to this gap), full RoMe runs with
+// each engine, and the lazy vs. eager greedy.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "exp/workload.h"
+
+namespace rnt {
+namespace {
+
+struct Fixture {
+  exp::Workload w;
+  explicit Fixture(std::size_t paths)
+      : w(exp::make_custom_workload(87, 161, paths, /*seed=*/5,
+                                    /*failure_intensity=*/5.0)) {}
+};
+
+void BM_GainProbBound(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
+  auto acc = engine.make_accumulator();
+  // Fill half the selection so gains run against a realistic basis.
+  for (std::size_t q = 0; q < f.w.system->path_count() / 2; ++q) acc->add(q);
+  std::size_t probe = f.w.system->path_count() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc->gain(probe));
+  }
+}
+BENCHMARK(BM_GainProbBound)->Arg(100)->Arg(200);
+
+void BM_GainMonteCarlo(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  Rng rng = f.w.eval_rng();
+  core::MonteCarloEr engine(*f.w.system, *f.w.failures, 50, rng);
+  auto acc = engine.make_accumulator();
+  for (std::size_t q = 0; q < f.w.system->path_count() / 2; ++q) acc->add(q);
+  std::size_t probe = f.w.system->path_count() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc->gain(probe));
+  }
+}
+BENCHMARK(BM_GainMonteCarlo)->Arg(100)->Arg(200);
+
+void BM_RomeProbBound(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::rome(*f.w.system, f.w.costs, 5000.0, engine));
+  }
+}
+BENCHMARK(BM_RomeProbBound)->Arg(100)->Arg(200);
+
+void BM_RomeMonteCarlo(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  Rng rng = f.w.eval_rng();
+  core::MonteCarloEr engine(*f.w.system, *f.w.failures, 50, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::rome(*f.w.system, f.w.costs, 5000.0, engine));
+  }
+}
+BENCHMARK(BM_RomeMonteCarlo)->Arg(100);
+
+void BM_RomeLazy(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    core::RomeStats stats;
+    benchmark::DoNotOptimize(
+        core::rome(*f.w.system, f.w.costs, 1e9, engine, &stats));
+    evals = stats.gain_evaluations;
+  }
+  state.counters["gain_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_RomeLazy)->Arg(100)->Arg(200);
+
+void BM_RomeEager(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    core::RomeStats stats;
+    benchmark::DoNotOptimize(
+        core::rome_eager(*f.w.system, f.w.costs, 1e9, engine, &stats));
+    evals = stats.gain_evaluations;
+  }
+  state.counters["gain_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_RomeEager)->Arg(100);
+
+void BM_ProbBoundEvaluate(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)));
+  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
+  std::vector<std::size_t> all(f.w.system->path_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(all));
+  }
+}
+BENCHMARK(BM_ProbBoundEvaluate)->Arg(100)->Arg(200);
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,67 @@
+// Micro-benchmarks for the discrete-event simulator: event queue
+// throughput and probe-epoch cost at realistic scales.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "exp/workload.h"
+#include "sim/event_queue.h"
+#include "sim/probe_engine.h"
+
+namespace rnt {
+namespace {
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % n), [&fired] { ++fired; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(10000);
+
+void BM_ProbeEpoch(benchmark::State& state) {
+  const auto paths = static_cast<std::size_t>(state.range(0));
+  const exp::Workload w =
+      exp::make_custom_workload(87, 161, paths, /*seed=*/5, 5.0);
+  Rng truth_rng(6);
+  const tomo::GroundTruth truth =
+      tomo::random_delays(w.graph.edge_count(), truth_rng);
+  sim::ProbeEngine engine(*w.system, truth);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng(7);
+  const auto v = w.failures->sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_epoch(all, v, rng));
+  }
+}
+BENCHMARK(BM_ProbeEpoch)->Arg(100)->Arg(200);
+
+void BM_ProbeEpochWithJitter(benchmark::State& state) {
+  const exp::Workload w = exp::make_custom_workload(87, 161, 100, 5, 5.0);
+  Rng truth_rng(6);
+  const tomo::GroundTruth truth =
+      tomo::random_delays(w.graph.edge_count(), truth_rng);
+  sim::ProbeEngineConfig cfg;
+  cfg.jitter_std_ms = 0.2;
+  sim::ProbeEngine engine(*w.system, truth, cfg);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng(7);
+  const auto v = w.failures->sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_epoch(all, v, rng));
+  }
+}
+BENCHMARK(BM_ProbeEpochWithJitter);
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,46 @@
+// Table I — details of the evaluation topologies.
+//
+// Prints the calibrated synthetic Rocketfuel stand-ins (DESIGN.md §4):
+// node/link counts must match the paper exactly; degree statistics are
+// reported to document the heavy-tailed structure.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "graph/isp_topology.h"
+
+namespace rnt::bench {
+namespace {
+
+int main_body(Flags& flags) {
+  const CommonOptions opts = parse_common(flags);
+  print_header("Table I: details of topologies", opts);
+
+  TablePrinter table({"AS no. (type)", "No. of Nodes", "No. of Links",
+                      "mean deg", "max deg", "connected"});
+  const char* kTypes[] = {"Small", "Medium", "Large"};
+  int type_index = 0;
+  for (const auto& profile : graph::all_isp_profiles()) {
+    Rng rng(opts.seed);
+    const graph::Graph g =
+        graph::build_isp_topology(graph::parse_isp_topology(profile.name), rng);
+    std::size_t max_deg = 0;
+    for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+      max_deg = std::max(max_deg, g.degree(n));
+    }
+    const double mean_deg = 2.0 * static_cast<double>(g.edge_count()) /
+                            static_cast<double>(g.node_count());
+    table.add_row({profile.name + " (" + kTypes[type_index++] + ")",
+                   std::to_string(g.node_count()),
+                   std::to_string(g.edge_count()), fmt(mean_deg, 2),
+                   std::to_string(max_deg), g.is_connected() ? "yes" : "no"});
+  }
+  table.print(std::cout, opts.csv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rnt::bench
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv, rnt::bench::main_body);
+}

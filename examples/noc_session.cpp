@@ -1,0 +1,69 @@
+// NOC session — the full measurement loop at packet granularity.
+//
+// Runs a robust selection through the discrete-event probe simulator for a
+// working day of 5-minute epochs: probes traverse links with real delays,
+// die at failed links, report back to the NOC, and each epoch's surviving
+// measurements drive per-link delay estimation.  Compares the operational
+// statistics (delivery rate, links estimated, wire bytes) of the robust
+// selection against the SelectPath baseline at the same budget.
+#include <iostream>
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/workload.h"
+#include "sim/monitoring_session.h"
+
+int main() {
+  using namespace rnt;
+
+  exp::WorkloadSpec spec;
+  spec.topology = graph::IspTopology::kAS1755;
+  spec.candidate_paths = 200;
+  spec.failure_intensity = 5.0;
+  spec.seed = 77;
+  const exp::Workload w = exp::make_workload(spec);
+
+  Rng truth_rng(78);
+  const tomo::GroundTruth truth =
+      tomo::random_delays(w.graph.edge_count(), truth_rng, 1.0, 8.0);
+
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double budget = 0.12 * w.costs.subset_cost(*w.system, all);
+
+  core::ProbBoundEr engine(*w.system, *w.failures);
+  const auto rome_sel = core::rome(*w.system, w.costs, budget, engine);
+  Rng sp_rng(79);
+  const auto sp_sel =
+      core::select_path_budgeted(*w.system, w.costs, budget, sp_rng);
+
+  std::cout << "NOC monitoring " << w.topology_name << " ("
+            << w.graph.edge_count() << " links), budget 12%, one day of "
+            << "5-minute epochs (288 epochs)\n\n";
+
+  auto run = [&](const char* name, const std::vector<std::size_t>& paths) {
+    sim::MonitoringSession session(*w.system, truth, *w.failures, paths);
+    Rng rng(80);
+    session.run(288, rng);
+    const sim::SessionReport& r = session.report();
+    std::cout << name << " (" << paths.size() << " paths/epoch):\n";
+    std::cout << "  probe delivery rate:   "
+              << 100.0 * r.delivery_rate.mean() << "% (min "
+              << 100.0 * r.delivery_rate.min() << "%)\n";
+    std::cout << "  link delays estimated: " << r.links_estimated.mean()
+              << " of " << w.graph.edge_count() << " per epoch (min "
+              << r.links_estimated.min() << ")\n";
+    std::cout << "  estimation error:      " << r.estimation_error.mean()
+              << " ms (router processing bias: 0.1 ms/hop)\n";
+    std::cout << "  epoch duration:        " << r.epoch_duration_ms.mean()
+              << " ms mean\n";
+    std::cout << "  wire traffic:          "
+              << static_cast<double>(r.total_bytes) / (1024.0 * 1024.0)
+              << " MiB/day\n\n";
+  };
+  run("RoMe selection      ", rome_sel.paths);
+  run("SelectPath selection", sp_sel.paths);
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Expected Rank engines (Sections III-A and IV-C of the paper).
+//
+//   ER(R) = sum over failure vectors v of rank(R_v) * P(v)        (Eq. 4)
+//
+// Exact evaluation enumerates 2^|E| scenarios and is exponential; the paper
+// therefore proposes two approximations, both implemented here behind a
+// common interface:
+//
+//  * MonteCarloEr — average surviving rank over k sampled scenarios
+//    (the engine inside "MonteRoMe", k = 50 in the paper's evaluation);
+//  * ProbBoundEr — the analytical upper bound of Eq. 7: partition R into a
+//    maximal independent set R_ind and the rest R_dep; independent paths
+//    contribute their expected availability EA(q) = prod(1-p_l), and each
+//    dependent path contributes E[D_q] = EA(q) * (1 - prod over links of
+//    its support paths not in q of (1-p_l))  (Eq. 6).
+//
+// Every engine also offers an *accumulator*: RoMe grows a selection
+// incrementally and only ever needs marginal gains ER(R+q) - ER(R), which
+// the accumulators answer in one basis reduction instead of re-evaluating
+// the whole set.  Gains are non-increasing as the selection grows (ER and
+// all three surrogates are submodular along the greedy trajectory), which
+// is what makes lazy-greedy valid in rome.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "failures/scenario.h"
+#include "linalg/incremental_basis.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::core {
+
+/// Incremental marginal-gain evaluator over a growing selection.
+class ErAccumulator {
+ public:
+  virtual ~ErAccumulator() = default;
+
+  /// ER(R + q) - ER(R) for the current selection R.  `q` must not already
+  /// be in the selection.
+  virtual double gain(std::size_t path) const = 0;
+
+  /// Commits path q to the selection.
+  virtual void add(std::size_t path) = 0;
+
+  /// Current ER(R) estimate.
+  virtual double value() const = 0;
+};
+
+/// An evaluation strategy for the Expected Rank of path subsets.
+class ErEngine {
+ public:
+  virtual ~ErEngine() = default;
+
+  /// ER estimate of an arbitrary subset (row indices into the PathSystem).
+  virtual double evaluate(const std::vector<std::size_t>& subset) const = 0;
+
+  /// Fresh accumulator starting from the empty selection.
+  virtual std::unique_ptr<ErAccumulator> make_accumulator() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Shared implementation for engines that average surviving rank over an
+/// explicit list of weighted failure scenarios.
+class ScenarioErEngine : public ErEngine {
+ public:
+  /// `weights` must sum to (approximately) 1 for a probability mixture.
+  ScenarioErEngine(const tomo::PathSystem& system,
+                   std::vector<failures::FailureVector> scenarios,
+                   std::vector<double> weights, std::string name);
+
+  double evaluate(const std::vector<std::size_t>& subset) const override;
+  std::unique_ptr<ErAccumulator> make_accumulator() const override;
+  std::string name() const override { return name_; }
+
+  std::size_t scenario_count() const { return scenarios_.size(); }
+
+  /// Multithreaded evaluate(): scenarios are partitioned into contiguous
+  /// chunks, one worker per chunk, and partial sums are reduced in chunk
+  /// order — so the result is bitwise identical to the serial path for the
+  /// same chunking and deterministic across runs.  threads = 0 picks the
+  /// hardware concurrency.
+  double evaluate_parallel(const std::vector<std::size_t>& subset,
+                           std::size_t threads = 0) const;
+
+ protected:
+  const tomo::PathSystem& system_;
+  std::vector<failures::FailureVector> scenarios_;
+  std::vector<double> weights_;
+  std::string name_;
+};
+
+/// Exact ER: exhaustively enumerates all 2^|E| failure vectors.
+/// Only feasible for small link counts (guarded); the test oracle.
+class ExactEr : public ScenarioErEngine {
+ public:
+  ExactEr(const tomo::PathSystem& system, const failures::FailureModel& model,
+          std::size_t max_links = 20);
+};
+
+/// Monte Carlo ER over `runs` scenarios sampled once at construction.
+/// Reusing the same scenario set across greedy iterations keeps comparisons
+/// between candidate paths consistent (common random numbers).
+class MonteCarloEr : public ScenarioErEngine {
+ public:
+  MonteCarloEr(const tomo::PathSystem& system,
+               const failures::FailureModel& model, std::size_t runs,
+               Rng& rng);
+};
+
+/// The paper's analytical upper bound on ER (Eq. 6/7).
+///
+/// evaluate() scans the subset in the given order, classifying each path as
+/// independent (joins R_ind) or dependent (contributes E[D_q]); the
+/// accumulator does the same incrementally.
+class ProbBoundEr : public ErEngine {
+ public:
+  ProbBoundEr(const tomo::PathSystem& system,
+              const failures::FailureModel& model);
+
+  double evaluate(const std::vector<std::size_t>& subset) const override;
+  std::unique_ptr<ErAccumulator> make_accumulator() const override;
+  std::string name() const override { return "ProbBound"; }
+
+  /// EA(q) for path q (cached).
+  double availability(std::size_t path) const { return ea_.at(path); }
+
+ private:
+  friend class ProbBoundAccumulator;
+  const tomo::PathSystem& system_;
+  const failures::FailureModel& model_;
+  std::vector<double> ea_;  ///< Expected availability per path.
+};
+
+/// Eq. 11: the bound specialized for LSR, driven by per-path availability
+/// estimates theta rather than link probabilities:
+///   ER(R; theta) <= sum_{R_ind} theta_q
+///                 + sum_{R_dep} theta_q * (1 - prod_{j in R_q} theta_j).
+class IndependentPathEr : public ErEngine {
+ public:
+  /// `theta[i]` is the (estimated) availability of path i; values are
+  /// clamped to [0, 1] when used.
+  IndependentPathEr(const tomo::PathSystem& system, std::vector<double> theta);
+
+  double evaluate(const std::vector<std::size_t>& subset) const override;
+  std::unique_ptr<ErAccumulator> make_accumulator() const override;
+  std::string name() const override { return "IndependentPathEr"; }
+
+ private:
+  friend class IndependentPathAccumulator;
+  double clamped_theta(std::size_t path) const;
+  const tomo::PathSystem& system_;
+  std::vector<double> theta_;
+};
+
+}  // namespace rnt::core

@@ -1,0 +1,35 @@
+// MatRoMe — RoMe under the linear-independence (matroid) constraint with
+// unit path costs (Section IV-B of the paper).
+//
+// When all selected paths must be linearly independent, ER is *modular*:
+// ER(R) = sum of EA(q) over R (Lemma 8).  Greedy over a matroid with a
+// modular weight is optimal (Theorem 9), so MatRoMe sorts candidates by
+// expected availability and adds each path iff it is linearly independent
+// of the paths already chosen, until the budget (a path count, normally the
+// rank of the full candidate set) is reached.
+#pragma once
+
+#include <optional>
+
+#include "core/selection.h"
+#include "failures/failure_model.h"
+#include "tomo/path_system.h"
+
+namespace rnt::core {
+
+/// Runs MatRoMe.  `max_paths` is the unit-cost budget; when omitted it
+/// defaults to the rank of the full candidate set (a full robust basis,
+/// the setting of the paper's Figures 8-9).
+/// The returned Selection's objective is the modular ER = sum of EA.
+Selection matrome(const tomo::PathSystem& system,
+                  const failures::FailureModel& model,
+                  std::optional<std::size_t> max_paths = std::nullopt);
+
+/// Generalized weights: selects an independent set greedily by the given
+/// per-path weight (descending).  Used by the LLR special case of LSR where
+/// the weight is the optimistic availability estimate rather than EA.
+Selection max_weight_independent_set(const tomo::PathSystem& system,
+                                     const std::vector<double>& weights,
+                                     std::size_t max_paths);
+
+}  // namespace rnt::core

@@ -1,0 +1,128 @@
+#include "core/rome.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace rnt::core {
+
+namespace {
+
+constexpr double kWeightEps = 1e-12;
+
+/// Cost-benefit weight; free paths get an effectively infinite weight so
+/// they are always taken first (they cannot violate the budget).
+double weight_of(double gain, double cost) {
+  return gain / std::max(cost, kWeightEps);
+}
+
+/// The best single affordable path (line 1 of Algorithm 1), evaluated with
+/// gains on the empty selection, which equal ER({q}) for every engine.
+Selection best_single(const tomo::PathSystem& system,
+                      const std::vector<double>& costs, double budget,
+                      const ErEngine& engine, RomeStats* stats) {
+  auto acc = engine.make_accumulator();
+  Selection best;
+  double best_er = -1.0;
+  for (std::size_t q = 0; q < system.path_count(); ++q) {
+    if (costs[q] > budget) continue;
+    const double er = acc->gain(q);
+    if (stats != nullptr) ++stats->gain_evaluations;
+    if (er > best_er) {
+      best_er = er;
+      best.paths = {q};
+      best.cost = costs[q];
+      best.objective = er;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Selection rome(const tomo::PathSystem& system, const tomo::CostModel& costs,
+               double budget, const ErEngine& engine, RomeStats* stats) {
+  const std::vector<double> cost = costs.path_costs(system);
+  Selection single = best_single(system, cost, budget, engine, stats);
+
+  auto acc = engine.make_accumulator();
+  Selection greedy;
+
+  // Lazy-greedy heap of (possibly stale) cost-benefit weights.
+  struct Entry {
+    double weight;
+    std::size_t path;
+    bool operator<(const Entry& o) const { return weight < o.weight; }
+  };
+  std::priority_queue<Entry> heap;
+  for (std::size_t q = 0; q < system.path_count(); ++q) {
+    const double g = acc->gain(q);
+    if (stats != nullptr) ++stats->gain_evaluations;
+    heap.push({weight_of(g, cost[q]), q});
+  }
+
+  while (!heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    // Refresh the weight against the current selection.
+    const double g = acc->gain(top.path);
+    if (stats != nullptr) ++stats->gain_evaluations;
+    const double w = weight_of(g, cost[top.path]);
+    if (!heap.empty() && w + kWeightEps < heap.top().weight) {
+      heap.push({w, top.path});  // Stale; requeue with the fresh weight.
+      continue;
+    }
+    // top.path is the true argmax (submodularity: no other weight can have
+    // grown).  Algorithm 1: add if it fits the budget, drop it either way.
+    if (greedy.cost + cost[top.path] <= budget) {
+      acc->add(top.path);
+      greedy.paths.push_back(top.path);
+      greedy.cost += cost[top.path];
+      if (stats != nullptr) ++stats->iterations;
+    }
+  }
+  greedy.objective = acc->value();
+
+  return greedy.objective >= single.objective ? greedy : single;
+}
+
+Selection rome_eager(const tomo::PathSystem& system,
+                     const tomo::CostModel& costs, double budget,
+                     const ErEngine& engine, RomeStats* stats) {
+  const std::vector<double> cost = costs.path_costs(system);
+  Selection single = best_single(system, cost, budget, engine, stats);
+
+  auto acc = engine.make_accumulator();
+  Selection greedy;
+  std::vector<std::size_t> remaining(system.path_count());
+  for (std::size_t q = 0; q < remaining.size(); ++q) remaining[q] = q;
+
+  while (!remaining.empty()) {
+    double best_w = -std::numeric_limits<double>::infinity();
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 0; pos < remaining.size(); ++pos) {
+      const std::size_t q = remaining[pos];
+      const double g = acc->gain(q);
+      if (stats != nullptr) ++stats->gain_evaluations;
+      const double w = weight_of(g, cost[q]);
+      if (w > best_w) {
+        best_w = w;
+        best_pos = pos;
+      }
+    }
+    const std::size_t q_max = remaining[best_pos];
+    if (greedy.cost + cost[q_max] <= budget) {
+      acc->add(q_max);
+      greedy.paths.push_back(q_max);
+      greedy.cost += cost[q_max];
+      if (stats != nullptr) ++stats->iterations;
+    }
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
+  greedy.objective = acc->value();
+
+  return greedy.objective >= single.objective ? greedy : single;
+}
+
+}  // namespace rnt::core

@@ -1,0 +1,47 @@
+// RoMe — Robust Measurements (Algorithm 1 of the paper).
+//
+// Budgeted maximization of the Expected Rank: a cost-benefit greedy
+// (weight = marginal ER gain / probing cost) combined with the best single
+// affordable path, which by Krause & Guestrin (2005) achieves a
+// (1 - 1/sqrt(e)) approximation for non-decreasing submodular ER with
+// ER(empty) = 0.
+//
+// Implementation notes:
+//  * The ER engine is pluggable: ProbBoundEr gives the paper's "ProbRoMe",
+//    MonteCarloEr gives "MonteRoMe", ExactEr gives the exact (tiny-instance)
+//    variant used in tests.
+//  * Marginal gains along the greedy trajectory are non-increasing for all
+//    engines, so we run *lazy greedy* (Minoux): a max-heap of stale weights,
+//    re-evaluating only the top until it is confirmed maximal.  This is
+//    algorithmically identical to Algorithm 1 (same selections) but orders
+//    of magnitude fewer ER evaluations.
+#pragma once
+
+#include "core/expected_rank.h"
+#include "core/selection.h"
+#include "tomo/cost_model.h"
+#include "tomo/path_system.h"
+
+namespace rnt::core {
+
+/// Counters describing one RoMe run (for benchmarks / regression tests).
+struct RomeStats {
+  std::size_t gain_evaluations = 0;  ///< Calls to ErAccumulator::gain.
+  std::size_t iterations = 0;        ///< Greedy selections committed.
+};
+
+/// Runs RoMe and returns the selected paths.
+/// `budget` is the probing budget B; paths with PC(q) > B can never be
+/// selected.  If `stats` is non-null it receives run counters.
+Selection rome(const tomo::PathSystem& system, const tomo::CostModel& costs,
+               double budget, const ErEngine& engine,
+               RomeStats* stats = nullptr);
+
+/// The non-lazy textbook variant of Algorithm 1 (recomputes every weight
+/// every iteration).  Used in tests to confirm the lazy version selects an
+/// equally good set, and in benchmarks to measure the lazy speedup.
+Selection rome_eager(const tomo::PathSystem& system,
+                     const tomo::CostModel& costs, double budget,
+                     const ErEngine& engine, RomeStats* stats = nullptr);
+
+}  // namespace rnt::core

@@ -1,0 +1,25 @@
+// Common result type for the path-selection algorithms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rnt::core {
+
+/// A chosen set of probing paths plus bookkeeping about the choice.
+struct Selection {
+  /// Selected row indices into the PathSystem, in selection order.
+  std::vector<std::size_t> paths;
+  /// Total probing cost PC(R) of the selection.
+  double cost = 0.0;
+  /// The optimizing engine's estimate of the objective for this selection
+  /// (ER bound / Monte Carlo estimate / modular EA sum, depending on the
+  /// algorithm).  Not comparable across engines; use the evaluation
+  /// metrics in exp/ for cross-algorithm comparisons.
+  double objective = 0.0;
+
+  std::size_t size() const { return paths.size(); }
+  bool empty() const { return paths.empty(); }
+};
+
+}  // namespace rnt::core

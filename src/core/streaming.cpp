@@ -1,0 +1,105 @@
+#include "core/streaming.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::core {
+
+StreamingSelector::StreamingSelector(const ErEngine& engine,
+                                     StreamingConfig config)
+    : engine_(engine), config_(config) {
+  if (config_.max_paths == 0) {
+    throw std::invalid_argument("StreamingSelector: max_paths must be > 0");
+  }
+  if (config_.epsilon <= 0.0 || config_.epsilon >= 1.0) {
+    throw std::invalid_argument("StreamingSelector: epsilon in (0, 1)");
+  }
+}
+
+void StreamingSelector::refresh_sieves() {
+  // Active thresholds: (1+eps)^i in [m, 2 k m], where m is the best
+  // singleton value seen so far.  OPT lies in [m, k m], so some sieve's
+  // threshold is within (1+eps) of OPT/(2k) — the sieve analysis' anchor.
+  if (max_singleton_ <= 0.0) return;
+  const double k = static_cast<double>(config_.max_paths);
+  const double lo = max_singleton_;
+  const double hi = 2.0 * k * max_singleton_;
+  const double base = 1.0 + config_.epsilon;
+  // Existing sieves keep their threshold and contents; only add new grid
+  // points (streaming algorithms may not revisit discarded items).
+  auto have = [&](double t) {
+    for (const Sieve& s : sieves_) {
+      if (std::abs(s.threshold - t) <= 1e-12 * t) return true;
+    }
+    return false;
+  };
+  // Start the geometric grid at the power of (1+eps) just below the
+  // window's low end — singleton ER values are typically < 1, so the grid
+  // must extend below 1.
+  const double start =
+      std::pow(base, std::floor(std::log(lo / base) / std::log(base)));
+  for (double t = start; t <= hi * base; t *= base) {
+    if (t < lo / base || t > hi * base) continue;
+    if (have(t)) continue;
+    Sieve sieve;
+    sieve.threshold = t;
+    sieve.accumulator = engine_.make_accumulator();
+    sieves_.push_back(std::move(sieve));
+  }
+  // Drop sieves whose threshold fell below the active window; they can no
+  // longer be the anchor sieve and freeing them bounds memory.
+  std::erase_if(sieves_, [&](const Sieve& s) {
+    return s.threshold < lo / base && s.kept.empty();
+  });
+}
+
+bool StreamingSelector::offer(std::size_t path) {
+  ++offered_;
+  // Track the best singleton (uses a throwaway accumulator gain at the
+  // empty set, which equals ER({path}) for every engine).
+  const double singleton = engine_.make_accumulator()->gain(path);
+  if (singleton > max_singleton_) {
+    max_singleton_ = singleton;
+    refresh_sieves();
+  }
+  bool kept_anywhere = false;
+  for (Sieve& sieve : sieves_) {
+    if (sieve.kept.size() >= config_.max_paths) continue;
+    const double gain = sieve.accumulator->gain(path);
+    // Keep iff the marginal clears the per-slot quota toward threshold.
+    const double quota =
+        (sieve.threshold / 2.0 - sieve.accumulator->value()) /
+        static_cast<double>(config_.max_paths - sieve.kept.size());
+    if (gain >= quota && gain > 0.0) {
+      sieve.accumulator->add(path);
+      sieve.kept.push_back(path);
+      kept_anywhere = true;
+    }
+  }
+  return kept_anywhere;
+}
+
+Selection StreamingSelector::selection() const {
+  Selection best;
+  for (const Sieve& sieve : sieves_) {
+    const double value = sieve.accumulator->value();
+    if (value > best.objective) {
+      best.objective = value;
+      best.paths = sieve.kept;
+      best.cost = static_cast<double>(sieve.kept.size());
+    }
+  }
+  return best;
+}
+
+Selection sieve_stream_select(const ErEngine& engine,
+                              const std::vector<std::size_t>& order,
+                              StreamingConfig config) {
+  StreamingSelector selector(engine, config);
+  for (std::size_t q : order) {
+    selector.offer(q);
+  }
+  return selector.selection();
+}
+
+}  // namespace rnt::core

@@ -1,0 +1,72 @@
+// Streaming path selection — choosing robust paths when candidates arrive
+// online.
+//
+// RoMe assumes the full candidate set R_M is known up front.  In practice
+// candidate paths can be *discovered* over time (new monitor pairs come
+// online, routing changes reveal new paths) and the selector must commit
+// or discard each path with bounded memory.  This module implements
+// sieve-streaming (Badanidiyuru et al., KDD'14) adapted to the ER
+// objective under a cardinality constraint: a geometric grid of threshold
+// sieves, each keeping a path iff its marginal ER gain clears the sieve's
+// threshold, achieving a (1/2 - epsilon) approximation with
+// O(k log(k)/epsilon) memory — a principled counterpart to rerunning RoMe
+// from scratch on every arrival.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/expected_rank.h"
+#include "core/selection.h"
+
+namespace rnt::core {
+
+/// Configuration of the streaming selector.
+struct StreamingConfig {
+  std::size_t max_paths = 0;  ///< Cardinality budget k (required, > 0).
+  double epsilon = 0.1;       ///< Grid resolution; smaller = more sieves.
+};
+
+/// Sieve-streaming selector over the Expected Rank surrogate.
+///
+/// Feed paths with offer(); read the best sieve's selection with
+/// selection().  The engine must outlive the selector.
+class StreamingSelector {
+ public:
+  StreamingSelector(const ErEngine& engine, StreamingConfig config);
+
+  /// Offers one path; returns true if any sieve kept it.
+  bool offer(std::size_t path);
+
+  /// Best current selection across sieves (by the engine's ER value).
+  Selection selection() const;
+
+  /// Number of paths offered so far.
+  std::size_t offered() const { return offered_; }
+
+  /// Number of active sieves (memory diagnostic).
+  std::size_t sieve_count() const { return sieves_.size(); }
+
+ private:
+  struct Sieve {
+    double threshold = 0.0;
+    std::unique_ptr<ErAccumulator> accumulator;
+    std::vector<std::size_t> kept;
+  };
+
+  void refresh_sieves();
+
+  const ErEngine& engine_;
+  StreamingConfig config_;
+  double max_singleton_ = 0.0;  ///< Largest ER({q}) seen (m in the paper).
+  std::vector<Sieve> sieves_;
+  std::size_t offered_ = 0;
+};
+
+/// Convenience: stream the paths of `order` through a fresh selector.
+Selection sieve_stream_select(const ErEngine& engine,
+                              const std::vector<std::size_t>& order,
+                              StreamingConfig config);
+
+}  // namespace rnt::core

@@ -1,0 +1,54 @@
+#include "exp/metrics.h"
+
+#include "tomo/identifiability.h"
+
+namespace rnt::exp {
+
+SelectionEvaluation evaluate_selection(const tomo::PathSystem& system,
+                                       const std::vector<std::size_t>& subset,
+                                       const failures::FailureModel& model,
+                                       const EvalOptions& options, Rng& rng) {
+  SelectionEvaluation eval;
+  eval.no_failure_rank = system.rank_of(subset);
+  if (options.identifiability) {
+    eval.no_failure_identifiability =
+        tomo::identifiable_count(system, subset);
+  }
+  for (std::size_t s = 0; s < options.scenarios; ++s) {
+    const failures::FailureVector v = model.sample(rng);
+    const auto survivors = system.surviving_rows(subset, v);
+    eval.rank.add(static_cast<double>(system.rank_of(survivors)));
+    if (options.identifiability) {
+      eval.identifiability.add(static_cast<double>(
+          tomo::identifiable_links(system, survivors).size()));
+    }
+  }
+  return eval;
+}
+
+LossEvaluation evaluate_loss(const tomo::PathSystem& system,
+                             const std::vector<std::size_t>& subset,
+                             const failures::FailureModel& model,
+                             std::size_t scenarios, bool identifiability,
+                             Rng& rng) {
+  LossEvaluation loss;
+  const double base_rank = static_cast<double>(system.rank_of(subset));
+  const double base_ident =
+      identifiability
+          ? static_cast<double>(tomo::identifiable_count(system, subset))
+          : 0.0;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    const failures::FailureVector v = model.sample(rng);
+    const auto survivors = system.surviving_rows(subset, v);
+    loss.rank_loss.add(base_rank -
+                       static_cast<double>(system.rank_of(survivors)));
+    if (identifiability) {
+      loss.identifiability_loss.add(
+          base_ident - static_cast<double>(
+                           tomo::identifiable_links(system, survivors).size()));
+    }
+  }
+  return loss;
+}
+
+}  // namespace rnt::exp

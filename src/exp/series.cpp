@@ -1,0 +1,116 @@
+#include "exp/series.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace rnt::exp {
+
+SeriesTable::SeriesTable(std::string x_name,
+                         std::vector<std::string> series_names)
+    : x_name_(std::move(x_name)), names_(std::move(series_names)) {
+  if (names_.empty()) {
+    throw std::invalid_argument("SeriesTable: need at least one series");
+  }
+  for (const std::string& n : names_) {
+    if (n.empty() || n.find(',') != std::string::npos) {
+      throw std::invalid_argument("SeriesTable: bad series name");
+    }
+  }
+  columns_.resize(names_.size());
+}
+
+void SeriesTable::add_row(double x, const std::vector<double>& values) {
+  if (values.size() != names_.size()) {
+    throw std::invalid_argument("SeriesTable::add_row: width mismatch");
+  }
+  x_.push_back(x);
+  for (std::size_t s = 0; s < values.size(); ++s) {
+    columns_[s].push_back(values[s]);
+  }
+}
+
+double SeriesTable::value(std::size_t row, std::size_t series) const {
+  return columns_.at(series).at(row);
+}
+
+std::vector<double> SeriesTable::series(const std::string& name) const {
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    if (names_[s] == name) return columns_[s];
+  }
+  throw std::invalid_argument("SeriesTable: no series named " + name);
+}
+
+void SeriesTable::write_csv(std::ostream& out) const {
+  const auto precision = out.precision(std::numeric_limits<double>::max_digits10);
+  out << x_name_;
+  for (const std::string& n : names_) out << "," << n;
+  out << "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out << x_[r];
+    for (std::size_t s = 0; s < names_.size(); ++s) {
+      out << "," << columns_[s][r];
+    }
+    out << "\n";
+  }
+  out.precision(precision);
+}
+
+SeriesTable SeriesTable::read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("SeriesTable::read_csv: empty input");
+  }
+  std::vector<std::string> headers;
+  {
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) headers.push_back(cell);
+  }
+  if (headers.size() < 2) {
+    throw std::runtime_error("SeriesTable::read_csv: need >= 2 columns");
+  }
+  SeriesTable table(headers.front(),
+                    {headers.begin() + 1, headers.end()});
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::vector<double> cells;
+    while (std::getline(ls, cell, ',')) {
+      try {
+        cells.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("SeriesTable::read_csv: bad number at line " +
+                                 std::to_string(line_no));
+      }
+    }
+    if (cells.size() != headers.size()) {
+      throw std::runtime_error("SeriesTable::read_csv: width mismatch at line " +
+                               std::to_string(line_no));
+    }
+    table.add_row(cells.front(), {cells.begin() + 1, cells.end()});
+  }
+  return table;
+}
+
+void SeriesTable::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SeriesTable::save_csv: cannot create " + path);
+  }
+  write_csv(out);
+}
+
+SeriesTable SeriesTable::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("SeriesTable::load_csv: cannot open " + path);
+  }
+  return read_csv(in);
+}
+
+}  // namespace rnt::exp

@@ -1,0 +1,50 @@
+// Named data series with CSV persistence — the bridge from bench drivers to
+// external plotting.  A SeriesTable is a figure's worth of columns keyed by
+// an x-axis; it round-trips through CSV so results can be archived,
+// diffed between runs, and plotted by any external tool.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rnt::exp {
+
+/// Columnar numeric table: one x column, any number of named y columns,
+/// all the same length.
+class SeriesTable {
+ public:
+  /// Column names: x first, then the series names.
+  SeriesTable(std::string x_name, std::vector<std::string> series_names);
+
+  /// Appends one row: the x value plus one value per series.
+  void add_row(double x, const std::vector<double>& values);
+
+  std::size_t rows() const { return x_.size(); }
+  std::size_t series_count() const { return names_.size(); }
+  const std::string& x_name() const { return x_name_; }
+  const std::vector<std::string>& series_names() const { return names_; }
+
+  double x(std::size_t row) const { return x_.at(row); }
+  double value(std::size_t row, std::size_t series) const;
+
+  /// Column by name; throws if absent.
+  std::vector<double> series(const std::string& name) const;
+
+  /// CSV round trip (header row with column names, '.' decimal, '\n' rows).
+  void write_csv(std::ostream& out) const;
+  static SeriesTable read_csv(std::istream& in);
+  void save_csv(const std::string& path) const;
+  static SeriesTable load_csv(const std::string& path);
+
+  bool operator==(const SeriesTable&) const = default;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> names_;
+  std::vector<double> x_;
+  std::vector<std::vector<double>> columns_;  ///< One per series.
+};
+
+}  // namespace rnt::exp

@@ -1,0 +1,42 @@
+#include "exp/workload.h"
+
+namespace rnt::exp {
+
+namespace {
+
+Workload assemble(graph::Graph g, std::string name, std::size_t paths,
+                  std::uint64_t seed, double intensity, bool unit_costs,
+                  Rng& rng) {
+  Workload w;
+  w.topology_name = std::move(name);
+  w.graph = std::move(g);
+  w.seed = seed;
+  w.system = std::make_unique<tomo::PathSystem>(
+      tomo::build_path_system(w.graph, paths, rng, &w.monitors));
+  w.failures = std::make_unique<failures::FailureModel>(
+      failures::markopoulou_model(w.graph.edge_count(), rng, intensity));
+  w.costs = unit_costs ? tomo::CostModel::unit()
+                       : tomo::CostModel::paper_model(w.monitors, rng);
+  return w;
+}
+
+}  // namespace
+
+Workload make_workload(const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  const graph::IspProfile profile = graph::isp_profile(spec.topology);
+  graph::Graph g = graph::build_isp_topology(spec.topology, rng);
+  return assemble(std::move(g), profile.name, spec.candidate_paths, spec.seed,
+                  spec.failure_intensity, spec.unit_costs, rng);
+}
+
+Workload make_custom_workload(std::size_t nodes, std::size_t links,
+                              std::size_t candidate_paths, std::uint64_t seed,
+                              double failure_intensity, bool unit_costs) {
+  Rng rng(seed);
+  graph::Graph g = graph::build_isp_like(nodes, links, rng);
+  return assemble(std::move(g), "custom", candidate_paths, seed,
+                  failure_intensity, unit_costs, rng);
+}
+
+}  // namespace rnt::exp

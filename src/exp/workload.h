@@ -1,0 +1,54 @@
+// Experiment workloads: everything the paper's evaluation setup fixes per
+// trial — a topology, a monitor deployment with candidate paths, a probing
+// cost assignment, and a link failure model (Section VI-A).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "failures/failure_model.h"
+#include "graph/graph.h"
+#include "graph/isp_topology.h"
+#include "tomo/cost_model.h"
+#include "tomo/monitors.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::exp {
+
+/// Parameters of one workload instance.
+struct WorkloadSpec {
+  graph::IspTopology topology = graph::IspTopology::kAS3257;
+  std::size_t candidate_paths = 1600;  ///< |R_M| target.
+  double failure_intensity = 1.0;      ///< Markopoulou model scale.
+  std::uint64_t seed = 1;              ///< Drives every random choice.
+  bool unit_costs = false;             ///< Matroid setting (Figs. 8-9).
+};
+
+/// A fully materialized workload.
+struct Workload {
+  std::string topology_name;
+  graph::Graph graph{0};
+  tomo::MonitorSet monitors;
+  std::unique_ptr<tomo::PathSystem> system;
+  std::unique_ptr<failures::FailureModel> failures;
+  tomo::CostModel costs = tomo::CostModel::unit();
+  std::uint64_t seed = 0;
+
+  /// Fresh generator for evaluation sampling, decorrelated from the
+  /// construction stream but reproducible from the workload seed.
+  Rng eval_rng() const { return Rng(seed * 0x9E3779B97F4A7C15ULL + 1); }
+};
+
+/// Builds a workload from a spec.  Deterministic given spec.seed.
+Workload make_workload(const WorkloadSpec& spec);
+
+/// Small custom workload for tests and the quickstart example: an
+/// ISP-like graph with the given sizes instead of a Table I profile.
+Workload make_custom_workload(std::size_t nodes, std::size_t links,
+                              std::size_t candidate_paths, std::uint64_t seed,
+                              double failure_intensity = 1.0,
+                              bool unit_costs = false);
+
+}  // namespace rnt::exp

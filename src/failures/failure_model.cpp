@@ -1,0 +1,122 @@
+#include "failures/failure_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace rnt::failures {
+
+FailureModel::FailureModel(std::vector<double> probabilities)
+    : p_(std::move(probabilities)) {
+  for (double p : p_) {
+    if (p < 0.0 || p > 1.0 || !std::isfinite(p)) {
+      throw std::invalid_argument(
+          "FailureModel: probabilities must be in [0, 1]");
+    }
+  }
+}
+
+double FailureModel::expected_failures() const {
+  return std::accumulate(p_.begin(), p_.end(), 0.0);
+}
+
+FailureVector FailureModel::sample(Rng& rng) const {
+  FailureVector v(p_.size(), false);
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    if (rng.bernoulli(p_[i])) v[i] = true;
+  }
+  return v;
+}
+
+FailureVector FailureModel::sample_exactly_k(std::size_t k, Rng& rng) const {
+  if (k > p_.size()) {
+    throw std::invalid_argument("sample_exactly_k: k exceeds link count");
+  }
+  FailureVector v(p_.size(), false);
+  std::vector<double> weights = p_;
+  std::size_t positive =
+      static_cast<std::size_t>(std::count_if(weights.begin(), weights.end(),
+                                             [](double w) { return w > 0.0; }));
+  for (std::size_t drawn = 0; drawn < k; ++drawn) {
+    std::size_t pick;
+    if (positive > 0) {
+      pick = rng.weighted_index(weights);
+    } else {
+      // All remaining weights are zero: fall back to a uniform choice among
+      // links not yet failed.
+      do {
+        pick = rng.index(p_.size());
+      } while (v[pick]);
+    }
+    if (weights[pick] > 0.0) --positive;
+    weights[pick] = 0.0;
+    v[pick] = true;
+  }
+  return v;
+}
+
+double FailureModel::scenario_probability(const FailureVector& v) const {
+  if (v.size() != p_.size()) {
+    throw std::invalid_argument("scenario_probability: size mismatch");
+  }
+  double prob = 1.0;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    prob *= v[i] ? p_[i] : (1.0 - p_[i]);
+  }
+  return prob;
+}
+
+double FailureModel::path_availability(
+    const std::vector<std::uint32_t>& links) const {
+  double avail = 1.0;
+  for (std::uint32_t l : links) {
+    avail *= 1.0 - p_.at(l);
+  }
+  return avail;
+}
+
+std::vector<double> markopoulou_probabilities(std::size_t links,
+                                              double intensity) {
+  if (links == 0) return {};
+  if (intensity < 0.0) {
+    throw std::invalid_argument("markopoulou: intensity must be >= 0");
+  }
+  // Failure counts: top 2.5% of links follow l^-0.73, the rest l^-1.35 with
+  // the constant chosen for continuity at the segment boundary; n(1) = 1000.
+  const auto high = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(0.025 * static_cast<double>(links))));
+  std::vector<double> counts(links);
+  const double n1 = 1000.0;
+  for (std::size_t i = 0; i < links; ++i) {
+    const double l = static_cast<double>(i + 1);  // failure rank, 1-based
+    if (i < high) {
+      counts[i] = n1 * std::pow(l, -0.73);
+    } else {
+      const double boundary = static_cast<double>(high);
+      const double c_low = n1 * std::pow(boundary, -0.73) /
+                           std::pow(boundary, -1.35);
+      counts[i] = c_low * std::pow(l, -1.35);
+    }
+  }
+  const double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  std::vector<double> p(links);
+  for (std::size_t i = 0; i < links; ++i) {
+    p[i] = std::min(1.0, intensity * counts[i] / total);
+  }
+  return p;
+}
+
+FailureModel markopoulou_model(std::size_t links, Rng& rng, double intensity) {
+  std::vector<double> ranked = markopoulou_probabilities(links, intensity);
+  // Random assignment of failure rank to physical link id.
+  rng.shuffle(ranked);
+  return FailureModel(std::move(ranked));
+}
+
+FailureModel uniform_model(std::size_t links, double p) {
+  return FailureModel(std::vector<double>(links, p));
+}
+
+}  // namespace rnt::failures

@@ -1,0 +1,76 @@
+// Independent per-epoch link failure model.
+//
+// Follows the paper's setup (Section VI-A), which adopts the IP-backbone
+// failure characterization of Markopoulou et al. (INFOCOM'04): link failure
+// counts follow a two-segment power law — the top 2.5% of links ("high
+// failure") have n(l) ∝ l^-0.73 and the rest n(l) ∝ l^-1.35, with
+// n(1) = 1000 — and per-link probabilities are the counts normalized by the
+// total.  Availability is i.i.d. across epochs and independent across
+// links (the paper's model, and the most common failure pattern in IP/WAN
+// backbones per [5], [15]).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rnt::failures {
+
+/// v[i] == true means link i has failed in this epoch.
+using FailureVector = std::vector<bool>;
+
+/// Immutable per-link failure probabilities plus sampling helpers.
+class FailureModel {
+ public:
+  /// Builds from explicit probabilities (each in [0, 1]).
+  explicit FailureModel(std::vector<double> probabilities);
+
+  std::size_t link_count() const { return p_.size(); }
+  double probability(std::size_t link) const { return p_.at(link); }
+  const std::vector<double>& probabilities() const { return p_; }
+
+  /// Expected number of concurrently failed links per epoch.
+  double expected_failures() const;
+
+  /// Samples one epoch: each link fails independently with its probability.
+  FailureVector sample(Rng& rng) const;
+
+  /// Samples a scenario with exactly k failed links, chosen *without*
+  /// replacement with probability proportional to the per-link failure
+  /// probabilities (used by the Fig. 3 concurrent-failure sweep).
+  /// Requires k <= link_count and at least k links with positive probability
+  /// unless zero-probability links are allowed to fail (they are, as a
+  /// uniform fallback, when fewer than k positive-probability links exist).
+  FailureVector sample_exactly_k(std::size_t k, Rng& rng) const;
+
+  /// P(v) under the independence assumption (Eq. 2 of the paper).
+  double scenario_probability(const FailureVector& v) const;
+
+  /// Probability that a path over the given links survives:
+  /// prod(1 - p_i) — the Expected Availability of Eq. 3.
+  double path_availability(const std::vector<std::uint32_t>& links) const;
+
+ private:
+  std::vector<double> p_;
+};
+
+/// Markopoulou-style model for `links` links.
+///
+/// `intensity` rescales all probabilities (clamped to [0,1]); intensity 1.0
+/// reproduces the normalized counts, larger values stress-test with more
+/// concurrent failures.  The mapping from failure-rank to physical link id
+/// is a random permutation drawn from `rng`, so which links are failure-
+/// prone varies across monitor-set trials as in the paper.
+FailureModel markopoulou_model(std::size_t links, Rng& rng,
+                               double intensity = 1.0);
+
+/// The raw (unshuffled) Markopoulou probabilities in failure-rank order:
+/// element 0 is the most failure-prone link.  Exposed for tests/benches.
+std::vector<double> markopoulou_probabilities(std::size_t links,
+                                              double intensity = 1.0);
+
+/// All links fail with the same probability p.
+FailureModel uniform_model(std::size_t links, double p);
+
+}  // namespace rnt::failures

@@ -1,0 +1,49 @@
+#include "failures/gilbert_elliott.h"
+
+#include <stdexcept>
+
+namespace rnt::failures {
+
+GilbertElliottModel::GilbertElliottModel(std::vector<double> stationary,
+                                         double mean_burst_length, Rng rng)
+    : stationary_(std::move(stationary)),
+      burst_(mean_burst_length),
+      rng_(rng) {
+  if (burst_ < 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottModel: mean burst length must be >= 1");
+  }
+  fail_to_ok_.resize(stationary_.size());
+  ok_to_fail_.resize(stationary_.size());
+  state_.resize(stationary_.size());
+  for (std::size_t i = 0; i < stationary_.size(); ++i) {
+    const double p = stationary_[i];
+    if (p < 0.0 || p >= 1.0) {
+      throw std::invalid_argument(
+          "GilbertElliottModel: stationary probability must be in [0, 1)");
+    }
+    // Recovery rate fixes the burst length; failure rate then pins the
+    // stationary distribution: p = r_fail / (r_fail + r_recover).
+    fail_to_ok_[i] = 1.0 / burst_;
+    ok_to_fail_[i] = p == 0.0 ? 0.0 : p / (burst_ * (1.0 - p));
+    if (ok_to_fail_[i] > 1.0) {
+      // Very failure-prone link with short bursts: clamp (chain still has
+      // the right stationary mean within clamping error).
+      ok_to_fail_[i] = 1.0;
+    }
+    state_[i] = rng_.bernoulli(p);  // Stationary start.
+  }
+}
+
+FailureVector GilbertElliottModel::step() {
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i]) {
+      if (rng_.bernoulli(fail_to_ok_[i])) state_[i] = false;
+    } else {
+      if (rng_.bernoulli(ok_to_fail_[i])) state_[i] = true;
+    }
+  }
+  return state_;
+}
+
+}  // namespace rnt::failures

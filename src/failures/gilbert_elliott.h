@@ -1,0 +1,55 @@
+// Gilbert-Elliott bursty link failures across epochs.
+//
+// The paper assumes link states are i.i.d. across epochs.  Real link
+// failures are bursty: a failed link tends to stay failed for several
+// measurement windows (the very observation — failures outliving
+// measurement windows — that motivates the paper).  This extension models
+// each link as a two-state Markov chain (GOOD <-> BAD) with transition
+// probabilities chosen to match a target stationary failure probability
+// and a mean failure burst length.  The ablation bench uses it to check
+// how LSR copes when the i.i.d. assumption behind its regret analysis is
+// broken.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "util/rng.h"
+
+namespace rnt::failures {
+
+/// Per-link two-state Markov chain over epochs.
+class GilbertElliottModel {
+ public:
+  /// `stationary` gives each link's long-run failure probability; links
+  /// fail in bursts of mean length `mean_burst_length` epochs (>= 1).
+  /// For link i with stationary probability p:
+  ///   P(BAD -> GOOD) = 1 / burst,   P(GOOD -> BAD) = p / (burst * (1 - p)).
+  /// The chain starts from its stationary distribution.
+  GilbertElliottModel(std::vector<double> stationary,
+                      double mean_burst_length, Rng rng);
+
+  std::size_t link_count() const { return stationary_.size(); }
+
+  /// Advances every link one epoch and returns the failure vector.
+  FailureVector step();
+
+  /// Current failure vector without advancing.
+  const FailureVector& state() const { return state_; }
+
+  /// The i.i.d. approximation with the same marginals.
+  FailureModel stationary_model() const { return FailureModel(stationary_); }
+
+  double mean_burst_length() const { return burst_; }
+
+ private:
+  std::vector<double> stationary_;
+  double burst_;
+  std::vector<double> fail_to_ok_;
+  std::vector<double> ok_to_fail_;
+  FailureVector state_;
+  Rng rng_;
+};
+
+}  // namespace rnt::failures

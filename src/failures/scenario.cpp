@@ -1,0 +1,44 @@
+#include "failures/scenario.h"
+
+#include <stdexcept>
+
+namespace rnt::failures {
+
+void enumerate_scenarios(
+    const FailureModel& model,
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_links) {
+  const std::size_t n = model.link_count();
+  if (n > max_links) {
+    throw std::invalid_argument(
+        "enumerate_scenarios: too many links for exhaustive enumeration");
+  }
+  const std::uint64_t total = std::uint64_t{1} << n;
+  FailureVector v(n, false);
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = (mask >> i) & 1;
+    }
+    visit(v, model.scenario_probability(v));
+  }
+}
+
+std::vector<FailureVector> sample_scenarios(const FailureModel& model,
+                                            std::size_t count, Rng& rng) {
+  std::vector<FailureVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(model.sample(rng));
+  }
+  return out;
+}
+
+bool path_survives(const std::vector<std::uint32_t>& path_links,
+                   const FailureVector& v) {
+  for (std::uint32_t l : path_links) {
+    if (v[l]) return false;
+  }
+  return true;
+}
+
+}  // namespace rnt::failures

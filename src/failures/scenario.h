@@ -1,0 +1,29 @@
+// Failure-scenario utilities: exhaustive enumeration of all 2^|E| failure
+// vectors (exact Expected Rank on small instances, and the test oracle for
+// the ProbBound approximation) plus batched scenario sampling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "failures/failure_model.h"
+
+namespace rnt::failures {
+
+/// Calls `visit(v, P(v))` for every failure vector v in {0,1}^links.
+/// Throws if links > max_links (guard against accidental 2^1000 loops).
+void enumerate_scenarios(
+    const FailureModel& model,
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_links = 24);
+
+/// Draws `count` i.i.d. failure vectors from the model.
+std::vector<FailureVector> sample_scenarios(const FailureModel& model,
+                                            std::size_t count, Rng& rng);
+
+/// True iff no link of the path (given by its link ids) failed in v.
+bool path_survives(const std::vector<std::uint32_t>& path_links,
+                   const FailureVector& v);
+
+}  // namespace rnt::failures

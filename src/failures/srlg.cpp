@@ -1,0 +1,71 @@
+#include "failures/srlg.h"
+
+#include <stdexcept>
+
+namespace rnt::failures {
+
+SrlgModel::SrlgModel(FailureModel background, std::vector<RiskGroup> groups)
+    : background_(std::move(background)), groups_(std::move(groups)) {
+  for (const RiskGroup& group : groups_) {
+    if (group.probability < 0.0 || group.probability > 1.0) {
+      throw std::invalid_argument("SrlgModel: group probability out of range");
+    }
+    for (std::uint32_t l : group.links) {
+      if (l >= background_.link_count()) {
+        throw std::out_of_range("SrlgModel: group link id out of range");
+      }
+    }
+  }
+}
+
+FailureVector SrlgModel::sample(Rng& rng) const {
+  FailureVector v = background_.sample(rng);
+  for (const RiskGroup& group : groups_) {
+    if (rng.bernoulli(group.probability)) {
+      for (std::uint32_t l : group.links) v[l] = true;
+    }
+  }
+  return v;
+}
+
+FailureModel SrlgModel::marginal_model() const {
+  std::vector<double> up(link_count());
+  for (std::size_t l = 0; l < up.size(); ++l) {
+    up[l] = 1.0 - background_.probability(l);
+  }
+  for (const RiskGroup& group : groups_) {
+    for (std::uint32_t l : group.links) {
+      up[l] *= 1.0 - group.probability;
+    }
+  }
+  for (double& u : up) u = 1.0 - u;  // Back to failure probability.
+  return FailureModel(std::move(up));
+}
+
+double SrlgModel::expected_failures() const {
+  return marginal_model().expected_failures();
+}
+
+SrlgModel make_random_srlg_model(FailureModel background,
+                                 std::size_t group_count,
+                                 std::size_t group_size,
+                                 double group_probability, Rng& rng) {
+  const std::size_t links = background.link_count();
+  if (group_count * group_size > links) {
+    throw std::invalid_argument(
+        "make_random_srlg_model: groups would exceed link count");
+  }
+  const auto chosen =
+      rng.sample_without_replacement(links, group_count * group_size);
+  std::vector<RiskGroup> groups(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    groups[g].probability = group_probability;
+    for (std::size_t i = 0; i < group_size; ++i) {
+      groups[g].links.push_back(
+          static_cast<std::uint32_t>(chosen[g * group_size + i]));
+    }
+  }
+  return SrlgModel(std::move(background), std::move(groups));
+}
+
+}  // namespace rnt::failures

@@ -1,0 +1,70 @@
+// Correlated failures via Shared Risk Link Groups (SRLGs).
+//
+// The paper restricts itself to independent link failures ("the most common
+// type of failures in IP and wide area networks") and flags correlation as
+// out of scope.  Real backbones also see correlated failures — a fiber cut
+// or power event takes down every link in a shared-risk group.  This module
+// provides that extension: links are partitioned (or covered) by risk
+// groups; each epoch, every group fails independently with its probability
+// and downs all member links, on top of independent per-link background
+// failures.
+//
+// The extension bench (ext_correlated_failures) uses this model to measure
+// how the paper's independence-based machinery (EA, ProbBound, RoMe)
+// degrades — and how Monte Carlo ER with correlated scenarios recovers —
+// when the independence assumption is broken.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "util/rng.h"
+
+namespace rnt::failures {
+
+/// One shared-risk group: member links and the per-epoch probability that
+/// the group's shared resource fails.
+struct RiskGroup {
+  std::vector<std::uint32_t> links;
+  double probability = 0.0;
+};
+
+/// Correlated failure model: independent background link failures plus
+/// all-or-nothing risk-group failures.
+class SrlgModel {
+ public:
+  /// `background` gives the per-link independent failure probabilities;
+  /// groups may overlap and need not cover every link.
+  SrlgModel(FailureModel background, std::vector<RiskGroup> groups);
+
+  std::size_t link_count() const { return background_.link_count(); }
+  const FailureModel& background() const { return background_; }
+  const std::vector<RiskGroup>& groups() const { return groups_; }
+
+  /// Samples one epoch's failure vector.
+  FailureVector sample(Rng& rng) const;
+
+  /// Exact marginal failure probability of each link under this model:
+  /// 1 - (1 - p_background) * prod over groups containing the link of
+  /// (1 - p_group).  Feeding these marginals into the independence-based
+  /// machinery is the natural (mis)approximation the ablation studies.
+  FailureModel marginal_model() const;
+
+  /// Expected number of concurrently failed links per epoch.
+  double expected_failures() const;
+
+ private:
+  FailureModel background_;
+  std::vector<RiskGroup> groups_;
+};
+
+/// Builds a geography-like SRLG assignment for a graph with `links` links:
+/// `group_count` disjoint groups of `group_size` randomly chosen links,
+/// each failing with probability `group_probability`.
+SrlgModel make_random_srlg_model(FailureModel background,
+                                 std::size_t group_count,
+                                 std::size_t group_size,
+                                 double group_probability, Rng& rng);
+
+}  // namespace rnt::failures

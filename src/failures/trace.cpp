@@ -1,0 +1,124 @@
+#include "failures/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rnt::failures {
+
+FailureTrace::FailureTrace(std::size_t links) : links_(links) {}
+
+void FailureTrace::append(const FailureVector& v) {
+  if (v.size() != links_) {
+    throw std::invalid_argument("FailureTrace::append: size mismatch");
+  }
+  epochs_.push_back(v);
+}
+
+const FailureVector& FailureTrace::cyclic(std::size_t i) const {
+  if (epochs_.empty()) {
+    throw std::logic_error("FailureTrace::cyclic: empty trace");
+  }
+  return epochs_[i % epochs_.size()];
+}
+
+double FailureTrace::empirical_failure_rate(std::size_t link) const {
+  if (link >= links_) {
+    throw std::out_of_range("FailureTrace: link out of range");
+  }
+  if (epochs_.empty()) return 0.0;
+  std::size_t failed = 0;
+  for (const FailureVector& v : epochs_) {
+    if (v[link]) ++failed;
+  }
+  return static_cast<double>(failed) / static_cast<double>(epochs_.size());
+}
+
+double FailureTrace::mean_concurrent_failures() const {
+  if (epochs_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const FailureVector& v : epochs_) {
+    total += static_cast<std::size_t>(std::count(v.begin(), v.end(), true));
+  }
+  return static_cast<double>(total) / static_cast<double>(epochs_.size());
+}
+
+FailureTrace FailureTrace::record(const FailureModel& model,
+                                  std::size_t epochs, Rng& rng) {
+  FailureTrace trace(model.link_count());
+  for (std::size_t i = 0; i < epochs; ++i) {
+    trace.append(model.sample(rng));
+  }
+  return trace;
+}
+
+void FailureTrace::write(std::ostream& out) const {
+  out << "# failure trace: links=" << links_ << " epochs=" << epochs_.size()
+      << "\n";
+  out << links_ << "\n";
+  for (const FailureVector& v : epochs_) {
+    bool any = false;
+    for (std::size_t l = 0; l < links_; ++l) {
+      if (v[l]) {
+        if (any) out << " ";
+        out << l;
+        any = true;
+      }
+    }
+    if (!any) out << "-";
+    out << "\n";
+  }
+}
+
+FailureTrace FailureTrace::read(std::istream& in) {
+  std::string line;
+  std::size_t links = 0;
+  // Skip comments; the first data line is the link count.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!(ls >> links)) {
+      throw std::runtime_error("FailureTrace::read: bad link count");
+    }
+    break;
+  }
+  if (links == 0) {
+    throw std::runtime_error("FailureTrace::read: missing header");
+  }
+  FailureTrace trace(links);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    FailureVector v(links, false);
+    if (line != "-") {
+      std::istringstream ls(line);
+      std::size_t l;
+      while (ls >> l) {
+        if (l >= links) {
+          throw std::runtime_error("FailureTrace::read: link id out of range");
+        }
+        v[l] = true;
+      }
+    }
+    trace.append(v);
+  }
+  return trace;
+}
+
+void FailureTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("FailureTrace::save: cannot create " + path);
+  }
+  write(out);
+}
+
+FailureTrace FailureTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("FailureTrace::load: cannot open " + path);
+  }
+  return read(in);
+}
+
+}  // namespace rnt::failures

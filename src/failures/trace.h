@@ -1,0 +1,63 @@
+// Failure traces: recorded sequences of per-epoch failure vectors.
+//
+// Comparing algorithms on *the same* failure realizations removes sampling
+// variance from A/B comparisons (common random numbers), and saved traces
+// make experiments replayable across runs and machines.  A trace can be
+// recorded from any model (independent, SRLG, Gilbert-Elliott) or loaded
+// from a file; the text format is one epoch per line listing failed link
+// ids ("-" for none).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.h"
+
+namespace rnt::failures {
+
+/// An ordered sequence of failure vectors over a fixed link universe.
+class FailureTrace {
+ public:
+  /// Empty trace over `links` links.
+  explicit FailureTrace(std::size_t links);
+
+  std::size_t link_count() const { return links_; }
+  std::size_t epoch_count() const { return epochs_.size(); }
+  bool empty() const { return epochs_.empty(); }
+
+  /// Appends one epoch (vector size must match the link universe).
+  void append(const FailureVector& v);
+
+  /// The failure vector of epoch i.
+  const FailureVector& epoch(std::size_t i) const { return epochs_.at(i); }
+
+  /// Cyclic access: epoch(i % epoch_count()); lets short traces drive long
+  /// simulations.  Requires a non-empty trace.
+  const FailureVector& cyclic(std::size_t i) const;
+
+  /// Fraction of epochs in which link l failed.
+  double empirical_failure_rate(std::size_t link) const;
+
+  /// Mean number of concurrent failures per epoch.
+  double mean_concurrent_failures() const;
+
+  /// Records `epochs` draws from an i.i.d. model.
+  static FailureTrace record(const FailureModel& model, std::size_t epochs,
+                             Rng& rng);
+
+  /// Serialization (format documented in the header comment).
+  void write(std::ostream& out) const;
+  static FailureTrace read(std::istream& in);
+  void save(const std::string& path) const;
+  static FailureTrace load(const std::string& path);
+
+  bool operator==(const FailureTrace&) const = default;
+
+ private:
+  std::size_t links_;
+  std::vector<FailureVector> epochs_;
+};
+
+}  // namespace rnt::failures

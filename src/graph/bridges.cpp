@@ -1,0 +1,119 @@
+#include "graph/bridges.h"
+
+#include <algorithm>
+#include <stack>
+
+namespace rnt::graph {
+
+namespace {
+
+/// Shared iterative DFS computing discovery times and low-links.
+struct DfsState {
+  std::vector<std::size_t> disc;   ///< Discovery time, 0 = unvisited.
+  std::vector<std::size_t> low;
+  std::vector<std::optional<EdgeId>> parent_edge;
+  std::size_t timer = 1;
+};
+
+/// Runs one DFS from `root`, invoking `on_back_edge_done(child, node)` when
+/// a child subtree finishes, so callers can apply the bridge /
+/// articulation low-link rules.
+template <typename OnChildDone>
+std::size_t dfs_component(const Graph& g, NodeId root, DfsState& state,
+                          OnChildDone&& on_child_done) {
+  struct Frame {
+    NodeId node;
+    std::size_t next_edge_index = 0;
+  };
+  std::size_t root_children = 0;
+  std::stack<Frame> stack;
+  stack.push({root});
+  state.disc[root] = state.low[root] = state.timer++;
+  while (!stack.empty()) {
+    Frame& frame = stack.top();
+    const NodeId u = frame.node;
+    const auto& incident = g.incident_edges(u);
+    if (frame.next_edge_index < incident.size()) {
+      const EdgeId e = incident[frame.next_edge_index++];
+      if (state.parent_edge[u].has_value() && e == *state.parent_edge[u]) {
+        continue;  // Skip the tree edge back to the parent.
+      }
+      const NodeId v = g.edge(e).other(u);
+      if (state.disc[v] == 0) {
+        if (u == root) ++root_children;
+        state.parent_edge[v] = e;
+        state.disc[v] = state.low[v] = state.timer++;
+        stack.push({v});
+      } else {
+        state.low[u] = std::min(state.low[u], state.disc[v]);
+      }
+    } else {
+      stack.pop();
+      if (!stack.empty()) {
+        const NodeId p = stack.top().node;
+        state.low[p] = std::min(state.low[p], state.low[u]);
+        on_child_done(u, p, *state.parent_edge[u]);
+      }
+    }
+  }
+  return root_children;
+}
+
+DfsState make_state(const Graph& g) {
+  DfsState s;
+  s.disc.assign(g.node_count(), 0);
+  s.low.assign(g.node_count(), 0);
+  s.parent_edge.assign(g.node_count(), std::nullopt);
+  return s;
+}
+
+}  // namespace
+
+std::vector<EdgeId> find_bridges(const Graph& g) {
+  DfsState state = make_state(g);
+  std::vector<EdgeId> bridges;
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (state.disc[root] != 0) continue;
+    dfs_component(g, root, state,
+                  [&](NodeId child, NodeId parent, EdgeId tree_edge) {
+                    // Bridge rule: the child subtree cannot reach above it.
+                    if (state.low[child] > state.disc[parent]) {
+                      bridges.push_back(tree_edge);
+                    }
+                  });
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+std::vector<NodeId> find_articulation_points(const Graph& g) {
+  DfsState state = make_state(g);
+  std::vector<bool> is_articulation(g.node_count(), false);
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (state.disc[root] != 0) continue;
+    const std::size_t root_children = dfs_component(
+        g, root, state, [&](NodeId child, NodeId parent, EdgeId) {
+          // Articulation rule for non-roots.
+          if (parent != root && state.low[child] >= state.disc[parent]) {
+            is_articulation[parent] = true;
+          }
+        });
+    if (root_children >= 2) is_articulation[root] = true;
+  }
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (is_articulation[n]) out.push_back(n);
+  }
+  return out;
+}
+
+bool is_bridge(const Graph& g, EdgeId e) {
+  const auto bridges = find_bridges(g);
+  return std::binary_search(bridges.begin(), bridges.end(), e);
+}
+
+bool is_two_edge_connected(const Graph& g) {
+  return g.is_connected() && find_bridges(g).empty();
+}
+
+}  // namespace rnt::graph

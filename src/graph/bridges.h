@@ -1,0 +1,28 @@
+// Bridge (cut-edge) and articulation analysis.
+//
+// A bridge's failure disconnects part of the network: every monitor pair
+// whose paths must cross it loses *all* candidate paths at once, which no
+// path selection can mitigate.  The analysis tools here let operators (and
+// the failure_localization example) separate "selection can help" links
+// from structurally critical ones.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rnt::graph {
+
+/// Edge ids of all bridges (Tarjan low-link, iterative).
+std::vector<EdgeId> find_bridges(const Graph& g);
+
+/// Node ids of all articulation points.
+std::vector<NodeId> find_articulation_points(const Graph& g);
+
+/// True iff removing edge `e` disconnects its endpoints.
+bool is_bridge(const Graph& g, EdgeId e);
+
+/// 2-edge-connectivity: no bridge exists.
+bool is_two_edge_connected(const Graph& g);
+
+}  // namespace rnt::graph

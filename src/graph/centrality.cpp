@@ -1,0 +1,100 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stack>
+
+#include "graph/shortest_path.h"
+
+namespace rnt::graph {
+
+std::vector<double> betweenness_centrality(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+
+  // Brandes: one weighted SSSP per source with path counting, then a
+  // reverse accumulation of pair dependencies.
+  std::vector<double> dist(n);
+  std::vector<double> sigma(n);     // Number of shortest paths.
+  std::vector<double> delta(n);     // Accumulated dependency.
+  std::vector<std::vector<NodeId>> pred(n);
+
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), ShortestPathTree::kInfinity);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : pred) p.clear();
+    dist[s] = 0.0;
+    sigma[s] = 1.0;
+
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, s);
+    std::vector<bool> done(n, false);
+    std::stack<NodeId> order;  // Nodes in non-decreasing distance.
+
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (done[v]) continue;
+      done[v] = true;
+      order.push(v);
+      for (EdgeId e : g.incident_edges(v)) {
+        const Edge& edge = g.edge(e);
+        const NodeId w = edge.other(v);
+        const double candidate = d + edge.weight;
+        if (candidate < dist[w] - 1e-12) {
+          dist[w] = candidate;
+          sigma[w] = sigma[v];
+          pred[w] = {v};
+          heap.emplace(candidate, w);
+        } else if (std::abs(candidate - dist[w]) <= 1e-12) {
+          sigma[w] += sigma[v];
+          pred[w].push_back(v);
+        }
+      }
+    }
+
+    while (!order.empty()) {
+      const NodeId w = order.top();
+      order.pop();
+      for (NodeId v : pred[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Undirected: every pair was counted twice.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+namespace {
+
+std::vector<NodeId> sorted_by_score(const Graph& g,
+                                    const std::vector<double>& score) {
+  std::vector<NodeId> nodes(g.node_count());
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return score[a] > score[b];
+  });
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<NodeId> nodes_by_centrality(const Graph& g) {
+  return sorted_by_score(g, betweenness_centrality(g));
+}
+
+std::vector<NodeId> nodes_by_degree(const Graph& g) {
+  std::vector<double> degree(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    degree[n] = static_cast<double>(g.degree(n));
+  }
+  return sorted_by_score(g, degree);
+}
+
+}  // namespace rnt::graph

@@ -1,0 +1,26 @@
+// Betweenness centrality (Brandes' algorithm, weighted graphs).
+//
+// Used by the monitor-placement study: monitors at high-betweenness nodes
+// produce candidate paths that concentrate on the backbone, while random
+// placement (the paper's setup) spreads them out — the ablation bench
+// quantifies what that does to robustness.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rnt::graph {
+
+/// Node betweenness centrality for all nodes (Brandes 2001, Dijkstra-based
+/// for weighted graphs).  Undirected convention: each pair counted once and
+/// scores halved.
+std::vector<double> betweenness_centrality(const Graph& g);
+
+/// Nodes sorted by descending centrality score (ties by node id).
+std::vector<NodeId> nodes_by_centrality(const Graph& g);
+
+/// Nodes sorted by descending degree (ties by node id).
+std::vector<NodeId> nodes_by_degree(const Graph& g);
+
+}  // namespace rnt::graph

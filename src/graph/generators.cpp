@@ -1,0 +1,216 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace rnt::graph {
+
+double sample_weight(WeightModel model, Rng& rng) {
+  switch (model) {
+    case WeightModel::kUnit:
+      return 1.0;
+    case WeightModel::kUniformInteger:
+      return static_cast<double>(rng.integer(1, 20));
+    case WeightModel::kUniformReal:
+      return rng.uniform(1.0, 10.0);
+  }
+  throw std::logic_error("sample_weight: unknown model");
+}
+
+Graph erdos_renyi(std::size_t nodes, std::size_t edges, Rng& rng,
+                  WeightModel weights) {
+  const std::size_t max_edges = nodes * (nodes - 1) / 2;
+  if (edges > max_edges) {
+    throw std::invalid_argument("erdos_renyi: too many edges requested");
+  }
+  Graph g(nodes);
+  std::size_t added = 0;
+  while (added < edges) {
+    const auto u = static_cast<NodeId>(rng.index(nodes));
+    const auto v = static_cast<NodeId>(rng.index(nodes));
+    if (u == v || g.find_edge(u, v).has_value()) continue;
+    g.add_edge(u, v, sample_weight(weights, rng));
+    ++added;
+  }
+  return g;
+}
+
+void make_connected(Graph& g, Rng& rng, WeightModel weights) {
+  // Union-find over current components.
+  std::vector<std::size_t> parent(g.node_count());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : g.edges()) parent[find(e.u)] = find(e.v);
+
+  // Collect one representative per component, then chain them with edges
+  // between random members of adjacent components.
+  std::vector<std::vector<NodeId>> components;
+  std::vector<std::ptrdiff_t> comp_index(g.node_count(), -1);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const std::size_t root = find(n);
+    if (comp_index[root] < 0) {
+      comp_index[root] = static_cast<std::ptrdiff_t>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<std::size_t>(comp_index[root])].push_back(n);
+  }
+  for (std::size_t i = 1; i < components.size(); ++i) {
+    const NodeId a = components[i - 1][rng.index(components[i - 1].size())];
+    const NodeId b = components[i][rng.index(components[i].size())];
+    g.add_edge(a, b, sample_weight(weights, rng));
+  }
+}
+
+Graph connected_erdos_renyi(std::size_t nodes, std::size_t edges, Rng& rng,
+                            WeightModel weights) {
+  if (nodes == 0) return Graph(0);
+  const std::size_t target = std::max(edges, nodes - 1);
+  // Random spanning tree first (random attachment order), then fill with
+  // random non-tree edges; total edge count is exactly `target`.
+  Graph g(nodes);
+  std::vector<NodeId> order(nodes);
+  for (NodeId i = 0; i < nodes; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < nodes; ++i) {
+    const NodeId attach_to = order[rng.index(i)];
+    g.add_edge(order[i], attach_to, sample_weight(weights, rng));
+  }
+  const std::size_t max_edges = nodes * (nodes - 1) / 2;
+  if (target > max_edges) {
+    throw std::invalid_argument("connected_erdos_renyi: too many edges");
+  }
+  while (g.edge_count() < target) {
+    const auto u = static_cast<NodeId>(rng.index(nodes));
+    const auto v = static_cast<NodeId>(rng.index(nodes));
+    if (u == v || g.find_edge(u, v).has_value()) continue;
+    g.add_edge(u, v, sample_weight(weights, rng));
+  }
+  return g;
+}
+
+Graph barabasi_albert(std::size_t nodes, std::size_t attach, Rng& rng,
+                      WeightModel weights) {
+  if (attach == 0) {
+    throw std::invalid_argument("barabasi_albert: attach must be >= 1");
+  }
+  const std::size_t seed = std::max<std::size_t>(attach + 1, 3);
+  if (nodes < seed) {
+    throw std::invalid_argument("barabasi_albert: too few nodes");
+  }
+  Graph g(nodes);
+  // Seed clique.
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      g.add_edge(u, v, sample_weight(weights, rng));
+    }
+  }
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportional to degree.
+  std::vector<NodeId> endpoints;
+  for (const Edge& e : g.edges()) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  for (NodeId n = static_cast<NodeId>(seed); n < nodes; ++n) {
+    std::size_t connected = 0;
+    std::size_t guard = 0;
+    while (connected < attach && guard < 1000) {
+      const NodeId target = endpoints[rng.index(endpoints.size())];
+      ++guard;
+      if (target == n || g.find_edge(n, target).has_value()) continue;
+      g.add_edge(n, target, sample_weight(weights, rng));
+      endpoints.push_back(n);
+      endpoints.push_back(target);
+      ++connected;
+    }
+    if (connected == 0) {
+      // Degenerate fallback: connect to a uniformly random earlier node.
+      const auto target = static_cast<NodeId>(rng.index(n));
+      g.add_edge(n, target, sample_weight(weights, rng));
+    }
+  }
+  return g;
+}
+
+Graph random_geometric(std::size_t nodes, double radius, Rng& rng,
+                       WeightModel weights) {
+  Graph g(nodes);
+  std::vector<std::pair<double, double>> pos(nodes);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform()};
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = u + 1; v < nodes; ++v) {
+      const double dx = pos[u].first - pos[v].first;
+      const double dy = pos[u].second - pos[v].second;
+      if (dx * dx + dy * dy <= r2) {
+        g.add_edge(u, v, sample_weight(weights, rng));
+      }
+    }
+  }
+  return g;
+}
+
+Graph waxman(std::size_t nodes, double alpha, double beta, Rng& rng,
+             WeightModel weights) {
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("waxman: alpha and beta must be in (0, 1]");
+  }
+  Graph g(nodes);
+  std::vector<std::pair<double, double>> pos(nodes);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform()};
+  // Max pairwise distance scales the decay.
+  double max_dist = 1e-12;
+  std::vector<std::vector<double>> dist(nodes, std::vector<double>(nodes));
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = u + 1; v < nodes; ++v) {
+      const double dx = pos[u].first - pos[v].first;
+      const double dy = pos[u].second - pos[v].second;
+      dist[u][v] = std::sqrt(dx * dx + dy * dy);
+      max_dist = std::max(max_dist, dist[u][v]);
+    }
+  }
+  for (NodeId u = 0; u < nodes; ++u) {
+    for (NodeId v = u + 1; v < nodes; ++v) {
+      const double p = alpha * std::exp(-dist[u][v] / (beta * max_dist));
+      if (rng.bernoulli(p)) {
+        g.add_edge(u, v, sample_weight(weights, rng));
+      }
+    }
+  }
+  return g;
+}
+
+Graph ring_with_chords(std::size_t nodes, std::size_t chords, Rng& rng,
+                       WeightModel weights) {
+  if (nodes < 3) {
+    throw std::invalid_argument("ring_with_chords: need at least 3 nodes");
+  }
+  Graph g(nodes);
+  for (NodeId i = 0; i < nodes; ++i) {
+    g.add_edge(i, static_cast<NodeId>((i + 1) % nodes),
+               sample_weight(weights, rng));
+  }
+  std::size_t added = 0;
+  std::size_t guard = 0;
+  const std::size_t max_chords = nodes * (nodes - 1) / 2 - nodes;
+  const std::size_t want = std::min(chords, max_chords);
+  while (added < want && guard < 100 * want + 100) {
+    ++guard;
+    const auto u = static_cast<NodeId>(rng.index(nodes));
+    const auto v = static_cast<NodeId>(rng.index(nodes));
+    if (u == v || g.find_edge(u, v).has_value()) continue;
+    g.add_edge(u, v, sample_weight(weights, rng));
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace rnt::graph

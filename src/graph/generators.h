@@ -1,0 +1,59 @@
+// Random topology generators.
+//
+// The experiment harness mainly uses the calibrated ISP generator
+// (isp_topology.h); the plain generators here serve unit tests, property
+// sweeps, and users who want synthetic inputs with known structure.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rnt::graph {
+
+/// Weight assignment policies for generated edges.
+enum class WeightModel {
+  kUnit,            ///< All weights 1 (hop-count routing).
+  kUniformInteger,  ///< Uniform integer in [1, 20] (OSPF-style).
+  kUniformReal,     ///< Uniform real in [1, 10).
+};
+
+/// Samples a weight according to the model.
+double sample_weight(WeightModel model, Rng& rng);
+
+/// Erdős–Rényi G(n, m): n nodes, m distinct random edges.
+/// Throws if m exceeds n(n-1)/2.  The result may be disconnected.
+Graph erdos_renyi(std::size_t nodes, std::size_t edges, Rng& rng,
+                  WeightModel weights = WeightModel::kUnit);
+
+/// Connected variant: generates G(n, m) and then rewires/adds edges so the
+/// result is connected while keeping exactly max(m, n-1) edges.
+Graph connected_erdos_renyi(std::size_t nodes, std::size_t edges, Rng& rng,
+                            WeightModel weights = WeightModel::kUnit);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node with `attach` edges to existing nodes chosen
+/// proportionally to degree.  Produces heavy-tailed degrees like ISP maps.
+Graph barabasi_albert(std::size_t nodes, std::size_t attach, Rng& rng,
+                      WeightModel weights = WeightModel::kUnit);
+
+/// Random geometric graph on the unit square with connection radius r;
+/// nodes within distance r are joined.  May be disconnected.
+Graph random_geometric(std::size_t nodes, double radius, Rng& rng,
+                       WeightModel weights = WeightModel::kUnit);
+
+/// Waxman (1988) random topology: nodes on the unit square; an edge joins
+/// u,v with probability alpha * exp(-d(u,v) / (beta * L)) where L is the
+/// max node distance.  The classic generator of the early network-research
+/// literature.  May be disconnected (compose with make_connected).
+Graph waxman(std::size_t nodes, double alpha, double beta, Rng& rng,
+             WeightModel weights = WeightModel::kUnit);
+
+/// Ring of n nodes plus `chords` random chord edges — a tiny, fully
+/// deterministic-shape topology used in tests.
+Graph ring_with_chords(std::size_t nodes, std::size_t chords, Rng& rng,
+                       WeightModel weights = WeightModel::kUnit);
+
+/// Adds minimum edges joining components until the graph is connected.
+void make_connected(Graph& g, Rng& rng, WeightModel weights = WeightModel::kUnit);
+
+}  // namespace rnt::graph

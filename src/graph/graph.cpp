@@ -1,0 +1,75 @@
+#include "graph/graph.h"
+
+#include <stdexcept>
+
+namespace rnt::graph {
+
+Graph::Graph(std::size_t nodes) : adjacency_(nodes) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
+  if (u >= node_count() || v >= node_count()) {
+    throw std::out_of_range("Graph::add_edge: node id out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("Graph::add_edge: self-loops not allowed");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("Graph::add_edge: weight must be positive");
+  }
+  if (find_edge(u, v).has_value()) {
+    throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight});
+  adjacency_[u].push_back(id);
+  adjacency_[v].push_back(id);
+  return id;
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId u, NodeId v) const {
+  if (u >= node_count() || v >= node_count()) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const NodeId base = adjacency_[u].size() <= adjacency_[v].size() ? u : v;
+  const NodeId target = base == u ? v : u;
+  for (EdgeId e : adjacency_[base]) {
+    if (edges_[e].other(base) == target) return e;
+  }
+  return std::nullopt;
+}
+
+std::size_t Graph::component_count() const {
+  const std::size_t n = node_count();
+  std::vector<bool> seen(n, false);
+  std::size_t components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      for (EdgeId e : adjacency_[cur]) {
+        const NodeId nxt = edges_[e].other(cur);
+        if (!seen[nxt]) {
+          seen[nxt] = true;
+          stack.push_back(nxt);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool Graph::is_connected() const {
+  if (node_count() == 0) return true;
+  return component_count() == 1;
+}
+
+}  // namespace rnt::graph

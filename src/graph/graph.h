@@ -1,0 +1,71 @@
+// Undirected weighted graph used to model ISP topologies.
+//
+// Nodes are dense 0-based ids; edges are dense 0-based ids carrying a
+// positive routing weight (Rocketfuel-style inferred link weight).  The
+// tomography layer refers to links exclusively by EdgeId, which is also the
+// column index of the path matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rnt::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// One undirected edge with a routing weight.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+
+  /// The endpoint opposite to `n`; n must be u or v.
+  NodeId other(NodeId n) const { return n == u ? v : u; }
+  bool operator==(const Edge&) const = default;
+};
+
+/// Undirected graph with parallel-edge rejection and adjacency indexing.
+class Graph {
+ public:
+  /// Creates a graph with `nodes` isolated nodes.
+  explicit Graph(std::size_t nodes = 0);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Adds an undirected edge u—v with the given positive weight.
+  /// Throws on self-loops, duplicate edges, or nonpositive weight.
+  EdgeId add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Appends a new isolated node and returns its id.
+  NodeId add_node();
+
+  const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids incident to node n.
+  const std::vector<EdgeId>& incident_edges(NodeId n) const {
+    return adjacency_.at(n);
+  }
+
+  /// Degree of node n.
+  std::size_t degree(NodeId n) const { return adjacency_.at(n).size(); }
+
+  /// Edge id between u and v if present.
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+
+  /// True iff every node can reach every other node.
+  bool is_connected() const;
+
+  /// Number of connected components.
+  std::size_t component_count() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace rnt::graph

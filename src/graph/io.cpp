@@ -1,0 +1,84 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rnt::graph {
+
+Graph read_edge_list(std::istream& in) {
+  struct RawEdge {
+    NodeId u, v;
+    double w;
+  };
+  std::vector<RawEdge> raw;
+  NodeId max_node = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    long long u = -1, v = -1;
+    double w = 1.0;
+    if (!(ls >> u)) continue;  // blank/comment-only line
+    if (!(ls >> v)) {
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": expected two node ids");
+    }
+    ls >> w;  // optional
+    if (u < 0 || v < 0) {
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": negative node id");
+    }
+    if (u == v) {
+      throw std::runtime_error("edge list line " + std::to_string(line_no) +
+                               ": self-loop");
+    }
+    raw.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    max_node = std::max(max_node, static_cast<NodeId>(u));
+    max_node = std::max(max_node, static_cast<NodeId>(v));
+  }
+  Graph g(raw.empty() ? 0 : max_node + 1);
+  for (const auto& e : raw) {
+    if (g.find_edge(e.u, e.v).has_value()) {
+      // Real topology exports often repeat links (both directions); keep
+      // the first occurrence.
+      continue;
+    }
+    g.add_edge(e.u, e.v, e.w);
+  }
+  return g;
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open topology file: " + path);
+  }
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# nodes=" << g.node_count() << " edges=" << g.edge_count() << "\n";
+  // max_digits10 so weights survive a write/read round trip bit-exactly.
+  const auto old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  for (const Edge& e : g.edges()) {
+    out << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+  out.precision(old_precision);
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot create topology file: " + path);
+  }
+  write_edge_list(g, out);
+}
+
+}  // namespace rnt::graph

@@ -1,0 +1,29 @@
+// Edge-list I/O so users can load real topology files (e.g. Rocketfuel
+// exports converted to edge lists) instead of the synthetic calibrated
+// generator.
+//
+// Format: one edge per line, `u v weight` (weight optional, default 1.0);
+// `#` starts a comment; blank lines ignored.  Node count is 1 + max id.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rnt::graph {
+
+/// Parses an edge-list stream.  Throws std::runtime_error with a line
+/// number on malformed input.
+Graph read_edge_list(std::istream& in);
+
+/// Loads an edge-list file; throws if the file cannot be opened.
+Graph load_edge_list(const std::string& path);
+
+/// Writes the graph in the same format (round-trips with read_edge_list).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Saves to a file; throws if the file cannot be created.
+void save_edge_list(const Graph& g, const std::string& path);
+
+}  // namespace rnt::graph

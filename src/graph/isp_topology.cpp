@@ -1,0 +1,103 @@
+#include "graph/isp_topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace rnt::graph {
+
+IspProfile isp_profile(IspTopology which) {
+  switch (which) {
+    case IspTopology::kAS1755:
+      return {"AS1755", 87, 161};
+    case IspTopology::kAS3257:
+      return {"AS3257", 161, 328};
+    case IspTopology::kAS1239:
+      return {"AS1239", 315, 972};
+  }
+  throw std::logic_error("isp_profile: unknown topology");
+}
+
+std::vector<IspProfile> all_isp_profiles() {
+  return {isp_profile(IspTopology::kAS1755), isp_profile(IspTopology::kAS3257),
+          isp_profile(IspTopology::kAS1239)};
+}
+
+IspTopology parse_isp_topology(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "AS1755") return IspTopology::kAS1755;
+  if (upper == "AS3257") return IspTopology::kAS3257;
+  if (upper == "AS1239") return IspTopology::kAS1239;
+  throw std::invalid_argument("unknown topology name: " + name +
+                              " (expected AS1755, AS3257 or AS1239)");
+}
+
+Graph build_isp_like(std::size_t nodes, std::size_t links, Rng& rng) {
+  if (nodes < 3) {
+    throw std::invalid_argument("build_isp_like: need at least 3 nodes");
+  }
+  if (links < nodes - 1) {
+    throw std::invalid_argument("build_isp_like: links < nodes - 1");
+  }
+  const std::size_t max_links = nodes * (nodes - 1) / 2;
+  if (links > max_links) {
+    throw std::invalid_argument("build_isp_like: too many links");
+  }
+
+  // Phase 1 — preferential-attachment tree: every node beyond the first
+  // attaches to an existing node chosen proportionally to (degree + small
+  // uniform mass).  This yields the heavy-tailed backbone/leaf structure of
+  // router-level ISP maps while guaranteeing connectivity.
+  Graph g(nodes);
+  std::vector<NodeId> endpoints;  // degree-proportional sampling pool
+  g.add_edge(0, 1, sample_weight(WeightModel::kUniformInteger, rng));
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (NodeId n = 2; n < nodes; ++n) {
+    // Mix degree-proportional and uniform attachment (80/20) so that leaf
+    // regions still appear and the max degree is not unrealistically large.
+    NodeId target;
+    if (rng.uniform() < 0.8) {
+      target = endpoints[rng.index(endpoints.size())];
+    } else {
+      target = static_cast<NodeId>(rng.index(n));
+    }
+    g.add_edge(n, target, sample_weight(WeightModel::kUniformInteger, rng));
+    endpoints.push_back(n);
+    endpoints.push_back(target);
+  }
+
+  // Phase 2 — densify to the exact link count, again preferring
+  // high-degree (backbone) nodes, which concentrates redundancy in the core
+  // like real ISP meshes.
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 1000 * links + 10000;
+  while (g.edge_count() < links) {
+    if (++guard > guard_limit) {
+      throw std::runtime_error("build_isp_like: densification stalled");
+    }
+    NodeId u;
+    NodeId v;
+    if (rng.uniform() < 0.6) {
+      u = endpoints[rng.index(endpoints.size())];
+      v = endpoints[rng.index(endpoints.size())];
+    } else {
+      u = static_cast<NodeId>(rng.index(nodes));
+      v = static_cast<NodeId>(rng.index(nodes));
+    }
+    if (u == v || g.find_edge(u, v).has_value()) continue;
+    g.add_edge(u, v, sample_weight(WeightModel::kUniformInteger, rng));
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  }
+  return g;
+}
+
+Graph build_isp_topology(IspTopology which, Rng& rng) {
+  const IspProfile profile = isp_profile(which);
+  return build_isp_like(profile.nodes, profile.links, rng);
+}
+
+}  // namespace rnt::graph

@@ -1,0 +1,54 @@
+// Calibrated ISP-like topologies standing in for the Rocketfuel maps.
+//
+// SUBSTITUTION (documented in DESIGN.md §4): the Rocketfuel data files
+// (AS1755, AS3257, AS1239) are not available offline, so we synthesize
+// topologies with (a) the exact node/link counts of the paper's Table I,
+// (b) heavy-tailed degree distributions as observed in router-level ISP
+// maps (preferential attachment core), and (c) Rocketfuel-style positive
+// inferred link weights.  The tomography algorithms consume only the path
+// matrix, costs, and failure probabilities, all of which these topologies
+// exercise with realistic rank deficiency and link sharing.  Users with the
+// real .cch files can load them via graph::io instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rnt::graph {
+
+/// Identifier of one of the paper's three Rocketfuel topologies (Table I).
+enum class IspTopology {
+  kAS1755,  ///< Small:  87 nodes, 161 links.
+  kAS3257,  ///< Medium: 161 nodes, 328 links.
+  kAS1239,  ///< Large:  315 nodes, 972 links.
+};
+
+/// Table I row: the calibration target for a topology.
+struct IspProfile {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+};
+
+/// Profile (name and exact Table I sizes) for a topology id.
+IspProfile isp_profile(IspTopology which);
+
+/// All three profiles in paper order (small, medium, large).
+std::vector<IspProfile> all_isp_profiles();
+
+/// Parses "AS1755" / "AS3257" / "AS1239" (case-insensitive).
+IspTopology parse_isp_topology(const std::string& name);
+
+/// Builds a connected graph with exactly the profile's node/link counts,
+/// heavy-tailed degrees, and integer link weights in [1, 20].
+/// Deterministic given the rng state.
+Graph build_isp_topology(IspTopology which, Rng& rng);
+
+/// Same, from an explicit (nodes, links) target; links >= nodes - 1.
+Graph build_isp_like(std::size_t nodes, std::size_t links, Rng& rng);
+
+}  // namespace rnt::graph

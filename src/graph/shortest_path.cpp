@@ -1,0 +1,102 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <stdexcept>
+
+namespace rnt::graph {
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  if (source >= g.node_count()) {
+    throw std::out_of_range("dijkstra: source out of range");
+  }
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(g.node_count(), ShortestPathTree::kInfinity);
+  tree.parent.assign(g.node_count(), std::nullopt);
+  tree.distance[source] = 0.0;
+
+  // (distance, tie-break edge id, node); smaller tuple = higher priority.
+  using Entry = std::tuple<double, EdgeId, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, 0, source);
+  std::vector<bool> done(g.node_count(), false);
+
+  while (!heap.empty()) {
+    const auto [dist, via, node] = heap.top();
+    heap.pop();
+    if (done[node]) continue;
+    done[node] = true;
+    for (EdgeId e : g.incident_edges(node)) {
+      const Edge& edge = g.edge(e);
+      const NodeId next = edge.other(node);
+      if (done[next]) continue;
+      const double candidate = dist + edge.weight;
+      // Strictly-better relaxation, or equal distance through a lower edge
+      // id: keeps the chosen routing deterministic regardless of heap order.
+      const bool better = candidate < tree.distance[next];
+      const bool tie_win = candidate == tree.distance[next] &&
+                           tree.parent[next].has_value() &&
+                           e < *tree.parent[next];
+      if (better || tie_win) {
+        tree.distance[next] = candidate;
+        tree.parent[next] = e;
+        heap.emplace(candidate, e, next);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> extract_path(const Graph& g, const ShortestPathTree& tree,
+                                 NodeId target) {
+  if (target >= g.node_count()) {
+    throw std::out_of_range("extract_path: target out of range");
+  }
+  if (!tree.reachable(target)) return std::nullopt;
+  Path path;
+  path.weight = tree.distance[target];
+  NodeId cur = target;
+  path.nodes.push_back(cur);
+  while (cur != tree.source) {
+    const EdgeId e = tree.parent[cur].value();
+    path.edges.push_back(e);
+    cur = g.edge(e).other(cur);
+    path.nodes.push_back(cur);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId source,
+                                  NodeId target) {
+  return extract_path(g, dijkstra(g, source), target);
+}
+
+std::vector<double> bellman_ford_distances(const Graph& g, NodeId source) {
+  if (source >= g.node_count()) {
+    throw std::out_of_range("bellman_ford: source out of range");
+  }
+  std::vector<double> dist(g.node_count(), ShortestPathTree::kInfinity);
+  dist[source] = 0.0;
+  // Undirected graph with positive weights: at most n-1 relaxation rounds.
+  for (std::size_t round = 1; round < g.node_count(); ++round) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      if (dist[e.u] + e.weight < dist[e.v]) {
+        dist[e.v] = dist[e.u] + e.weight;
+        changed = true;
+      }
+      if (dist[e.v] + e.weight < dist[e.u]) {
+        dist[e.u] = dist[e.v] + e.weight;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace rnt::graph

@@ -1,0 +1,51 @@
+// Weighted shortest paths.  Dijkstra (binary heap) is the production
+// routing algorithm — the paper assumes a single weighted-shortest path per
+// monitor pair, as provided by intra-domain routing.  Bellman-Ford is kept
+// as an independent test oracle.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rnt::graph {
+
+/// A simple path: ordered node sequence plus the edge ids between them.
+struct Path {
+  std::vector<NodeId> nodes;   ///< nodes.front() = source, back() = target.
+  std::vector<EdgeId> edges;   ///< edges[i] connects nodes[i] and nodes[i+1].
+  double weight = 0.0;         ///< Sum of edge weights.
+
+  std::size_t hop_count() const { return edges.size(); }
+  bool operator==(const Path&) const = default;
+};
+
+/// Shortest-path tree from one source.
+struct ShortestPathTree {
+  NodeId source = 0;
+  std::vector<double> distance;              ///< inf when unreachable.
+  std::vector<std::optional<EdgeId>> parent; ///< edge toward the source.
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  bool reachable(NodeId n) const { return distance[n] < kInfinity; }
+};
+
+/// Dijkstra from `source`.  Deterministic tie-breaking: among equal-weight
+/// relaxations the lower edge id wins, so routing is stable across runs.
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Extracts the path source->target from a tree; nullopt if unreachable.
+std::optional<Path> extract_path(const Graph& g, const ShortestPathTree& tree,
+                                 NodeId target);
+
+/// Convenience: single-pair shortest path.
+std::optional<Path> shortest_path(const Graph& g, NodeId source,
+                                  NodeId target);
+
+/// Bellman-Ford distances from `source` (test oracle for Dijkstra).
+std::vector<double> bellman_ford_distances(const Graph& g, NodeId source);
+
+}  // namespace rnt::graph

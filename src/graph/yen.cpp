@@ -1,0 +1,149 @@
+#include "graph/yen.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace rnt::graph {
+
+namespace {
+
+/// Dijkstra on a filtered view of g: edges in `banned_edges` and nodes in
+/// `banned_nodes` are invisible.  Returns the shortest path or nullopt.
+std::optional<Path> filtered_shortest_path(
+    const Graph& g, NodeId source, NodeId target,
+    const std::vector<bool>& banned_edges,
+    const std::vector<bool>& banned_nodes) {
+  const std::size_t n = g.node_count();
+  std::vector<double> dist(n, ShortestPathTree::kInfinity);
+  std::vector<std::optional<EdgeId>> parent(n);
+  std::vector<bool> done(n, false);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (done[node]) continue;
+    done[node] = true;
+    if (node == target) break;
+    for (EdgeId e : g.incident_edges(node)) {
+      if (banned_edges[e]) continue;
+      const Edge& edge = g.edge(e);
+      const NodeId next = edge.other(node);
+      if (banned_nodes[next] && next != target) continue;
+      const double candidate = d + edge.weight;
+      const bool better = candidate < dist[next];
+      const bool tie_win = candidate == dist[next] && parent[next].has_value() &&
+                           e < *parent[next];
+      if (better || tie_win) {
+        dist[next] = candidate;
+        parent[next] = e;
+        heap.emplace(candidate, next);
+      }
+    }
+  }
+  if (dist[target] == ShortestPathTree::kInfinity) return std::nullopt;
+  Path path;
+  path.weight = dist[target];
+  NodeId cur = target;
+  path.nodes.push_back(cur);
+  while (cur != source) {
+    const EdgeId e = parent[cur].value();
+    path.edges.push_back(e);
+    cur = g.edge(e).other(cur);
+    path.nodes.push_back(cur);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+/// Total order on paths: weight, then node sequence (deterministic ties).
+bool path_less(const Path& a, const Path& b) {
+  if (a.weight != b.weight) return a.weight < b.weight;
+  return a.nodes < b.nodes;
+}
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k) {
+  if (source >= g.node_count() || target >= g.node_count()) {
+    throw std::out_of_range("k_shortest_paths: node out of range");
+  }
+  if (source == target || k == 0) return {};
+  std::vector<Path> result;
+  auto first = shortest_path(g, source, target);
+  if (!first) return {};
+  result.push_back(*first);
+
+  // Candidate pool, kept sorted and deduplicated by node sequence.
+  auto cmp = [](const Path& a, const Path& b) { return path_less(a, b); };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  std::vector<bool> banned_edges(g.edge_count(), false);
+  std::vector<bool> banned_nodes(g.node_count(), false);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Each node of the previous path (except the last) is a spur node.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+      // Root: prefix of prev up to the spur node.
+      Path root;
+      root.nodes.assign(prev.nodes.begin(),
+                        prev.nodes.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      root.edges.assign(prev.edges.begin(),
+                        prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      root.weight = 0.0;
+      for (EdgeId e : root.edges) root.weight += g.edge(e).weight;
+
+      std::fill(banned_edges.begin(), banned_edges.end(), false);
+      std::fill(banned_nodes.begin(), banned_nodes.end(), false);
+      // Ban the next edge of every accepted path sharing this root.
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root.nodes.begin(), root.nodes.end(),
+                       p.nodes.begin())) {
+          if (p.edges.size() > i) banned_edges[p.edges[i]] = true;
+        }
+      }
+      // Ban root nodes except the spur (looplessness).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes[prev.nodes[j]] = true;
+
+      const auto spur_path =
+          filtered_shortest_path(g, spur, target, banned_edges, banned_nodes);
+      if (!spur_path) continue;
+      // Join root + spur path.
+      Path total = root;
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin() + 1,
+                         spur_path->nodes.end());
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                         spur_path->edges.end());
+      total.weight += spur_path->weight;
+      candidates.insert(std::move(total));
+    }
+    // Pop the best candidate not already accepted.
+    bool accepted = false;
+    while (!candidates.empty()) {
+      Path best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      const bool duplicate =
+          std::any_of(result.begin(), result.end(), [&](const Path& p) {
+            return p.nodes == best.nodes;
+          });
+      if (!duplicate) {
+        result.push_back(std::move(best));
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;
+  }
+  return result;
+}
+
+}  // namespace rnt::graph

@@ -1,0 +1,24 @@
+// Yen's algorithm for k loopless shortest paths.
+//
+// The paper assumes a single routed path per monitor pair (Section II-A)
+// but notes candidate-path diversity as the lever robustness feeds on.
+// This module provides the standard extension: k alternative paths per
+// pair, which the ext_multipath bench uses to study how extra path
+// diversity changes the robustness/budget tradeoff.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace rnt::graph {
+
+/// Up to k loopless shortest paths from source to target in ascending
+/// weight order (ties broken deterministically by node sequence).  Returns
+/// fewer than k paths when the graph does not contain them.
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k);
+
+}  // namespace rnt::graph

@@ -1,0 +1,164 @@
+#include "learning/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+
+namespace rnt::learning {
+
+namespace {
+
+core::Selection exploit(const tomo::PathSystem& system,
+                        const tomo::CostModel& costs, double budget,
+                        const std::vector<double>& theta) {
+  core::IndependentPathEr engine(system, theta);
+  return core::rome(system, costs, budget, engine);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EpsilonGreedy
+// ---------------------------------------------------------------------------
+
+EpsilonGreedy::EpsilonGreedy(const tomo::PathSystem& system,
+                             const tomo::CostModel& costs, double budget,
+                             double epsilon, Rng rng)
+    : system_(system),
+      costs_(costs),
+      budget_(budget),
+      epsilon_(epsilon),
+      rng_(rng),
+      path_cost_(costs.path_costs(system)),
+      theta_hat_(system.path_count(), 0.0),
+      mu_(system.path_count(), 0) {
+  if (budget_ <= 0.0) {
+    throw std::invalid_argument("EpsilonGreedy: budget must be positive");
+  }
+  if (epsilon_ < 0.0 || epsilon_ > 1.0) {
+    throw std::invalid_argument("EpsilonGreedy: epsilon outside [0, 1]");
+  }
+}
+
+std::vector<std::size_t> EpsilonGreedy::covering_action() const {
+  std::vector<std::size_t> unobserved;
+  for (std::size_t q = 0; q < mu_.size(); ++q) {
+    if (mu_[q] == 0) unobserved.push_back(q);
+  }
+  std::sort(unobserved.begin(), unobserved.end(),
+            [&](std::size_t a, std::size_t b) {
+              return path_cost_[a] < path_cost_[b];
+            });
+  std::vector<std::size_t> action;
+  double spent = 0.0;
+  for (std::size_t q : unobserved) {
+    if (spent + path_cost_[q] > budget_) continue;
+    spent += path_cost_[q];
+    action.push_back(q);
+  }
+  if (action.empty() && !unobserved.empty()) action.push_back(unobserved.front());
+  return action;
+}
+
+std::vector<std::size_t> EpsilonGreedy::random_maximal_action() {
+  std::vector<std::size_t> order(system_.path_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng_.shuffle(order);
+  std::vector<std::size_t> action;
+  double spent = 0.0;
+  for (std::size_t q : order) {
+    if (spent + path_cost_[q] > budget_) continue;
+    spent += path_cost_[q];
+    action.push_back(q);
+  }
+  return action;
+}
+
+std::vector<std::size_t> EpsilonGreedy::select_action() {
+  if (observed_count_ < theta_hat_.size()) {
+    return covering_action();
+  }
+  if (rng_.bernoulli(epsilon_)) {
+    return random_maximal_action();
+  }
+  return exploit(system_, costs_, budget_, theta_hat_).paths;
+}
+
+void EpsilonGreedy::observe(const std::vector<std::size_t>& action,
+                            const std::vector<bool>& available) {
+  if (action.size() != available.size()) {
+    throw std::invalid_argument("EpsilonGreedy::observe: size mismatch");
+  }
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    const std::size_t q = action[i];
+    if (mu_[q] == 0) ++observed_count_;
+    ++mu_[q];
+    const double x = available[i] ? 1.0 : 0.0;
+    theta_hat_[q] += (x - theta_hat_[q]) / static_cast<double>(mu_[q]);
+  }
+  ++epoch_;
+}
+
+core::Selection EpsilonGreedy::final_selection() const {
+  return exploit(system_, costs_, budget_, theta_hat_);
+}
+
+// ---------------------------------------------------------------------------
+// ThompsonSampling
+// ---------------------------------------------------------------------------
+
+ThompsonSampling::ThompsonSampling(const tomo::PathSystem& system,
+                                   const tomo::CostModel& costs, double budget,
+                                   Rng rng)
+    : system_(system),
+      costs_(costs),
+      budget_(budget),
+      rng_(rng),
+      successes_(system.path_count(), 0.0),
+      failures_(system.path_count(), 0.0) {
+  if (budget_ <= 0.0) {
+    throw std::invalid_argument("ThompsonSampling: budget must be positive");
+  }
+}
+
+double ThompsonSampling::sample_beta(double alpha, double beta) {
+  std::gamma_distribution<double> ga(alpha, 1.0);
+  std::gamma_distribution<double> gb(beta, 1.0);
+  const double x = ga(rng_.engine());
+  const double y = gb(rng_.engine());
+  if (x + y == 0.0) return 0.5;
+  return x / (x + y);
+}
+
+std::vector<std::size_t> ThompsonSampling::select_action() {
+  std::vector<double> draw(system_.path_count());
+  for (std::size_t q = 0; q < draw.size(); ++q) {
+    draw[q] = sample_beta(1.0 + successes_[q], 1.0 + failures_[q]);
+  }
+  return exploit(system_, costs_, budget_, draw).paths;
+}
+
+void ThompsonSampling::observe(const std::vector<std::size_t>& action,
+                               const std::vector<bool>& available) {
+  if (action.size() != available.size()) {
+    throw std::invalid_argument("ThompsonSampling::observe: size mismatch");
+  }
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    (available[i] ? successes_ : failures_)[action[i]] += 1.0;
+  }
+  ++epoch_;
+}
+
+core::Selection ThompsonSampling::final_selection() const {
+  std::vector<double> mean(system_.path_count());
+  for (std::size_t q = 0; q < mean.size(); ++q) {
+    mean[q] = (1.0 + successes_[q]) / (2.0 + successes_[q] + failures_[q]);
+  }
+  return exploit(system_, costs_, budget_, mean);
+}
+
+}  // namespace rnt::learning

@@ -1,0 +1,74 @@
+// Exploration-strategy baselines for the online setting: epsilon-greedy
+// and Thompson sampling over per-path availabilities.  Both share LSR's
+// problem structure (observe only probed paths' availability; maximize the
+// Eq. 11 independent-path ER surrogate) and differ only in how they explore
+// — the ablation bench compares all three.
+#pragma once
+
+#include "learning/learner.h"
+#include "tomo/cost_model.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::learning {
+
+/// Epsilon-greedy: with probability epsilon probe a random budget-maximal
+/// path set, otherwise exploit the RoMe maximizer under the empirical
+/// availability estimates.  An initialization phase covers every path once.
+class EpsilonGreedy : public PathLearner {
+ public:
+  EpsilonGreedy(const tomo::PathSystem& system, const tomo::CostModel& costs,
+                double budget, double epsilon, Rng rng);
+
+  std::vector<std::size_t> select_action() override;
+  void observe(const std::vector<std::size_t>& action,
+               const std::vector<bool>& available) override;
+  std::size_t epoch() const override { return epoch_; }
+  core::Selection final_selection() const override;
+
+  const std::vector<double>& theta_hat() const { return theta_hat_; }
+
+ private:
+  std::vector<std::size_t> random_maximal_action();
+  std::vector<std::size_t> covering_action() const;
+
+  const tomo::PathSystem& system_;
+  const tomo::CostModel& costs_;
+  double budget_;
+  double epsilon_;
+  Rng rng_;
+  std::vector<double> path_cost_;
+  std::vector<double> theta_hat_;
+  std::vector<std::size_t> mu_;
+  std::size_t observed_count_ = 0;
+  std::size_t epoch_ = 0;
+};
+
+/// Thompson sampling: Beta(1+successes, 1+failures) posterior per path;
+/// each epoch draws availabilities from the posterior and maximizes the
+/// Eq. 11 surrogate under the draw.  No separate initialization phase — the
+/// uniform prior explores naturally.
+class ThompsonSampling : public PathLearner {
+ public:
+  ThompsonSampling(const tomo::PathSystem& system,
+                   const tomo::CostModel& costs, double budget, Rng rng);
+
+  std::vector<std::size_t> select_action() override;
+  void observe(const std::vector<std::size_t>& action,
+               const std::vector<bool>& available) override;
+  std::size_t epoch() const override { return epoch_; }
+  core::Selection final_selection() const override;
+
+ private:
+  double sample_beta(double alpha, double beta);
+
+  const tomo::PathSystem& system_;
+  const tomo::CostModel& costs_;
+  double budget_;
+  Rng rng_;
+  std::vector<double> successes_;
+  std::vector<double> failures_;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace rnt::learning

@@ -1,0 +1,36 @@
+// Common interface for online path-selection learners.
+//
+// The epoch simulator drives any learner through the same loop: ask for an
+// action (path set to probe), reveal which probes survived, repeat.  LSR is
+// the paper's algorithm; baselines.h adds epsilon-greedy and Thompson
+// sampling for the exploration-strategy ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/selection.h"
+
+namespace rnt::learning {
+
+/// An online learner over candidate probe paths.
+class PathLearner {
+ public:
+  virtual ~PathLearner() = default;
+
+  /// The path set (row indices) to probe this epoch.
+  virtual std::vector<std::size_t> select_action() = 0;
+
+  /// Observation feedback: available[i] says whether action[i] survived.
+  /// Must be called exactly once after each select_action.
+  virtual void observe(const std::vector<std::size_t>& action,
+                       const std::vector<bool>& available) = 0;
+
+  /// Number of completed epochs.
+  virtual std::size_t epoch() const = 0;
+
+  /// The exploitation choice given everything learned so far.
+  virtual core::Selection final_selection() const = 0;
+};
+
+}  // namespace rnt::learning

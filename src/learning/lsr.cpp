@@ -1,0 +1,134 @@
+#include "learning/lsr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/expected_rank.h"
+#include "core/matrome.h"
+#include "core/rome.h"
+
+namespace rnt::learning {
+
+Lsr::Lsr(const tomo::PathSystem& system, const tomo::CostModel& costs,
+         LsrConfig config)
+    : system_(system),
+      costs_(costs),
+      config_(config),
+      path_cost_(costs.path_costs(system)),
+      theta_hat_(system.path_count(), 0.0),
+      mu_(system.path_count(), 0) {
+  if (system_.path_count() == 0) {
+    throw std::invalid_argument("Lsr: no candidate paths");
+  }
+  if (!config_.matroid_mode && config_.budget <= 0.0) {
+    throw std::invalid_argument("Lsr: budget must be positive");
+  }
+  if (config_.matroid_mode && config_.matroid_max_paths == 0) {
+    config_.matroid_max_paths = system_.full_rank();
+  }
+  // L = max action size: in matroid mode the path-count budget; otherwise
+  // how many of the cheapest paths fit into B.
+  if (config_.matroid_mode) {
+    l_bound_ = config_.matroid_max_paths;
+  } else {
+    std::vector<double> sorted_costs = path_cost_;
+    std::sort(sorted_costs.begin(), sorted_costs.end());
+    double spent = 0.0;
+    std::size_t fit = 0;
+    for (double c : sorted_costs) {
+      if (spent + c > config_.budget) break;
+      spent += c;
+      ++fit;
+    }
+    l_bound_ = std::max<std::size_t>(fit, 1);
+  }
+}
+
+std::vector<std::size_t> Lsr::initialization_action() {
+  // Greedy covering action: take unobserved paths (cheapest first) while
+  // the budget allows, so the initialization phase finishes in as few
+  // epochs as possible while every action stays feasible.
+  std::vector<std::size_t> unobserved;
+  for (std::size_t q = 0; q < mu_.size(); ++q) {
+    if (mu_[q] == 0) unobserved.push_back(q);
+  }
+  std::sort(unobserved.begin(), unobserved.end(),
+            [&](std::size_t a, std::size_t b) {
+              return path_cost_[a] < path_cost_[b];
+            });
+  std::vector<std::size_t> action;
+  if (config_.matroid_mode) {
+    for (std::size_t q : unobserved) {
+      if (action.size() >= config_.matroid_max_paths) break;
+      action.push_back(q);
+    }
+  } else {
+    double spent = 0.0;
+    for (std::size_t q : unobserved) {
+      if (spent + path_cost_[q] > config_.budget) continue;
+      spent += path_cost_[q];
+      action.push_back(q);
+    }
+  }
+  if (action.empty()) {
+    // Some path alone exceeds the budget: probe it anyway so the learner is
+    // not permanently blind to it (its availability term is still needed).
+    action.push_back(unobserved.front());
+  }
+  return action;
+}
+
+std::vector<double> Lsr::optimistic_theta() const {
+  std::vector<double> theta(theta_hat_.size());
+  const double n = static_cast<double>(std::max<std::size_t>(epoch_, 2));
+  const double width = config_.confidence_scale > 0.0
+                           ? config_.confidence_scale
+                           : static_cast<double>(l_bound_ + 1);
+  const double width_scale = width * std::log(n);
+  for (std::size_t q = 0; q < theta.size(); ++q) {
+    const double bonus =
+        mu_[q] == 0 ? 1.0
+                    : std::sqrt(width_scale / static_cast<double>(mu_[q]));
+    theta[q] = theta_hat_[q] + bonus;  // Engine clamps to [0, 1] internally.
+  }
+  return theta;
+}
+
+core::Selection Lsr::maximize(const std::vector<double>& theta) const {
+  if (config_.matroid_mode) {
+    return core::max_weight_independent_set(system_, theta,
+                                            config_.matroid_max_paths);
+  }
+  core::IndependentPathEr engine(system_, theta);
+  return core::rome(system_, costs_, config_.budget, engine);
+}
+
+std::vector<std::size_t> Lsr::select_action() {
+  if (in_initialization()) {
+    return initialization_action();
+  }
+  return maximize(optimistic_theta()).paths;
+}
+
+void Lsr::observe(const std::vector<std::size_t>& action,
+                  const std::vector<bool>& available) {
+  if (action.size() != available.size()) {
+    throw std::invalid_argument("Lsr::observe: size mismatch");
+  }
+  for (std::size_t i = 0; i < action.size(); ++i) {
+    const std::size_t q = action[i];
+    if (mu_[q] == 0) ++observed_count_;
+    ++mu_[q];
+    const double x = available[i] ? 1.0 : 0.0;
+    theta_hat_[q] += (x - theta_hat_[q]) / static_cast<double>(mu_[q]);
+  }
+  ++epoch_;
+}
+
+core::Selection Lsr::final_selection() const {
+  return maximize(theta_hat_);
+}
+
+}  // namespace rnt::learning

@@ -1,0 +1,98 @@
+// LSR — Learning with Submodular Rewards (Algorithm 2 of the paper).
+//
+// A combinatorial UCB bandit for the setting where the link failure
+// distribution is unknown: only end-to-end path availabilities are
+// observable.  LSR keeps an empirical availability estimate theta_hat_i and
+// an observation counter mu_i per path.  After an initialization phase that
+// observes every path at least once, each epoch plays
+//
+//   R(n) = argmax_R  ER(R; theta_hat + C),   C_i = sqrt((L+1) ln n / mu_i)
+//
+// where the inner maximization is the budget-constrained problem of
+// Section IV, solved by RoMe over the Eq. 11 independent-path bound
+// (IndependentPathEr).  Under a matroid (linear-independence, unit-cost)
+// action space LSR reduces to LLR of Gai-Krishnamachari-Jain, implemented
+// here as `matroid_mode`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/selection.h"
+#include "failures/failure_model.h"
+#include "learning/learner.h"
+#include "tomo/cost_model.h"
+#include "tomo/path_system.h"
+
+namespace rnt::learning {
+
+/// Configuration of an LSR learner.
+struct LsrConfig {
+  /// Probing budget B per epoch (ignored in matroid mode).
+  double budget = 0.0;
+  /// LLR mode: actions are linearly independent path sets of bounded size
+  /// with unit costs, selected by maximum optimistic availability.
+  bool matroid_mode = false;
+  /// Max paths per action in matroid mode; 0 means the full candidate rank.
+  std::size_t matroid_max_paths = 0;
+  /// Confidence width multiplier w in C_i = sqrt(w ln n / mu_i).
+  /// 0 selects the paper's default w = L + 1; the ablation bench compares
+  /// against the classic UCB1 width w = 2.
+  double confidence_scale = 0.0;
+};
+
+/// The LSR learner.  Drive it with select_action() / observe() per epoch;
+/// the epoch simulator in simulator.h does this against a failure model.
+class Lsr : public PathLearner {
+ public:
+  Lsr(const tomo::PathSystem& system, const tomo::CostModel& costs,
+      LsrConfig config);
+
+  /// Chooses the path set to probe this epoch.  During the initialization
+  /// phase this is a cheap covering action containing not-yet-observed
+  /// paths; afterwards it is the optimistic-ER maximizer.
+  std::vector<std::size_t> select_action() override;
+
+  /// Feeds back the epoch's observations: for each probed path, whether it
+  /// was available (all links up).  Must be called once per select_action.
+  void observe(const std::vector<std::size_t>& action,
+               const std::vector<bool>& available) override;
+
+  /// Number of completed epochs n.
+  std::size_t epoch() const override { return epoch_; }
+
+  /// True while some path has never been observed.
+  bool in_initialization() const { return observed_count_ < theta_hat_.size(); }
+
+  /// Empirical availability estimates theta_hat.
+  const std::vector<double>& theta_hat() const { return theta_hat_; }
+
+  /// Per-path observation counters mu.
+  const std::vector<std::size_t>& counts() const { return mu_; }
+
+  /// The exploitation choice after learning: the budget-constrained ER
+  /// maximizer under the *learned* availabilities (no exploration bonus).
+  /// This is the "final set of paths selected by LSR" evaluated in the
+  /// paper's Fig. 10.
+  core::Selection final_selection() const override;
+
+  /// The upper confidence bound L used in the bonus width.
+  std::size_t action_size_bound() const { return l_bound_; }
+
+ private:
+  std::vector<double> optimistic_theta() const;
+  core::Selection maximize(const std::vector<double>& theta) const;
+  std::vector<std::size_t> initialization_action();
+
+  const tomo::PathSystem& system_;
+  const tomo::CostModel& costs_;
+  LsrConfig config_;
+  std::vector<double> path_cost_;
+  std::vector<double> theta_hat_;
+  std::vector<std::size_t> mu_;
+  std::size_t observed_count_ = 0;
+  std::size_t epoch_ = 0;
+  std::size_t l_bound_ = 1;  ///< L: max feasible action size.
+};
+
+}  // namespace rnt::learning

@@ -1,0 +1,64 @@
+#include "learning/simulator.h"
+
+namespace rnt::learning {
+
+std::vector<double> SimulationResult::regret_curve(
+    double reference_expected_reward) const {
+  std::vector<double> curve;
+  curve.reserve(records.size());
+  double cumulative = 0.0;
+  for (std::size_t n = 0; n < records.size(); ++n) {
+    cumulative += records[n].reward;
+    curve.push_back(reference_expected_reward * static_cast<double>(n + 1) -
+                    cumulative);
+  }
+  return curve;
+}
+
+SimulationResult run_learner(PathLearner& learner,
+                             const tomo::PathSystem& system,
+                             const failures::FailureModel& model,
+                             std::size_t epochs, Rng& rng) {
+  SimulationResult result;
+  result.records.reserve(epochs);
+  for (std::size_t n = 0; n < epochs; ++n) {
+    const std::vector<std::size_t> action = learner.select_action();
+    const failures::FailureVector v = model.sample(rng);
+    std::vector<bool> available(action.size());
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < action.size(); ++i) {
+      available[i] = system.path_survives(action[i], v);
+      if (available[i]) survivors.push_back(action[i]);
+    }
+    learner.observe(action, available);
+
+    EpochRecord rec;
+    rec.epoch = n + 1;
+    rec.action_size = action.size();
+    rec.reward = static_cast<double>(system.rank_of(survivors));
+    result.cumulative_reward += rec.reward;
+    result.records.push_back(rec);
+  }
+  return result;
+}
+
+SimulationResult run_lsr(PathLearner& learner, const tomo::PathSystem& system,
+                         const failures::FailureModel& model,
+                         std::size_t epochs, Rng& rng) {
+  return run_learner(learner, system, model, epochs, rng);
+}
+
+double estimate_expected_reward(const tomo::PathSystem& system,
+                                const std::vector<std::size_t>& subset,
+                                const failures::FailureModel& model,
+                                std::size_t runs, Rng& rng) {
+  if (runs == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const failures::FailureVector v = model.sample(rng);
+    total += static_cast<double>(system.surviving_rank(subset, v));
+  }
+  return total / static_cast<double>(runs);
+}
+
+}  // namespace rnt::learning

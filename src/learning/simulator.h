@@ -1,0 +1,53 @@
+// Epoch simulator for online learning: draws a failure vector per epoch,
+// feeds path-availability observations to an LSR learner, and records the
+// reward (Eq. 8: rank of the surviving probed paths) and regret trajectory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "learning/learner.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::learning {
+
+/// One epoch of a simulation run.
+struct EpochRecord {
+  std::size_t epoch = 0;      ///< 1-based epoch number.
+  std::size_t action_size = 0;
+  double reward = 0.0;        ///< Rank of surviving probed paths (Eq. 8).
+};
+
+/// Aggregate result of driving a learner for a number of epochs.
+struct SimulationResult {
+  std::vector<EpochRecord> records;
+  double cumulative_reward = 0.0;
+
+  /// Regret trajectory against a clairvoyant per-epoch expected reward
+  /// (Eq. 9 with the modified reference of footnote 2): element n-1 is
+  /// n * reference - cumulative reward up to epoch n.
+  std::vector<double> regret_curve(double reference_expected_reward) const;
+};
+
+/// Runs `epochs` epochs of any learner against the failure model.
+SimulationResult run_learner(PathLearner& learner,
+                             const tomo::PathSystem& system,
+                             const failures::FailureModel& model,
+                             std::size_t epochs, Rng& rng);
+
+/// Back-compat alias (LSR was the first learner).
+SimulationResult run_lsr(PathLearner& learner, const tomo::PathSystem& system,
+                         const failures::FailureModel& model,
+                         std::size_t epochs, Rng& rng);
+
+/// Monte Carlo estimate of the expected per-epoch reward E[rank of
+/// survivors] of a *fixed* path subset — used both as the clairvoyant
+/// regret reference and to score learned selections in Fig. 10.
+double estimate_expected_reward(const tomo::PathSystem& system,
+                                const std::vector<std::size_t>& subset,
+                                const failures::FailureModel& model,
+                                std::size_t runs, Rng& rng);
+
+}  // namespace rnt::learning

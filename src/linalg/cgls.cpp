@@ -1,0 +1,88 @@
+#include "linalg/cgls.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::linalg {
+
+namespace {
+
+double norm2(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+/// Generic CGLS over any operator exposing forward/adjoint products.
+template <typename Forward, typename Adjoint>
+CglsResult cgls_impl(std::size_t rows, std::size_t cols,
+                     std::span<const double> b, Forward&& forward,
+                     Adjoint&& adjoint, CglsOptions options) {
+  if (b.size() != rows) {
+    throw std::invalid_argument("cgls_solve: rhs size mismatch");
+  }
+  CglsResult result;
+  result.x.assign(cols, 0.0);
+  if (rows == 0 || cols == 0) {
+    result.converged = true;
+    return result;
+  }
+  const std::size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 2 * cols;
+
+  // r = b - A x = b;  s = Aᵀ r;  p = s.
+  std::vector<double> r(b.begin(), b.end());
+  std::vector<double> s = adjoint(r);
+  std::vector<double> p = s;
+  double gamma = 0.0;
+  for (double v : s) gamma += v * v;
+  const double target = options.tolerance * std::sqrt(gamma);
+
+  while (result.iterations < max_iter && std::sqrt(gamma) > target &&
+         gamma > 0.0) {
+    const std::vector<double> q = forward(p);
+    double qq = 0.0;
+    for (double v : q) qq += v * v;
+    if (qq == 0.0) break;  // p in the null space; nothing left to gain.
+    const double alpha = gamma / qq;
+    for (std::size_t i = 0; i < cols; ++i) result.x[i] += alpha * p[i];
+    for (std::size_t i = 0; i < rows; ++i) r[i] -= alpha * q[i];
+    s = adjoint(r);
+    double gamma_new = 0.0;
+    for (double v : s) gamma_new += v * v;
+    const double beta = gamma_new / gamma;
+    for (std::size_t i = 0; i < cols; ++i) p[i] = s[i] + beta * p[i];
+    gamma = gamma_new;
+    ++result.iterations;
+  }
+  result.residual_norm = norm2(r);
+  result.converged = std::sqrt(gamma) <= target || gamma == 0.0;
+  return result;
+}
+
+}  // namespace
+
+CglsResult cgls_solve(const Matrix& a, std::span<const double> b,
+                      CglsOptions options) {
+  const Matrix at = a.transposed();
+  return cgls_impl(
+      a.rows(), a.cols(), b,
+      [&](const std::vector<double>& x) {
+        return a.multiply(std::span<const double>(x));
+      },
+      [&](const std::vector<double>& y) {
+        return at.multiply(std::span<const double>(y));
+      },
+      options);
+}
+
+CglsResult cgls_solve(const SparseMatrix& a, std::span<const double> b,
+                      CglsOptions options) {
+  return cgls_impl(
+      a.rows(), a.cols(), b,
+      [&](const std::vector<double>& x) { return a.multiply(x); },
+      [&](const std::vector<double>& y) { return a.multiply_transposed(y); },
+      options);
+}
+
+}  // namespace rnt::linalg

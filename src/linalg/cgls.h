@@ -1,0 +1,43 @@
+// CGLS — conjugate gradient on the normal equations, without forming AᵀA.
+//
+// The tomography system under probe noise is an inconsistent least-squares
+// problem: more surviving measurements than independent rows.  The
+// basis-subsystem solver (tomo/estimation.h) throws the redundancy away;
+// CGLS keeps it, converging to the *minimum-norm* least-squares solution
+// x† = A⁺ b — so redundant probes average the noise down instead of being
+// discarded.  Identifiable links have the same value in every LS solution,
+// so x† restricted to them is the estimator of interest.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace rnt::linalg {
+
+/// Options for the CGLS iteration.
+struct CglsOptions {
+  std::size_t max_iterations = 0;  ///< 0 = 2 * cols (ample for exact CG).
+  double tolerance = 1e-10;        ///< On ‖Aᵀr‖ relative to ‖Aᵀb‖.
+};
+
+/// Result of a CGLS solve.
+struct CglsResult {
+  std::vector<double> x;           ///< Minimum-norm LS solution (from x0=0).
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;      ///< ‖Ax - b‖ at exit.
+  bool converged = false;
+};
+
+/// Solves min ‖A x − b‖₂ from x₀ = 0 (dense A).
+CglsResult cgls_solve(const Matrix& a, std::span<const double> b,
+                      CglsOptions options = {});
+
+/// Sparse variant (CSR A); identical semantics.
+CglsResult cgls_solve(const SparseMatrix& a, std::span<const double> b,
+                      CglsOptions options = {});
+
+}  // namespace rnt::linalg

@@ -1,0 +1,71 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rnt::linalg {
+
+IncrementalCholesky::IncrementalCholesky(std::size_t dimension, double tol)
+    : dimension_(dimension), tol_(tol) {}
+
+std::pair<std::vector<double>, double> IncrementalCholesky::project(
+    std::span<const double> v) const {
+  if (v.size() != dimension_) {
+    throw std::invalid_argument("IncrementalCholesky: dimension mismatch");
+  }
+  const std::size_t k = rows_.size();
+  // g_i = <rows_[i], v>
+  std::vector<double> g(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < dimension_; ++c) acc += rows_[i][c] * v[c];
+    g[i] = acc;
+  }
+  // Forward-substitute L w = g.
+  std::vector<double> w(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    double acc = g[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lfact_[i][j] * w[j];
+    w[i] = acc / lfact_[i][i];
+  }
+  double vv = 0.0;
+  for (std::size_t c = 0; c < dimension_; ++c) vv += v[c] * v[c];
+  double w2 = 0.0;
+  for (double x : w) w2 += x * x;
+  return {std::move(w), vv - w2};
+}
+
+double IncrementalCholesky::residual(std::span<const double> v) const {
+  return project(v).second;
+}
+
+bool IncrementalCholesky::try_add(std::span<const double> v) {
+  auto [w, res] = project(v);
+  if (res <= tol_) return false;
+  w.push_back(std::sqrt(res));
+  lfact_.push_back(std::move(w));
+  rows_.emplace_back(v.begin(), v.end());
+  return true;
+}
+
+std::vector<std::size_t> cholesky_basis(const Matrix& m,
+                                        const std::vector<std::size_t>& order,
+                                        double tol) {
+  std::vector<std::size_t> scan = order;
+  if (scan.empty()) {
+    scan.resize(m.rows());
+    std::iota(scan.begin(), scan.end(), std::size_t{0});
+  }
+  IncrementalCholesky chol(m.cols(), tol);
+  std::vector<std::size_t> basis;
+  for (std::size_t r : scan) {
+    if (r >= m.rows()) {
+      throw std::out_of_range("cholesky_basis: row index out of range");
+    }
+    if (chol.try_add(m.row(r))) basis.push_back(r);
+  }
+  return basis;
+}
+
+}  // namespace rnt::linalg

@@ -1,0 +1,54 @@
+// Incremental Cholesky factorization of the path Gram matrix A·Aᵀ, used to
+// select an "arbitrary basis" of paths exactly as the SelectPath baseline of
+// Chen et al. (SIGCOMM'04) does: scan candidate paths in order and keep a
+// path iff its row is linearly independent of the rows kept so far, testing
+// independence through the Schur complement (residual diagonal) of the
+// growing Cholesky factor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/elimination.h"
+#include "linalg/matrix.h"
+
+namespace rnt::linalg {
+
+/// Incrementally grown Cholesky factor over a set of accepted rows.
+/// try_add(v) computes the Schur-complement residual of v against the
+/// accepted rows; v is accepted iff the residual exceeds the tolerance
+/// (i.e. v is numerically independent).
+class IncrementalCholesky {
+ public:
+  explicit IncrementalCholesky(std::size_t dimension,
+                               double tol = kDefaultTolerance);
+
+  /// Number of accepted (independent) rows.
+  std::size_t rank() const { return rows_.size(); }
+
+  /// Attempts to add vector v; returns true iff accepted.
+  bool try_add(std::span<const double> v);
+
+  /// Residual norm^2 of v against the accepted rows (without adding).
+  double residual(std::span<const double> v) const;
+
+ private:
+  /// Solves L w = g for w where g_i = <rows_[i], v>; returns (w, residual).
+  std::pair<std::vector<double>, double> project(
+      std::span<const double> v) const;
+
+  std::size_t dimension_;
+  double tol_;
+  std::vector<std::vector<double>> rows_;  // accepted original rows
+  std::vector<std::vector<double>> lfact_; // lower-triangular factor rows
+};
+
+/// Chen et al. SelectPath basis: scans rows of `m` in `order` (or natural
+/// order) and returns indices of a maximal independent subset, decided by
+/// incremental Cholesky on the Gram matrix.
+std::vector<std::size_t> cholesky_basis(
+    const Matrix& m, const std::vector<std::size_t>& order = {},
+    double tol = kDefaultTolerance);
+
+}  // namespace rnt::linalg

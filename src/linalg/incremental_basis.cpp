@@ -1,0 +1,117 @@
+#include "linalg/incremental_basis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::linalg {
+
+IncrementalBasis::IncrementalBasis(std::size_t dimension, double tol,
+                                   bool track_combinations)
+    : dimension_(dimension),
+      tol_(tol),
+      track_combinations_(track_combinations) {}
+
+Reduction IncrementalBasis::reduce_impl(std::span<const double> row,
+                                        std::vector<double>* out_reduced) const {
+  if (row.size() != dimension_) {
+    throw std::invalid_argument("IncrementalBasis: row dimension mismatch");
+  }
+  std::vector<double> r(row.begin(), row.end());
+  // combo[j]: coefficient of inserted independent row j in the eliminated
+  // residue subtracted so far.  The original row equals
+  //   r + sum_j combo[j] * original_row_j   after full reduction,
+  // so when r vanishes, row = -sum_j combo[j] * original_row_j... with sign
+  // folded below.
+  std::vector<double> combo(track_combinations_ ? eliminated_.size() : 0, 0.0);
+  for (std::size_t i = 0; i < eliminated_.size(); ++i) {
+    const std::size_t p = pivot_cols_[i];
+    const double factor = r[p] / eliminated_[i][p];
+    if (std::abs(factor) <= tol_) continue;
+    for (std::size_t c = 0; c < dimension_; ++c) {
+      r[c] -= factor * eliminated_[i][c];
+    }
+    r[p] = 0.0;  // Kill round-off at the pivot exactly.
+    if (track_combinations_) {
+      for (std::size_t j = 0; j < combos_[i].size(); ++j) {
+        combo[j] += factor * combos_[i][j];
+      }
+    }
+  }
+  Reduction result;
+  double max_abs = 0.0;
+  for (double v : r) max_abs = std::max(max_abs, std::abs(v));
+  result.independent = max_abs > tol_;
+  if (!result.independent && track_combinations_) {
+    for (std::size_t j = 0; j < combo.size(); ++j) {
+      if (std::abs(combo[j]) > tol_) {
+        result.support.push_back(j);
+        result.coefficients.push_back(combo[j]);
+      }
+    }
+  }
+  if (out_reduced != nullptr) *out_reduced = std::move(r);
+  return result;
+}
+
+Reduction IncrementalBasis::reduce(std::span<const double> row) const {
+  return reduce_impl(row, nullptr);
+}
+
+bool IncrementalBasis::is_independent(std::span<const double> row) const {
+  return reduce_impl(row, nullptr).independent;
+}
+
+Reduction IncrementalBasis::add_with_reduction(std::span<const double> row) {
+  std::vector<double> reduced;
+  Reduction result = reduce_impl(row, &reduced);
+  if (!result.independent) return result;
+  // Find the pivot of the reduced row: largest-magnitude entry for
+  // numerical robustness.
+  std::size_t pivot = 0;
+  double best = 0.0;
+  for (std::size_t c = 0; c < dimension_; ++c) {
+    const double v = std::abs(reduced[c]);
+    if (v > best) {
+      best = v;
+      pivot = c;
+    }
+  }
+  // The eliminated row equals original_row - sum(combo_j * original_row_j);
+  // record it as a combination with coefficient +1 on the new row index.
+  std::vector<double> combo(track_combinations_ ? rank() + 1 : 0, 0.0);
+  if (track_combinations_) {
+    // Recompute the combination: reduce_impl's combo is not returned for
+    // independent rows, so redo the bookkeeping cheaply by reducing again
+    // with tracking.  To avoid a second pass we inline the tracking here.
+    std::vector<double> r(row.begin(), row.end());
+    for (std::size_t i = 0; i < eliminated_.size(); ++i) {
+      const std::size_t p = pivot_cols_[i];
+      const double factor = r[p] / eliminated_[i][p];
+      if (std::abs(factor) <= tol_) continue;
+      for (std::size_t c = 0; c < dimension_; ++c) {
+        r[c] -= factor * eliminated_[i][c];
+      }
+      r[p] = 0.0;
+      for (std::size_t j = 0; j < combos_[i].size(); ++j) {
+        combo[j] -= factor * combos_[i][j];
+      }
+    }
+    combo[rank()] = 1.0;
+  }
+  eliminated_.push_back(std::move(reduced));
+  pivot_cols_.push_back(pivot);
+  combos_.push_back(std::move(combo));
+  return result;
+}
+
+bool IncrementalBasis::try_add(std::span<const double> row) {
+  return add_with_reduction(row).independent;
+}
+
+void IncrementalBasis::clear() {
+  eliminated_.clear();
+  pivot_cols_.clear();
+  combos_.clear();
+}
+
+}  // namespace rnt::linalg

@@ -1,0 +1,85 @@
+// Incremental row-space basis with dependency tracking.
+//
+// RoMe evaluates "does path q increase the rank of the selected set?" and
+// "which already-selected independent paths does q depend on?" thousands of
+// times.  Re-running full elimination per query costs O(k^2 n) each; this
+// oracle maintains eliminated rows so each query/insert is O(k n) (k = rank
+// so far, n = columns).
+//
+// Dependency tracking: alongside each eliminated row we keep its expression
+// as a linear combination of the *original* inserted independent rows, so
+// that when a new row reduces to zero we can report the support set R_q of
+// Eq. 6 in the paper (the independent paths with nonzero coefficient).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/elimination.h"
+
+namespace rnt::linalg {
+
+/// Result of reducing a row against the current basis.
+struct Reduction {
+  bool independent = false;
+  /// For a dependent row: indices (0-based insertion order of *independent*
+  /// rows, i.e. values previously returned by basis_size() at insert time)
+  /// of basis members with nonzero coefficient in the representation.
+  std::vector<std::size_t> support;
+  /// Matching coefficients (same length as support).
+  std::vector<double> coefficients;
+};
+
+/// Maintains a basis of the row space spanned by the rows added so far.
+class IncrementalBasis {
+ public:
+  /// Basis for vectors of the given dimension.  `track_combinations`
+  /// enables the dependency bookkeeping behind reduce()/support; rank-only
+  /// users (e.g. per-scenario bases in the Monte Carlo ER engine) can turn
+  /// it off to save the O(rank^2) combo updates and memory.
+  explicit IncrementalBasis(std::size_t dimension,
+                            double tol = kDefaultTolerance,
+                            bool track_combinations = true);
+
+  /// Number of columns / vector dimension.
+  std::size_t dimension() const { return dimension_; }
+
+  /// Current rank (number of independent rows added).
+  std::size_t rank() const { return pivot_cols_.size(); }
+
+  /// Adds the row if it is independent of the current basis.
+  /// Returns true iff the rank increased.
+  bool try_add(std::span<const double> row);
+
+  /// Tests independence without modifying the basis.
+  bool is_independent(std::span<const double> row) const;
+
+  /// Reduces `row` against the basis and reports independence plus, for a
+  /// dependent row, the support of its representation in terms of the
+  /// independent rows added so far (insertion order indices).
+  /// Does not modify the basis.
+  Reduction reduce(std::span<const double> row) const;
+
+  /// Like try_add but also returns the full reduction information.
+  /// If the row is independent it is added to the basis.
+  Reduction add_with_reduction(std::span<const double> row);
+
+  /// Removes all rows.
+  void clear();
+
+ private:
+  Reduction reduce_impl(std::span<const double> row,
+                        std::vector<double>* out_reduced) const;
+
+  std::size_t dimension_;
+  double tol_;
+  bool track_combinations_;
+  // eliminated_[i] is the i-th eliminated row; pivot_cols_[i] its pivot.
+  std::vector<std::vector<double>> eliminated_;
+  std::vector<std::size_t> pivot_cols_;
+  // combos_[i][j] = coefficient of original inserted row j in eliminated_[i].
+  std::vector<std::vector<double>> combos_;
+};
+
+}  // namespace rnt::linalg

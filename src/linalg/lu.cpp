@@ -1,0 +1,81 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rnt::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& m, double tol)
+    : n_(m.rows()), lu_(m), perm_(m.rows()) {
+  if (m.rows() != m.cols()) {
+    throw std::invalid_argument("LuDecomposition: matrix must be square");
+  }
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting on column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= tol) {
+      singular_ = true;
+      return;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(pivot, c), lu_(k, c));
+      std::swap(perm_[pivot], perm_[k]);
+      sign_ = -sign_;
+    }
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_(r, k) / lu_(k, k);
+      lu_(r, k) = factor;  // Store L multiplier in place.
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+std::optional<std::vector<double>> LuDecomposition::solve(
+    std::span<const double> b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+  }
+  if (singular_) return std::nullopt;
+  // Forward: L y = P b.
+  std::vector<double> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Backward: U x = y.
+  std::vector<double> x(n_);
+  for (std::size_t i = n_; i-- > 0;) {
+    double acc = y[i];
+    for (std::size_t j = i + 1; j < n_; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<std::vector<double>> lu_solve(const Matrix& a,
+                                            std::span<const double> b,
+                                            double tol) {
+  return LuDecomposition(a, tol).solve(b);
+}
+
+}  // namespace rnt::linalg

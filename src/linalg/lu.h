@@ -1,0 +1,48 @@
+// LU factorization with partial pivoting for square systems.
+//
+// Rounds out the decomposition kit (elimination, Cholesky, QR, SVD): used
+// when the tomography layer repeatedly solves against the same basis matrix
+// — factor once, substitute per right-hand side — e.g. re-estimating link
+// metrics every epoch from a fixed selected basis.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rnt::linalg {
+
+/// PA = LU factorization of a square matrix (Doolittle, partial pivoting).
+class LuDecomposition {
+ public:
+  /// Factors `m`; m must be square.  Check is_singular() before solving.
+  explicit LuDecomposition(const Matrix& m, double tol = 1e-12);
+
+  std::size_t size() const { return n_; }
+  bool is_singular() const { return singular_; }
+
+  /// Solves A x = b; nullopt when the matrix is singular.
+  std::optional<std::vector<double>> solve(std::span<const double> b) const;
+
+  /// det(A); 0 when singular.
+  double determinant() const;
+
+  /// The permuted compact LU factor (L below diagonal, U on/above).
+  const Matrix& packed() const { return lu_; }
+
+ private:
+  std::size_t n_;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;  ///< Row permutation (pivoting).
+  int sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Convenience: solve a square system in one call.
+std::optional<std::vector<double>> lu_solve(const Matrix& a,
+                                            std::span<const double> b,
+                                            double tol = 1e-12);
+
+}  // namespace rnt::linalg

@@ -1,0 +1,100 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  for (const auto& r : rows) {
+    std::vector<double> values(r);
+    append_row(values);
+  }
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+  }
+  if (values.size() != cols_) {
+    throw std::invalid_argument("Matrix::append_row: width mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    if (row_indices[i] >= rows_) {
+      throw std::out_of_range("Matrix::select_rows: index out of range");
+    }
+    auto src = row(row_indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;  // Path matrices are sparse 0/1.
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("Matrix::multiply(vec): shape mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    auto r = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+}  // namespace rnt::linalg

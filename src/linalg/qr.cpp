@@ -1,0 +1,93 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rnt::linalg {
+
+PivotedQr qr_column_pivoted(const Matrix& m, double rel_tol) {
+  PivotedQr out;
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  out.permutation.resize(cols);
+  std::iota(out.permutation.begin(), out.permutation.end(), std::size_t{0});
+  if (rows == 0 || cols == 0) {
+    out.r = m;
+    return out;
+  }
+  Matrix a = m;
+
+  // Running squared column norms of the trailing submatrix.
+  std::vector<double> col_norms(cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col_norms[c] += a(r, c) * a(r, c);
+  }
+
+  const std::size_t steps = std::min(rows, cols);
+  double first_pivot = 0.0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Pivot: largest remaining column norm.
+    std::size_t best = k;
+    for (std::size_t c = k + 1; c < cols; ++c) {
+      if (col_norms[c] > col_norms[best]) best = c;
+    }
+    if (best != k) {
+      for (std::size_t r = 0; r < rows; ++r) std::swap(a(r, k), a(r, best));
+      std::swap(col_norms[k], col_norms[best]);
+      std::swap(out.permutation[k], out.permutation[best]);
+    }
+
+    // Householder vector for column k below (and including) row k.
+    double sigma = 0.0;
+    for (std::size_t r = k; r < rows; ++r) sigma += a(r, k) * a(r, k);
+    const double norm = std::sqrt(sigma);
+    out.diag.push_back(norm);
+    if (k == 0) first_pivot = norm;
+    if (norm <= rel_tol * std::max(first_pivot, 1e-300)) {
+      break;  // Remaining columns are numerically dependent.
+    }
+    const double alpha = a(k, k) >= 0.0 ? -norm : norm;
+    std::vector<double> v(rows - k);
+    v[0] = a(k, k) - alpha;
+    for (std::size_t r = k + 1; r < rows; ++r) v[r - k] = a(r, k);
+    double vtv = 0.0;
+    for (double x : v) vtv += x * x;
+    a(k, k) = alpha;
+    for (std::size_t r = k + 1; r < rows; ++r) a(r, k) = 0.0;
+
+    if (vtv > 0.0) {
+      // Apply the reflector to the trailing columns.
+      for (std::size_t c = k + 1; c < cols; ++c) {
+        double dot = 0.0;
+        for (std::size_t r = k; r < rows; ++r) dot += v[r - k] * a(r, c);
+        const double scale = 2.0 * dot / vtv;
+        for (std::size_t r = k; r < rows; ++r) a(r, c) -= scale * v[r - k];
+        // Downdate the running norm (recompute if cancellation risks grow).
+        col_norms[c] -= a(k, c) * a(k, c);
+        if (col_norms[c] < 1e-12) {
+          col_norms[c] = 0.0;
+          for (std::size_t r = k + 1; r < rows; ++r) {
+            col_norms[c] += a(r, c) * a(r, c);
+          }
+        }
+      }
+    }
+    ++out.rank;
+  }
+  out.r = std::move(a);
+  return out;
+}
+
+std::size_t qr_rank(const Matrix& m, double rel_tol) {
+  return qr_column_pivoted(m, rel_tol).rank;
+}
+
+std::vector<std::size_t> qr_row_basis(const Matrix& m, double rel_tol) {
+  const PivotedQr qr = qr_column_pivoted(m.transposed(), rel_tol);
+  std::vector<std::size_t> basis(qr.permutation.begin(),
+                                 qr.permutation.begin() + qr.rank);
+  return basis;
+}
+
+}  // namespace rnt::linalg

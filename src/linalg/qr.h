@@ -1,0 +1,38 @@
+// Householder QR factorization with column pivoting — the classic
+// rank-revealing decomposition family used by the path-selection literature
+// the paper builds on (Zheng & Cao; Chen et al.).  Provided both as an
+// alternative rank oracle and as a row-selection strategy: QR on Aᵀ with
+// column pivoting orders *paths* by how much new rank they contribute.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/elimination.h"
+#include "linalg/matrix.h"
+
+namespace rnt::linalg {
+
+/// Result of a column-pivoted Householder QR of m (rows x cols).
+struct PivotedQr {
+  Matrix r;                               ///< Upper-trapezoidal factor.
+  std::vector<std::size_t> permutation;   ///< Column pivot order.
+  std::vector<double> diag;               ///< |R_kk| in pivot order.
+  std::size_t rank = 0;                   ///< Numerical rank.
+};
+
+/// Factors a copy of `m` with Householder reflections and greedy column
+/// pivoting (largest remaining column norm first).  `tol` is the relative
+/// threshold on |R_kk| / |R_00| below which columns count as dependent.
+PivotedQr qr_column_pivoted(const Matrix& m, double rel_tol = 1e-10);
+
+/// Numerical rank via pivoted QR.
+std::size_t qr_rank(const Matrix& m, double rel_tol = 1e-10);
+
+/// Selects a maximal independent subset of rows of `m`, ordered by QR
+/// column pivoting on the transpose: rows are returned most-informative
+/// first.  Equivalent rank to independent_row_subset but with a
+/// norm-greedy, order-independent pivot choice.
+std::vector<std::size_t> qr_row_basis(const Matrix& m, double rel_tol = 1e-10);
+
+}  // namespace rnt::linalg

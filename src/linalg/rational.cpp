@@ -1,0 +1,173 @@
+#include "linalg/rational.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rnt::linalg {
+
+namespace {
+
+using Int128 = __int128;
+
+std::int64_t checked_narrow(Int128 v) {
+  if (v > std::numeric_limits<std::int64_t>::max() ||
+      v < std::numeric_limits<std::int64_t>::min()) {
+    throw RationalOverflow();
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Int128 gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rational make_rational(Int128 num, Int128 den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const Int128 g = gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  return Rational(checked_narrow(num), checked_narrow(den));
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num) : num_(num), den_(1) {}
+
+Rational::Rational(std::int64_t num, std::int64_t den)
+    : num_(num), den_(den) {
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ == 0) throw std::domain_error("Rational: zero denominator");
+  if (den_ < 0) {
+    if (num_ == std::numeric_limits<std::int64_t>::min() ||
+        den_ == std::numeric_limits<std::int64_t>::min()) {
+      throw RationalOverflow();
+    }
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::operator-() const {
+  if (num_ == std::numeric_limits<std::int64_t>::min()) {
+    throw RationalOverflow();
+  }
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const Int128 num = Int128(num_) * o.den_ + Int128(o.num_) * den_;
+  const Int128 den = Int128(den_) * o.den_;
+  return make_rational(num, den);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  const Int128 num = Int128(num_) * o.den_ - Int128(o.num_) * den_;
+  const Int128 den = Int128(den_) * o.den_;
+  return make_rational(num, den);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return make_rational(Int128(num_) * o.num_, Int128(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return make_rational(Int128(num_) * o.den_, Int128(den_) * o.num_);
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  const Int128 lhs = Int128(num_) * o.den_;
+  const Int128 rhs = Int128(o.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+RationalMatrix::RationalMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+RationalMatrix RationalMatrix::from_integer_matrix(const Matrix& m) {
+  RationalMatrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double v = m(r, c);
+      const double rounded = std::round(v);
+      if (std::abs(v - rounded) > 1e-6) {
+        throw std::invalid_argument(
+            "from_integer_matrix: entry is not an integer");
+      }
+      out.at(r, c) = Rational(static_cast<std::int64_t>(rounded));
+    }
+  }
+  return out;
+}
+
+std::size_t exact_rank(RationalMatrix m) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    // Find any nonzero pivot in this column at or below `rank`.
+    std::size_t pivot_row = rows;
+    for (std::size_t r = rank; r < rows; ++r) {
+      if (!m.at(r, col).is_zero()) {
+        pivot_row = r;
+        break;
+      }
+    }
+    if (pivot_row == rows) continue;
+    if (pivot_row != rank) {
+      for (std::size_t c = col; c < cols; ++c) {
+        std::swap(m.at(pivot_row, c), m.at(rank, c));
+      }
+    }
+    const Rational pivot = m.at(rank, col);
+    for (std::size_t r = rank + 1; r < rows; ++r) {
+      if (m.at(r, col).is_zero()) continue;
+      const Rational factor = m.at(r, col) / pivot;
+      m.at(r, col) = Rational(0);
+      for (std::size_t c = col + 1; c < cols; ++c) {
+        m.at(r, c) -= factor * m.at(rank, c);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::size_t exact_rank(const Matrix& m) {
+  if (m.empty()) return 0;
+  return exact_rank(RationalMatrix::from_integer_matrix(m));
+}
+
+}  // namespace rnt::linalg

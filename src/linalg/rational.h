@@ -1,0 +1,91 @@
+// Exact rational arithmetic and exact rank computation.
+//
+// Double-precision elimination with a tolerance is what the production path
+// uses; this module is the ground truth it is validated against.  Rationals
+// are int64/int64 with __int128 intermediates and explicit overflow checks —
+// ample for the 0/1 path matrices exercised in tests (entries of eliminated
+// rows stay small), and any overflow throws instead of silently corrupting
+// the oracle.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rnt::linalg {
+
+/// Thrown when an exact computation would exceed 64-bit rationals.
+class RationalOverflow : public std::runtime_error {
+ public:
+  RationalOverflow() : std::runtime_error("rational arithmetic overflow") {}
+};
+
+/// Exact rational number; invariant: den > 0, gcd(|num|, den) == 1.
+class Rational {
+ public:
+  Rational() = default;
+  Rational(std::int64_t num);  // NOLINT(google-explicit-constructor): numeric literal convenience
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const = default;
+  std::strong_ordering operator<=>(const Rational& o) const;
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  std::string to_string() const;
+
+ private:
+  void normalize();
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// Dense matrix of exact rationals (row-major), sized at construction.
+class RationalMatrix {
+ public:
+  RationalMatrix(std::size_t rows, std::size_t cols);
+
+  /// Converts a double matrix whose entries are (near-)integers.
+  /// Throws if any entry deviates from an integer by more than 1e-6.
+  static RationalMatrix from_integer_matrix(const Matrix& m);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  Rational& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const Rational& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Rational> data_;
+};
+
+/// Exact rank via fraction-free-ish Gaussian elimination over rationals.
+std::size_t exact_rank(RationalMatrix m);
+
+/// Exact rank of an integer-valued double matrix (test oracle).
+std::size_t exact_rank(const Matrix& m);
+
+}  // namespace rnt::linalg

@@ -1,0 +1,171 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/elimination.h"
+
+namespace rnt::linalg {
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double tol) {
+  SparseMatrix out;
+  out.cols_ = dense.cols();
+  out.row_start_.reserve(dense.rows() + 1);
+  out.row_start_.push_back(0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense(r, c);
+      if (std::abs(v) > tol) {
+        out.col_index_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_start_.push_back(out.col_index_.size());
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::from_rows(
+    std::size_t cols,
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& rows) {
+  SparseMatrix out;
+  out.cols_ = cols;
+  out.row_start_.reserve(rows.size() + 1);
+  out.row_start_.push_back(0);
+  for (const auto& row : rows) {
+    auto sorted = row;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t prev_col = cols;  // Sentinel.
+    for (const auto& [c, v] : sorted) {
+      if (c >= cols) {
+        throw std::out_of_range("SparseMatrix::from_rows: column overflow");
+      }
+      if (c == prev_col) {
+        throw std::invalid_argument("SparseMatrix::from_rows: duplicate column");
+      }
+      prev_col = c;
+      if (v == 0.0) continue;
+      out.col_index_.push_back(c);
+      out.values_.push_back(v);
+    }
+    out.row_start_.push_back(out.col_index_.size());
+  }
+  return out;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows() || c >= cols_) {
+    throw std::out_of_range("SparseMatrix::at: index out of range");
+  }
+  const auto cols_span = row_columns(r);
+  const auto it = std::lower_bound(cols_span.begin(), cols_span.end(), c);
+  if (it == cols_span.end() || *it != c) return 0.0;
+  return values_[row_start_[r] + static_cast<std::size_t>(it - cols_span.begin())];
+}
+
+std::span<const std::size_t> SparseMatrix::row_columns(std::size_t r) const {
+  return {col_index_.data() + row_start_[r],
+          row_start_[r + 1] - row_start_[r]};
+}
+
+std::span<const double> SparseMatrix::row_values(std::size_t r) const {
+  return {values_.data() + row_start_[r], row_start_[r + 1] - row_start_[r]};
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("SparseMatrix::multiply: size mismatch");
+  }
+  std::vector<double> y(rows(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+      acc += values_[i] * x[col_index_[i]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::multiply_transposed(
+    std::span<const double> x) const {
+  if (x.size() != rows()) {
+    throw std::invalid_argument(
+        "SparseMatrix::multiply_transposed: size mismatch");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+      y[col_index_[i]] += values_[i] * xr;
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix dense(rows(), cols_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+      dense(r, col_index_[i]) = values_[i];
+    }
+  }
+  return dense;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  // Count entries per column, prefix-sum, scatter.
+  SparseMatrix out;
+  out.cols_ = rows();
+  out.row_start_.assign(cols_ + 1, 0);
+  for (std::size_t c : col_index_) {
+    ++out.row_start_[c + 1];
+  }
+  for (std::size_t c = 0; c < cols_; ++c) {
+    out.row_start_[c + 1] += out.row_start_[c];
+  }
+  out.col_index_.resize(values_.size());
+  out.values_.resize(values_.size());
+  std::vector<std::size_t> cursor(out.row_start_.begin(),
+                                  out.row_start_.end() - 1);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+      const std::size_t c = col_index_[i];
+      out.col_index_[cursor[c]] = r;
+      out.values_[cursor[c]] = values_[i];
+      ++cursor[c];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::select_rows(
+    const std::vector<std::size_t>& rows_wanted) const {
+  SparseMatrix out;
+  out.cols_ = cols_;
+  out.row_start_.push_back(0);
+  for (std::size_t r : rows_wanted) {
+    if (r >= rows()) {
+      throw std::out_of_range("SparseMatrix::select_rows: row out of range");
+    }
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+      out.col_index_.push_back(col_index_[i]);
+      out.values_.push_back(values_[i]);
+    }
+    out.row_start_.push_back(out.col_index_.size());
+  }
+  return out;
+}
+
+double SparseMatrix::density() const {
+  const double cells = static_cast<double>(rows()) * static_cast<double>(cols_);
+  return cells == 0.0 ? 0.0 : static_cast<double>(values_.size()) / cells;
+}
+
+std::size_t SparseMatrix::rank_via_dense(double tol) const {
+  return rank(to_dense(), tol);
+}
+
+}  // namespace rnt::linalg

@@ -1,0 +1,81 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnt::linalg {
+
+namespace {
+
+/// One-sided Jacobi: orthogonalize columns of `a` in place.
+/// Returns column norms (the singular values, unsorted).
+std::vector<double> jacobi_column_norms(Matrix a, std::size_t max_sweeps) {
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  const double eps = 1e-14;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < cols; ++p) {
+      for (std::size_t q = p + 1; q < cols; ++q) {
+        // Compute the 2x2 Gram block of columns p, q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double x = a(r, p);
+          const double y = a(r, q);
+          app += x * x;
+          aqq += y * y;
+          apq += x * y;
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq)) continue;
+        rotated = true;
+        // Jacobi rotation zeroing the off-diagonal Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t r = 0; r < rows; ++r) {
+          const double x = a(r, p);
+          const double y = a(r, q);
+          a(r, p) = c * x - s * y;
+          a(r, q) = s * x + c * y;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+  std::vector<double> norms(cols, 0.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) acc += a(r, c) * a(r, c);
+    norms[c] = std::sqrt(acc);
+  }
+  return norms;
+}
+
+}  // namespace
+
+std::vector<double> singular_values(const Matrix& m, std::size_t max_sweeps) {
+  if (m.empty()) return {};
+  // Fewer columns => fewer rotations; singular values are transpose-invariant.
+  std::vector<double> sv = (m.cols() <= m.rows())
+                               ? jacobi_column_norms(m, max_sweeps)
+                               : jacobi_column_norms(m.transposed(), max_sweeps);
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+std::size_t svd_rank(const Matrix& m, double rel_tol) {
+  if (m.empty()) return 0;
+  const auto sv = singular_values(m);
+  if (sv.empty() || sv.front() == 0.0) return 0;
+  const double threshold =
+      rel_tol * sv.front() * static_cast<double>(std::max(m.rows(), m.cols()));
+  std::size_t r = 0;
+  for (double s : sv) {
+    if (s > threshold) ++r;
+  }
+  return r;
+}
+
+}  // namespace rnt::linalg

@@ -1,0 +1,28 @@
+// Singular values via one-sided Jacobi rotations.
+//
+// MatRoMe (paper footnote 3) computes ranks with SVD rather than the
+// Cholesky-based test used by SelectPath; this module provides that more
+// accurate rank.  One-sided Jacobi iteratively orthogonalizes pairs of
+// columns; at convergence the column 2-norms are the singular values.  No
+// eigen-decomposition dependency, numerically robust for the modest sizes
+// (hundreds to low thousands) of path matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rnt::linalg {
+
+/// All singular values of `m`, sorted descending.  Works on the transposed
+/// matrix internally when cols > rows (singular values are shared).
+std::vector<double> singular_values(const Matrix& m,
+                                    std::size_t max_sweeps = 60);
+
+/// Numerical rank from the singular value spectrum: the count of values
+/// above rel_tol * max(sigma) * max(rows, cols), matching the conventional
+/// (LAPACK-style) threshold.  Returns 0 for an empty matrix.
+std::size_t svd_rank(const Matrix& m, double rel_tol = 1e-10);
+
+}  // namespace rnt::linalg

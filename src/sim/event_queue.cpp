@@ -1,0 +1,34 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace rnt::sim {
+
+void EventQueue::schedule(SimTime at, std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  heap_.push(Event{at, next_sequence_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Copy out before pop: the action may schedule further events.
+  Event event = heap_.top();
+  heap_.pop();
+  now_ = event.time;
+  event.action();
+  return true;
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= until) {
+    step();
+    ++executed;
+  }
+  if (now_ < until && until < 1e300) now_ = until;
+  return executed;
+}
+
+}  // namespace rnt::sim

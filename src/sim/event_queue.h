@@ -1,0 +1,59 @@
+// Discrete-event simulation core: a time-ordered event queue.
+//
+// The probe engine schedules probe departures, hop traversals, probe
+// timeouts and NOC collection completions as events; the queue delivers
+// them in time order with deterministic FIFO tie-breaking so simulations
+// replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rnt::sim {
+
+using SimTime = double;  ///< Simulated milliseconds.
+
+/// A scheduled callback.
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t sequence = 0;  ///< Insertion order; breaks time ties.
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, insertion sequence).
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute simulated time `at`.
+  void schedule(SimTime at, std::function<void()> action);
+
+  /// Schedules relative to now().
+  void schedule_in(SimTime delay, std::function<void()> action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue drains or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t run(SimTime until = 1e300);
+
+  /// Executes just the next event; false when empty.
+  bool step();
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace rnt::sim

@@ -1,0 +1,72 @@
+#include "sim/monitoring_session.h"
+
+namespace rnt::sim {
+
+MonitoringSession::MonitoringSession(const tomo::PathSystem& system,
+                                     const tomo::GroundTruth& truth,
+                                     const failures::FailureModel& failures,
+                                     std::vector<std::size_t> selection,
+                                     ProbeEngineConfig config)
+    : system_(system),
+      truth_(truth),
+      failures_(failures),
+      selection_(std::move(selection)),
+      engine_(system, truth, config) {}
+
+MonitoringSession::MonitoringSession(const tomo::PathSystem& system,
+                                     const tomo::GroundTruth& truth,
+                                     const failures::FailureModel& failures,
+                                     learning::PathLearner& learner,
+                                     ProbeEngineConfig config)
+    : system_(system),
+      truth_(truth),
+      failures_(failures),
+      learner_(&learner),
+      engine_(system, truth, config) {}
+
+void MonitoringSession::run_one_epoch(Rng& rng) {
+  const std::vector<std::size_t> action =
+      learner_ != nullptr ? learner_->select_action() : selection_;
+  const failures::FailureVector v = failures_.sample(rng);
+  const EpochTrace trace = engine_.run_epoch(action, v, rng);
+
+  if (learner_ != nullptr) {
+    learner_->observe(action, trace.availability(action));
+  }
+
+  // Estimation from the epoch's surviving measurements.
+  const auto measurements = trace.measurements();
+  const auto estimate =
+      tomo::estimate_link_metrics(system_, measurements, truth_);
+
+  SessionEpoch epoch;
+  epoch.epoch = report_.epochs.size() + 1;
+  epoch.probed = action.size();
+  epoch.delivered = measurements.rows.size();
+  epoch.epoch_duration_ms = trace.completed_at_ms;
+  epoch.bytes_on_wire = trace.bytes_on_wire;
+  epoch.links_estimated = estimate.identifiable.size();
+  epoch.estimation_error = estimate.mean_abs_error;
+  epoch.surviving_rank =
+      static_cast<double>(system_.rank_of(measurements.rows));
+  report_.epochs.push_back(epoch);
+
+  if (epoch.probed > 0) {
+    report_.delivery_rate.add(static_cast<double>(epoch.delivered) /
+                              static_cast<double>(epoch.probed));
+  }
+  report_.links_estimated.add(static_cast<double>(epoch.links_estimated));
+  if (epoch.links_estimated > 0) {
+    report_.estimation_error.add(epoch.estimation_error);
+  }
+  report_.epoch_duration_ms.add(epoch.epoch_duration_ms);
+  report_.total_bytes += epoch.bytes_on_wire;
+}
+
+void MonitoringSession::run(std::size_t epochs, Rng& rng) {
+  for (std::size_t i = 0; i < epochs; ++i) {
+    run_one_epoch(rng);
+  }
+}
+
+}  // namespace rnt::sim

@@ -1,0 +1,82 @@
+// Multi-epoch monitoring session: the full measurement loop a NOC runs.
+//
+// Each epoch: draw a failure scenario, probe the selected paths at packet
+// granularity (ProbeEngine), feed availability observations to an optional
+// online learner, run delay estimation on the surviving measurements, and
+// accumulate operational statistics (probe success rate, wire bytes,
+// per-link estimation quality).  This is the glue that turns the library's
+// pieces into the running system the paper's evaluation abstracts.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "learning/learner.h"
+#include "sim/probe_engine.h"
+#include "tomo/estimation.h"
+#include "tomo/path_system.h"
+#include "util/stats.h"
+
+namespace rnt::sim {
+
+/// Per-epoch summary retained by the session.
+struct SessionEpoch {
+  std::size_t epoch = 0;
+  std::size_t probed = 0;
+  std::size_t delivered = 0;
+  double epoch_duration_ms = 0.0;
+  std::size_t bytes_on_wire = 0;
+  std::size_t links_estimated = 0;
+  double estimation_error = 0.0;  ///< Mean abs error on estimated links.
+  double surviving_rank = 0.0;
+};
+
+/// Aggregate session statistics.
+struct SessionReport {
+  std::vector<SessionEpoch> epochs;
+  RunningStats delivery_rate;
+  RunningStats links_estimated;
+  RunningStats estimation_error;
+  RunningStats epoch_duration_ms;
+  std::size_t total_bytes = 0;
+};
+
+/// Drives epochs against a fixed selection or an online learner.
+class MonitoringSession {
+ public:
+  /// Fixed-selection session: probes `selection` every epoch.
+  MonitoringSession(const tomo::PathSystem& system,
+                    const tomo::GroundTruth& truth,
+                    const failures::FailureModel& failures,
+                    std::vector<std::size_t> selection,
+                    ProbeEngineConfig config = {});
+
+  /// Learner-driven session: asks the learner for an action each epoch and
+  /// feeds back observed availability.
+  MonitoringSession(const tomo::PathSystem& system,
+                    const tomo::GroundTruth& truth,
+                    const failures::FailureModel& failures,
+                    learning::PathLearner& learner,
+                    ProbeEngineConfig config = {});
+
+  /// Runs `epochs` epochs; cumulative across calls.
+  void run(std::size_t epochs, Rng& rng);
+
+  const SessionReport& report() const { return report_; }
+  std::size_t epochs_run() const { return report_.epochs.size(); }
+
+ private:
+  void run_one_epoch(Rng& rng);
+
+  const tomo::PathSystem& system_;
+  const tomo::GroundTruth& truth_;
+  const failures::FailureModel& failures_;
+  std::vector<std::size_t> selection_;
+  learning::PathLearner* learner_ = nullptr;
+  ProbeEngine engine_;
+  SessionReport report_;
+};
+
+}  // namespace rnt::sim

@@ -1,0 +1,95 @@
+#include "sim/probe_engine.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace rnt::sim {
+
+tomo::Measurements EpochTrace::measurements() const {
+  tomo::Measurements m;
+  for (const ProbeOutcome& o : outcomes) {
+    if (!o.delivered) continue;
+    m.rows.push_back(o.path);
+    m.values.push_back(o.rtt_ms);
+  }
+  return m;
+}
+
+std::vector<bool> EpochTrace::availability(
+    const std::vector<std::size_t>& subset) const {
+  std::vector<bool> out(subset.size(), false);
+  for (const ProbeOutcome& o : outcomes) {
+    const auto it = std::find(subset.begin(), subset.end(), o.path);
+    if (it != subset.end()) {
+      out[static_cast<std::size_t>(it - subset.begin())] = o.delivered;
+    }
+  }
+  return out;
+}
+
+ProbeEngine::ProbeEngine(const tomo::PathSystem& system,
+                         const tomo::GroundTruth& truth,
+                         ProbeEngineConfig config)
+    : system_(system), truth_(truth), config_(config) {
+  if (truth_.link_metrics.size() != system_.link_count()) {
+    throw std::invalid_argument("ProbeEngine: ground truth size mismatch");
+  }
+  if (config_.timeout_ms <= 0.0) {
+    throw std::invalid_argument("ProbeEngine: timeout must be positive");
+  }
+}
+
+EpochTrace ProbeEngine::run_epoch(const std::vector<std::size_t>& subset,
+                                  const failures::FailureVector& v, Rng& rng) {
+  if (v.size() != system_.link_count()) {
+    throw std::invalid_argument("ProbeEngine: failure vector size mismatch");
+  }
+  EpochTrace trace;
+  trace.outcomes.resize(subset.size());
+  EventQueue queue;
+  std::normal_distribution<double> jitter(0.0, config_.jitter_std_ms);
+
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const std::size_t q = subset[i];
+    ProbeOutcome& outcome = trace.outcomes[i];
+    outcome.path = q;
+    trace.bytes_on_wire += config_.probe_bytes;
+
+    // Walk the path hop by hop (link order as stored; delays are additive
+    // so traversal order does not change the sum).
+    double arrival = 0.0;
+    bool delivered = true;
+    for (graph::EdgeId l : system_.path(q).links) {
+      if (v[l]) {
+        delivered = false;  // Probe dies here; NOC learns via timeout.
+        break;
+      }
+      double hop = truth_.link_metrics[l] + config_.per_hop_processing_ms;
+      if (config_.jitter_std_ms > 0.0) {
+        hop = std::max(0.0, hop + jitter(rng.engine()));
+      }
+      arrival += hop;
+    }
+
+    if (delivered && arrival <= config_.timeout_ms) {
+      outcome.delivered = true;
+      outcome.rtt_ms = arrival;
+      trace.bytes_on_wire += config_.report_bytes;
+      // Destination monitor reports to the NOC after the probe lands.
+      queue.schedule(arrival + config_.noc_access_delay_ms, [&outcome, &queue] {
+        outcome.reported_at_ms = queue.now();
+      });
+    } else {
+      outcome.delivered = false;
+      // NOC declares the probe lost at the timeout.
+      queue.schedule(config_.timeout_ms, [] {});
+    }
+  }
+
+  queue.run();
+  trace.completed_at_ms = queue.now();
+  return trace;
+}
+
+}  // namespace rnt::sim

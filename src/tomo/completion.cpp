@@ -1,0 +1,68 @@
+#include "tomo/completion.h"
+
+#include <stdexcept>
+
+namespace rnt::tomo {
+
+MeasurementCompleter::MeasurementCompleter(const PathSystem& system,
+                                           std::vector<std::size_t> probed,
+                                           std::vector<double> values)
+    : system_(system), basis_(system.link_count()) {
+  if (probed.size() != values.size()) {
+    throw std::invalid_argument("MeasurementCompleter: size mismatch");
+  }
+  // Keep a maximal independent subset of the probed rows together with
+  // their measurements; redundant probed rows add no information.
+  for (std::size_t i = 0; i < probed.size(); ++i) {
+    if (basis_.try_add(system_.row(probed[i]))) {
+      basis_values_.push_back(values[i]);
+    }
+  }
+}
+
+std::optional<double> MeasurementCompleter::complete(std::size_t path) const {
+  const auto reduction = basis_.reduce(system_.row(path));
+  if (reduction.independent) return std::nullopt;  // Outside the span.
+  double value = 0.0;
+  for (std::size_t k = 0; k < reduction.support.size(); ++k) {
+    value += reduction.coefficients[k] * basis_values_[reduction.support[k]];
+  }
+  return value;
+}
+
+std::vector<std::size_t> MeasurementCompleter::covered_paths() const {
+  std::vector<std::size_t> covered;
+  for (std::size_t q = 0; q < system_.path_count(); ++q) {
+    if (!basis_.is_independent(system_.row(q))) covered.push_back(q);
+  }
+  return covered;
+}
+
+std::size_t MeasurementCompleter::coverage() const {
+  std::size_t count = 0;
+  for (std::size_t q = 0; q < system_.path_count(); ++q) {
+    if (!basis_.is_independent(system_.row(q))) ++count;
+  }
+  return count;
+}
+
+std::size_t completion_coverage_under(const PathSystem& system,
+                                      const std::vector<std::size_t>& subset,
+                                      const failures::FailureVector& v) {
+  const auto survivors = system.surviving_rows(subset, v);
+  linalg::IncrementalBasis basis(system.link_count(), linalg::kDefaultTolerance,
+                                 /*track_combinations=*/false);
+  for (std::size_t q : survivors) {
+    basis.try_add(system.row(q));
+  }
+  // A failed path's measurement is moot (the path is down); count the
+  // candidate paths that are up in v and inside the surviving span.
+  std::size_t covered = 0;
+  for (std::size_t q = 0; q < system.path_count(); ++q) {
+    if (!system.path_survives(q, v)) continue;
+    if (!basis.is_independent(system.row(q))) ++covered;
+  }
+  return covered;
+}
+
+}  // namespace rnt::tomo

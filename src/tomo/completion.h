@@ -1,0 +1,58 @@
+// End-to-end measurement completion — the paper's second target
+// application (Chen et al., SIGCOMM'04): infer the e2e measurements of
+// *unprobed* candidate paths from a probed subset.
+//
+// A path q's measurement is reconstructible iff its row lies in the row
+// space of the (surviving) probed paths; the reconstruction coefficients
+// come straight from the incremental basis reduction.  Under failures the
+// probed set shrinks, so the number of reconstructible candidate paths —
+// the "completion coverage" — is another robustness currency, and robust
+// selection buys more of it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "linalg/incremental_basis.h"
+#include "tomo/path_system.h"
+
+namespace rnt::tomo {
+
+/// Reconstructs measurements for every candidate path from measurements of
+/// a probed subset.
+class MeasurementCompleter {
+ public:
+  /// `probed` are the row indices whose e2e measurements are available,
+  /// `values` the matching measurements.
+  MeasurementCompleter(const PathSystem& system,
+                       std::vector<std::size_t> probed,
+                       std::vector<double> values);
+
+  /// Measurement of path q if its row is in the span of the probed rows:
+  /// the exact value for probed paths, the reconstructed linear combination
+  /// for covered unprobed paths, nullopt for uncovered paths.
+  std::optional<double> complete(std::size_t path) const;
+
+  /// Indices of all candidate paths whose measurement is available or
+  /// reconstructible.
+  std::vector<std::size_t> covered_paths() const;
+
+  /// Number of covered paths (|covered_paths()| without materializing).
+  std::size_t coverage() const;
+
+ private:
+  const PathSystem& system_;
+  linalg::IncrementalBasis basis_;
+  std::vector<double> basis_values_;  ///< Measurement of basis member i.
+};
+
+/// Completion coverage of a selection under a failure scenario: how many of
+/// the |R_M| candidate paths' measurements can be obtained (directly or by
+/// reconstruction) from the *surviving* probed paths.
+std::size_t completion_coverage_under(const PathSystem& system,
+                                      const std::vector<std::size_t>& subset,
+                                      const failures::FailureVector& v);
+
+}  // namespace rnt::tomo

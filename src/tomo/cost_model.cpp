@@ -1,0 +1,61 @@
+#include "tomo/cost_model.h"
+
+#include <stdexcept>
+
+namespace rnt::tomo {
+
+CostModel::CostModel(double hop_weight,
+                     std::unordered_map<graph::NodeId, double> access_costs)
+    : hop_weight_(hop_weight), access_costs_(std::move(access_costs)) {
+  if (hop_weight < 0.0) {
+    throw std::invalid_argument("CostModel: hop weight must be >= 0");
+  }
+  for (const auto& [node, cost] : access_costs_) {
+    if (cost < 0.0) {
+      throw std::invalid_argument("CostModel: access cost must be >= 0");
+    }
+  }
+}
+
+CostModel CostModel::unit() { return CostModel(); }
+
+CostModel CostModel::paper_model(const MonitorSet& monitors, Rng& rng,
+                                 double hop_weight, double peer_access_cost) {
+  std::unordered_map<graph::NodeId, double> access;
+  for (graph::NodeId m : monitors.all()) {
+    access[m] = rng.bernoulli(0.5) ? peer_access_cost : 0.0;
+  }
+  return CostModel(hop_weight, std::move(access));
+}
+
+double CostModel::path_cost(const ProbePath& q) const {
+  if (unit_) return 1.0;
+  double cost = hop_weight_ * static_cast<double>(q.hops);
+  if (auto it = access_costs_.find(q.source); it != access_costs_.end()) {
+    cost += it->second;
+  }
+  if (auto it = access_costs_.find(q.destination); it != access_costs_.end()) {
+    cost += it->second;
+  }
+  return cost;
+}
+
+std::vector<double> CostModel::path_costs(const PathSystem& system) const {
+  std::vector<double> out;
+  out.reserve(system.path_count());
+  for (const ProbePath& q : system.paths()) {
+    out.push_back(path_cost(q));
+  }
+  return out;
+}
+
+double CostModel::subset_cost(const PathSystem& system,
+                              const std::vector<std::size_t>& subset) const {
+  double total = 0.0;
+  for (std::size_t i : subset) {
+    total += path_cost(system.path(i));
+  }
+  return total;
+}
+
+}  // namespace rnt::tomo

@@ -1,0 +1,57 @@
+// Heterogeneous probing costs (Section III-B / VI-A of the paper).
+//
+// PC(q) = run-time cost + NOC collection/access cost of the two endpoint
+// monitors.  In the paper's evaluation the run-time component is linear in
+// hop length with weight 100, and each monitor's access cost is drawn
+// uniformly from {0, 300} (self-owned vs peer-owned monitor).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "tomo/monitors.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::tomo {
+
+/// Per-path probing cost model.
+class CostModel {
+ public:
+  /// `hop_weight` scales the run-time component; `access_costs` maps
+  /// monitor node id -> NOC access cost (missing monitors cost 0).
+  CostModel(double hop_weight,
+            std::unordered_map<graph::NodeId, double> access_costs);
+
+  /// Unit-cost model: every path costs exactly 1 (the matroid setting of
+  /// Section IV-B).
+  static CostModel unit();
+
+  /// The paper's evaluation model: hop weight 100; each monitor's access
+  /// cost is 0 or 300 with equal probability.
+  static CostModel paper_model(const MonitorSet& monitors, Rng& rng,
+                               double hop_weight = 100.0,
+                               double peer_access_cost = 300.0);
+
+  /// PC(q) for one path.
+  double path_cost(const ProbePath& q) const;
+
+  /// Costs for every path in the system, indexed by row.
+  std::vector<double> path_costs(const PathSystem& system) const;
+
+  /// PC(R): sum of path costs over the subset (costs are independent).
+  double subset_cost(const PathSystem& system,
+                     const std::vector<std::size_t>& subset) const;
+
+  bool is_unit() const { return unit_; }
+
+ private:
+  CostModel() : unit_(true) {}
+
+  bool unit_ = false;
+  double hop_weight_ = 0.0;
+  std::unordered_map<graph::NodeId, double> access_costs_;
+};
+
+}  // namespace rnt::tomo

@@ -1,0 +1,43 @@
+#include "tomo/coverage.h"
+
+#include <algorithm>
+
+namespace rnt::tomo {
+
+CoverageStats coverage(const PathSystem& system,
+                       const std::vector<std::size_t>& subset) {
+  CoverageStats stats;
+  stats.multiplicity.assign(system.link_count(), 0);
+  for (std::size_t q : subset) {
+    for (graph::EdgeId l : system.path(q).links) {
+      ++stats.multiplicity[l];
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t count : stats.multiplicity) {
+    if (count == 0) continue;
+    ++stats.covered_links;
+    if (count == 1) ++stats.singly_covered;
+    stats.max_multiplicity = std::max(stats.max_multiplicity, count);
+    total += count;
+  }
+  if (stats.covered_links > 0) {
+    stats.mean_multiplicity =
+        static_cast<double>(total) / static_cast<double>(stats.covered_links);
+  }
+  return stats;
+}
+
+std::vector<graph::EdgeId> uncovered_links(
+    const PathSystem& system, const std::vector<std::size_t>& subset) {
+  const CoverageStats stats = coverage(system, subset);
+  std::vector<graph::EdgeId> out;
+  for (std::size_t l = 0; l < stats.multiplicity.size(); ++l) {
+    if (stats.multiplicity[l] == 0) {
+      out.push_back(static_cast<graph::EdgeId>(l));
+    }
+  }
+  return out;
+}
+
+}  // namespace rnt::tomo

@@ -1,0 +1,43 @@
+// Link-coverage statistics of a path selection.
+//
+// Rank and identifiability measure what the linear system can *infer*;
+// coverage measures what it can *see* at all: which links appear on at
+// least one selected path, and with how much redundancy.  An uncovered
+// link is invisible to monitoring (its failures cannot even be detected),
+// and a link covered by a single path loses observability with that one
+// path — both are operational planning signals alongside the paper's
+// metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tomo/path_system.h"
+
+namespace rnt::tomo {
+
+/// Coverage profile of a selection.
+struct CoverageStats {
+  std::size_t covered_links = 0;       ///< Links on >= 1 selected path.
+  std::size_t singly_covered = 0;      ///< Links on exactly 1 selected path.
+  std::size_t max_multiplicity = 0;    ///< Most paths over one link.
+  double mean_multiplicity = 0.0;      ///< Mean paths per covered link.
+  /// Per-link path counts (size = link universe).
+  std::vector<std::size_t> multiplicity;
+
+  double coverage_fraction(std::size_t link_count) const {
+    return link_count == 0 ? 0.0
+                           : static_cast<double>(covered_links) /
+                                 static_cast<double>(link_count);
+  }
+};
+
+/// Computes coverage of `subset` over the system's link universe.
+CoverageStats coverage(const PathSystem& system,
+                       const std::vector<std::size_t>& subset);
+
+/// Links not on any selected path (invisible to monitoring).
+std::vector<graph::EdgeId> uncovered_links(
+    const PathSystem& system, const std::vector<std::size_t>& subset);
+
+}  // namespace rnt::tomo

@@ -1,0 +1,70 @@
+#include "tomo/localization.h"
+
+#include <algorithm>
+
+namespace rnt::tomo {
+
+LocalizationResult localize_single_failure(
+    const PathSystem& system, const std::vector<std::size_t>& subset,
+    const failures::FailureVector& v) {
+  LocalizationResult result;
+  std::vector<bool> on_all_failed(system.link_count(), true);
+  std::vector<bool> exonerated(system.link_count(), false);
+  bool any_failed = false;
+  for (std::size_t q : subset) {
+    const auto& links = system.path(q).links;
+    if (system.path_survives(q, v)) {
+      for (graph::EdgeId l : links) exonerated[l] = true;
+    } else {
+      any_failed = true;
+      std::vector<bool> on_this(system.link_count(), false);
+      for (graph::EdgeId l : links) on_this[l] = true;
+      for (std::size_t l = 0; l < on_all_failed.size(); ++l) {
+        on_all_failed[l] = on_all_failed[l] && on_this[l];
+      }
+    }
+  }
+  if (!any_failed) return result;  // Nothing observed: no candidates.
+  for (std::size_t l = 0; l < on_all_failed.size(); ++l) {
+    if (on_all_failed[l] && !exonerated[l]) {
+      result.candidates.push_back(static_cast<graph::EdgeId>(l));
+    }
+  }
+  return result;
+}
+
+LocalizationScore score_localization(const PathSystem& system,
+                                     const std::vector<std::size_t>& subset,
+                                     const failures::FailureModel& model,
+                                     std::size_t trials, Rng& rng) {
+  LocalizationScore score;
+  score.trials = trials;
+  double candidate_total = 0.0;
+  std::size_t visible = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto v = model.sample_exactly_k(1, rng);
+    const auto failed_it = std::find(v.begin(), v.end(), true);
+    const auto failed_link =
+        static_cast<graph::EdgeId>(failed_it - v.begin());
+    const auto result = localize_single_failure(system, subset, v);
+    if (result.candidates.empty()) {
+      ++score.invisible;
+      continue;
+    }
+    ++visible;
+    candidate_total += static_cast<double>(result.candidates.size());
+    const bool found = std::binary_search(result.candidates.begin(),
+                                          result.candidates.end(),
+                                          failed_link);
+    if (found && result.exact()) {
+      ++score.exact;
+    } else {
+      ++score.ambiguous;
+    }
+  }
+  score.mean_candidates =
+      visible == 0 ? 0.0 : candidate_total / static_cast<double>(visible);
+  return score;
+}
+
+}  // namespace rnt::tomo

@@ -1,0 +1,112 @@
+#include "tomo/monitors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/shortest_path.h"
+#include "graph/yen.h"
+
+namespace rnt::tomo {
+
+std::vector<graph::NodeId> MonitorSet::all() const {
+  std::vector<graph::NodeId> out = sources;
+  out.insert(out.end(), destinations.begin(), destinations.end());
+  return out;
+}
+
+MonitorSet pick_monitors(const graph::Graph& g, std::size_t num_sources,
+                         std::size_t num_destinations, Rng& rng) {
+  const std::size_t want = num_sources + num_destinations;
+  if (want > g.node_count()) {
+    throw std::invalid_argument("pick_monitors: not enough nodes");
+  }
+  auto ids = rng.sample_without_replacement(g.node_count(), want);
+  MonitorSet m;
+  m.sources.reserve(num_sources);
+  m.destinations.reserve(num_destinations);
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    m.sources.push_back(static_cast<graph::NodeId>(ids[i]));
+  }
+  for (std::size_t i = num_sources; i < want; ++i) {
+    m.destinations.push_back(static_cast<graph::NodeId>(ids[i]));
+  }
+  return m;
+}
+
+std::vector<ProbePath> generate_candidate_paths(const graph::Graph& g,
+                                                const MonitorSet& monitors) {
+  std::vector<ProbePath> paths;
+  paths.reserve(monitors.sources.size() * monitors.destinations.size());
+  for (graph::NodeId src : monitors.sources) {
+    const auto tree = graph::dijkstra(g, src);
+    for (graph::NodeId dst : monitors.destinations) {
+      if (dst == src) continue;
+      auto routed = graph::extract_path(g, tree, dst);
+      if (!routed || routed->edges.empty()) continue;
+      paths.push_back(make_probe_path(*routed));
+    }
+  }
+  return paths;
+}
+
+std::vector<ProbePath> generate_pair_paths(
+    const graph::Graph& g, const std::vector<graph::NodeId>& monitors) {
+  std::vector<ProbePath> paths;
+  paths.reserve(monitors.size() * (monitors.size() - 1) / 2);
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    const auto tree = graph::dijkstra(g, monitors[i]);
+    for (std::size_t j = i + 1; j < monitors.size(); ++j) {
+      if (monitors[j] == monitors[i]) continue;
+      auto routed = graph::extract_path(g, tree, monitors[j]);
+      if (!routed || routed->edges.empty()) continue;
+      paths.push_back(make_probe_path(*routed));
+    }
+  }
+  return paths;
+}
+
+std::vector<ProbePath> generate_multipath_candidates(
+    const graph::Graph& g, const MonitorSet& monitors,
+    std::size_t paths_per_pair) {
+  std::vector<ProbePath> paths;
+  for (graph::NodeId src : monitors.sources) {
+    for (graph::NodeId dst : monitors.destinations) {
+      if (dst == src) continue;
+      for (const graph::Path& routed :
+           graph::k_shortest_paths(g, src, dst, paths_per_pair)) {
+        if (routed.edges.empty()) continue;
+        paths.push_back(make_probe_path(routed));
+      }
+    }
+  }
+  return paths;
+}
+
+PathSystem build_path_system(const graph::Graph& g, std::size_t target_paths,
+                             Rng& rng, MonitorSet* out_monitors) {
+  if (target_paths == 0) {
+    throw std::invalid_argument("build_path_system: target_paths must be > 0");
+  }
+  // side*side pairs >= target; cap at half the nodes per role.
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(target_paths))));
+  const std::size_t cap = g.node_count() / 2;
+  if (cap == 0) {
+    throw std::invalid_argument("build_path_system: graph too small");
+  }
+  const std::size_t num_side = std::min(side, cap);
+  MonitorSet monitors = pick_monitors(g, num_side, num_side, rng);
+  std::vector<ProbePath> paths = generate_candidate_paths(g, monitors);
+  if (paths.size() > target_paths) {
+    const auto keep = rng.sample_without_replacement(paths.size(), target_paths);
+    std::vector<ProbePath> kept;
+    kept.reserve(target_paths);
+    for (std::size_t i : keep) kept.push_back(std::move(paths[i]));
+    paths = std::move(kept);
+  }
+  if (out_monitors != nullptr) *out_monitors = std::move(monitors);
+  return PathSystem(g.edge_count(), std::move(paths));
+}
+
+}  // namespace rnt::tomo

@@ -1,0 +1,60 @@
+// Monitor placement and candidate-path generation.
+//
+// Mirrors the paper's evaluation setup (Section VI-A): a random subset of
+// nodes act as monitors, split into sources and destinations; the candidate
+// path between each (source, destination) pair is the weighted shortest
+// path given by Dijkstra over the topology's inferred link weights.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::tomo {
+
+/// A monitor deployment: disjoint source and destination node sets.
+struct MonitorSet {
+  std::vector<graph::NodeId> sources;
+  std::vector<graph::NodeId> destinations;
+
+  /// All monitor nodes (sources then destinations).
+  std::vector<graph::NodeId> all() const;
+};
+
+/// Picks `num_sources` + `num_destinations` distinct random nodes and
+/// splits them.  Throws if the graph has fewer nodes than requested.
+MonitorSet pick_monitors(const graph::Graph& g, std::size_t num_sources,
+                         std::size_t num_destinations, Rng& rng);
+
+/// Generates the candidate path set: the shortest path for every
+/// (source, destination) pair that is connected.  Paths of zero links
+/// (source == destination) are skipped.
+std::vector<ProbePath> generate_candidate_paths(const graph::Graph& g,
+                                                const MonitorSet& monitors);
+
+/// Combined-monitor mode (the paper's "monitor acts as both source and
+/// destination" variant, Section VI-A): one shortest path per *unordered*
+/// pair of the given monitor nodes.
+std::vector<ProbePath> generate_pair_paths(
+    const graph::Graph& g, const std::vector<graph::NodeId>& monitors);
+
+/// Convenience used by the experiment harness: picks ~sqrt(target) sources
+/// and destinations, generates all pair paths, and uniformly subsamples to
+/// exactly `target` paths (or fewer if the topology cannot supply them).
+/// Returns the PathSystem over the graph's link universe.
+PathSystem build_path_system(const graph::Graph& g, std::size_t target_paths,
+                             Rng& rng, MonitorSet* out_monitors = nullptr);
+
+/// Multipath extension (beyond the paper's one-route-per-pair assumption):
+/// up to `paths_per_pair` loopless shortest paths per (source, destination)
+/// pair via Yen's algorithm.  More alternatives per pair give the selection
+/// algorithms more structurally diverse candidates to harden against
+/// failures — the ext_multipath bench quantifies the benefit.
+std::vector<ProbePath> generate_multipath_candidates(
+    const graph::Graph& g, const MonitorSet& monitors,
+    std::size_t paths_per_pair);
+
+}  // namespace rnt::tomo

@@ -1,0 +1,84 @@
+#include "tomo/path_system.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/elimination.h"
+
+namespace rnt::tomo {
+
+ProbePath make_probe_path(const graph::Path& routed) {
+  ProbePath p;
+  if (routed.nodes.empty()) {
+    throw std::invalid_argument("make_probe_path: empty path");
+  }
+  p.source = routed.nodes.front();
+  p.destination = routed.nodes.back();
+  p.links = routed.edges;
+  std::sort(p.links.begin(), p.links.end());
+  p.hops = routed.edges.size();
+  p.routing_weight = routed.weight;
+  return p;
+}
+
+PathSystem::PathSystem(std::size_t link_count, std::vector<ProbePath> paths)
+    : link_count_(link_count), paths_(std::move(paths)) {
+  matrix_ = linalg::Matrix(paths_.size(), link_count_);
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].links.empty()) {
+      throw std::invalid_argument("PathSystem: path with no links");
+    }
+    for (graph::EdgeId l : paths_[i].links) {
+      if (l >= link_count_) {
+        throw std::out_of_range("PathSystem: link id exceeds link universe");
+      }
+      matrix_(i, l) = 1.0;
+    }
+  }
+}
+
+bool PathSystem::path_survives(std::size_t i,
+                               const failures::FailureVector& v) const {
+  if (v.size() != link_count_) {
+    throw std::invalid_argument("path_survives: failure vector size mismatch");
+  }
+  for (graph::EdgeId l : paths_.at(i).links) {
+    if (v[l]) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> PathSystem::surviving_rows(
+    const std::vector<std::size_t>& subset,
+    const failures::FailureVector& v) const {
+  std::vector<std::size_t> out;
+  out.reserve(subset.size());
+  for (std::size_t i : subset) {
+    if (path_survives(i, v)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t PathSystem::surviving_rank(const std::vector<std::size_t>& subset,
+                                       const failures::FailureVector& v) const {
+  return rank_of(surviving_rows(subset, v));
+}
+
+std::size_t PathSystem::rank_of(const std::vector<std::size_t>& subset) const {
+  if (subset.empty()) return 0;
+  return linalg::rank_of_rows(matrix_, subset);
+}
+
+std::size_t PathSystem::full_rank() const {
+  if (cached_full_rank_ < 0) {
+    cached_full_rank_ = static_cast<std::ptrdiff_t>(linalg::rank(matrix_));
+  }
+  return static_cast<std::size_t>(cached_full_rank_);
+}
+
+double PathSystem::expected_availability(
+    std::size_t i, const failures::FailureModel& model) const {
+  return model.path_availability(paths_.at(i).links);
+}
+
+}  // namespace rnt::tomo

@@ -1,0 +1,83 @@
+// The tomography linear system: candidate probe paths and their 0/1 path
+// matrix A (paths × links), plus failure-aware rank queries.
+//
+// This is the object every algorithm in the library operates on.  Rows of
+// A are candidate monitor-to-monitor paths, columns are links (EdgeId order
+// of the underlying graph); A[i][j] = 1 iff path i traverses link j
+// (Section II-A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "linalg/matrix.h"
+
+namespace rnt::tomo {
+
+/// One candidate monitor-to-monitor probe path.
+struct ProbePath {
+  graph::NodeId source = 0;
+  graph::NodeId destination = 0;
+  std::vector<graph::EdgeId> links;  ///< Link ids along the path (sorted).
+  std::size_t hops = 0;              ///< Number of links.
+  double routing_weight = 0.0;       ///< Sum of link weights (Dijkstra cost).
+
+  bool operator==(const ProbePath&) const = default;
+};
+
+/// Builds a ProbePath from a routing Path between two monitors.
+ProbePath make_probe_path(const graph::Path& routed);
+
+/// Immutable candidate-path system over a fixed link universe.
+class PathSystem {
+ public:
+  /// `link_count` is |E| of the underlying graph (columns of A).
+  PathSystem(std::size_t link_count, std::vector<ProbePath> paths);
+
+  std::size_t path_count() const { return paths_.size(); }
+  std::size_t link_count() const { return link_count_; }
+
+  const ProbePath& path(std::size_t i) const { return paths_.at(i); }
+  const std::vector<ProbePath>& paths() const { return paths_; }
+
+  /// The full path matrix A (|paths| × |links|).
+  const linalg::Matrix& matrix() const { return matrix_; }
+
+  /// Row i of A.
+  std::span<const double> row(std::size_t i) const { return matrix_.row(i); }
+
+  /// True iff no link of path i failed in v.
+  bool path_survives(std::size_t i, const failures::FailureVector& v) const;
+
+  /// Of the rows in `subset` (all rows when empty-subset semantics are not
+  /// wanted, pass explicit indices), those that survive scenario v.
+  std::vector<std::size_t> surviving_rows(
+      const std::vector<std::size_t>& subset,
+      const failures::FailureVector& v) const;
+
+  /// Rank of the surviving submatrix of the given subset under scenario v —
+  /// the random variable inside the Expected Rank definition (Eq. 4).
+  std::size_t surviving_rank(const std::vector<std::size_t>& subset,
+                             const failures::FailureVector& v) const;
+
+  /// Rank of the (non-failed) submatrix given by `subset`.
+  std::size_t rank_of(const std::vector<std::size_t>& subset) const;
+
+  /// Rank of the full candidate set.
+  std::size_t full_rank() const;
+
+  /// Expected availability EA(q) = prod over q's links of (1 - p_l).
+  double expected_availability(std::size_t i,
+                               const failures::FailureModel& model) const;
+
+ private:
+  std::size_t link_count_;
+  std::vector<ProbePath> paths_;
+  linalg::Matrix matrix_;
+  mutable std::ptrdiff_t cached_full_rank_ = -1;
+};
+
+}  // namespace rnt::tomo

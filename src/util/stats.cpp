@@ -1,0 +1,131 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rnt {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void EmpiricalDistribution::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("EmpiricalDistribution::quantile: no samples");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q outside [0,1]");
+  }
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double EmpiricalDistribution::mean() const {
+  RunningStats s;
+  for (double x : samples_) s.add(x);
+  return s.mean();
+}
+
+double EmpiricalDistribution::stddev() const {
+  RunningStats s;
+  for (double x : samples_) s.add(x);
+  return s.stddev();
+}
+
+const std::vector<double>& EmpiricalDistribution::sorted() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty() || points == 0) return curve;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1
+            ? hi
+            : lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(points - 1);
+    curve.emplace_back(x, cdf(x));
+  }
+  return curve;
+}
+
+Summary summarize(const RunningStats& s) {
+  return Summary{s.mean(), s.stddev(), s.count()};
+}
+
+std::string format_mean_std(const Summary& s, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << s.mean << " ± " << s.stddev;
+  return out.str();
+}
+
+}  // namespace rnt

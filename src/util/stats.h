@@ -1,0 +1,93 @@
+// Streaming statistics used by the experiment harness: running mean /
+// standard deviation (Welford), empirical CDFs, and confidence summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rnt {
+
+/// Numerically stable running mean / variance accumulator (Welford's
+/// algorithm).  Suitable for millions of samples without catastrophic
+/// cancellation.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added so far.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Unbiased sample standard deviation.
+  double stddev() const;
+
+  /// Smallest / largest observation; 0 when empty.
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples to answer quantile / CDF queries.  Used for the
+/// paper's Fig. 6 (CDF of rank) and for distribution-shape assertions in
+/// tests.  Samples are sorted lazily on first query.
+class EmpiricalDistribution {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+
+  /// Empirical CDF value P(X <= x).
+  double cdf(double x) const;
+
+  /// q-th quantile for q in [0, 1] (linear interpolation between order
+  /// statistics).  Requires at least one sample.
+  double quantile(double q) const;
+
+  double mean() const;
+  double stddev() const;
+
+  /// Returns the sorted samples (by value).
+  const std::vector<double>& sorted() const;
+
+  /// Renders the CDF evaluated on a uniform grid of `points` values from
+  /// min to max as (x, F(x)) pairs; used by figure drivers.
+  std::vector<std::pair<double, double>> cdf_curve(std::size_t points) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Pairs a label with mean/stddev — one cell of a paper-style results table.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Converts a RunningStats into a Summary snapshot.
+Summary summarize(const RunningStats& s);
+
+/// Formats "mean ± std" with the given precision.
+std::string format_mean_std(const Summary& s, int precision = 2);
+
+}  // namespace rnt

@@ -1,0 +1,44 @@
+// Plain-text table rendering for experiment drivers.  Each bench binary
+// prints the same rows/series the paper reports; TablePrinter keeps the
+// output aligned and machine-greppable (optional CSV mode).
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rnt {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Also supports CSV output so figure data can be piped into plotting tools.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Brace-list convenience: add_row({"a", fmt(x), std::to_string(n)}).
+  void add_row(std::initializer_list<std::string> cells) {
+    add_row(std::vector<std::string>(cells));
+  }
+
+  /// Convenience: formats each double with `precision` digits.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  /// Renders with aligned columns (default) or as CSV.
+  void print(std::ostream& out, bool csv = false) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for row building).
+std::string fmt(double value, int precision = 3);
+
+}  // namespace rnt

@@ -1,0 +1,176 @@
+// Tests for the exploration-strategy baselines (epsilon-greedy, Thompson
+// sampling) and the generalized learner interface.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "exp/workload.h"
+#include "learning/baselines.h"
+#include "learning/lsr.h"
+#include "learning/simulator.h"
+
+namespace rnt::learning {
+namespace {
+
+struct World {
+  exp::Workload w;
+  explicit World(std::uint64_t seed)
+      : w(exp::make_custom_workload(30, 60, 40, seed, 6.0)) {}
+  double budget() const {
+    std::vector<std::size_t> all(w.system->path_count());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return 0.35 * w.costs.subset_cost(*w.system, all);
+  }
+};
+
+TEST(EpsilonGreedy, ValidatesArguments) {
+  World world(1);
+  EXPECT_THROW(
+      EpsilonGreedy(*world.w.system, world.w.costs, 0.0, 0.1, Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      EpsilonGreedy(*world.w.system, world.w.costs, 100.0, 1.5, Rng(1)),
+      std::invalid_argument);
+}
+
+TEST(EpsilonGreedy, CoversAllPathsThenActs) {
+  World world(2);
+  EpsilonGreedy learner(*world.w.system, world.w.costs, world.budget(), 0.1,
+                        Rng(2));
+  Rng rng(3);
+  const auto result =
+      run_learner(learner, *world.w.system, *world.w.failures, 60, rng);
+  EXPECT_EQ(result.records.size(), 60u);
+  EXPECT_EQ(learner.epoch(), 60u);
+  // After 60 epochs every path has an estimate in [0, 1].
+  for (double t : learner.theta_hat()) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(EpsilonGreedy, RespectsBudgetInActions) {
+  World world(3);
+  const double budget = world.budget();
+  EpsilonGreedy learner(*world.w.system, world.w.costs, budget, 0.5, Rng(4));
+  Rng rng(5);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    const auto action = learner.select_action();
+    EXPECT_LE(world.w.costs.subset_cost(*world.w.system, action),
+              budget + 1e-9);
+    std::vector<bool> avail(action.size(), true);
+    learner.observe(action, avail);
+  }
+}
+
+TEST(EpsilonGreedy, ObserveValidatesSizes) {
+  World world(4);
+  EpsilonGreedy learner(*world.w.system, world.w.costs, world.budget(), 0.1,
+                        Rng(6));
+  const auto action = learner.select_action();
+  EXPECT_THROW(learner.observe(action, std::vector<bool>(action.size() + 2)),
+               std::invalid_argument);
+}
+
+TEST(ThompsonSampling, ValidatesArguments) {
+  World world(5);
+  EXPECT_THROW(ThompsonSampling(*world.w.system, world.w.costs, 0.0, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(ThompsonSampling, ActionsRespectBudget) {
+  World world(6);
+  const double budget = world.budget();
+  ThompsonSampling learner(*world.w.system, world.w.costs, budget, Rng(7));
+  Rng rng(8);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    const auto action = learner.select_action();
+    EXPECT_FALSE(action.empty());
+    EXPECT_LE(world.w.costs.subset_cost(*world.w.system, action),
+              budget + 1e-9);
+    std::vector<bool> avail(action.size());
+    const auto v = world.w.failures->sample(rng);
+    for (std::size_t i = 0; i < action.size(); ++i) {
+      avail[i] = world.w.system->path_survives(action[i], v);
+    }
+    learner.observe(action, avail);
+  }
+  EXPECT_EQ(learner.epoch(), 20u);
+}
+
+TEST(ThompsonSampling, PosteriorConcentrates) {
+  // A path observed always-up must end with a high posterior mean, one
+  // observed always-down with a low one.
+  World world(7);
+  ThompsonSampling learner(*world.w.system, world.w.costs, world.budget(),
+                           Rng(9));
+  // Feed synthetic observations directly.
+  for (int i = 0; i < 50; ++i) {
+    learner.observe({0}, {true});
+    learner.observe({1}, {false});
+  }
+  const auto sel = learner.final_selection();
+  // Path 0 should be far more attractive than path 1: it appears in the
+  // exploit selection or at minimum the posterior means separate.  Verify
+  // through selection membership.
+  const bool has0 =
+      std::find(sel.paths.begin(), sel.paths.end(), 0u) != sel.paths.end();
+  const bool has1 =
+      std::find(sel.paths.begin(), sel.paths.end(), 1u) != sel.paths.end();
+  EXPECT_TRUE(has0 || !has1);
+}
+
+TEST(Learners, AllReachReasonablePerformance) {
+  // Property-style comparison: every learner's final selection reaches a
+  // sane fraction of the clairvoyant score on a small workload.
+  World world(8);
+  const double budget = world.budget();
+
+  core::ProbBoundEr engine(*world.w.system, *world.w.failures);
+  const auto clairvoyant =
+      core::rome(*world.w.system, world.w.costs, budget, engine);
+  Rng eval_rng(10);
+  const double s_clair = estimate_expected_reward(
+      *world.w.system, clairvoyant.paths, *world.w.failures, 600, eval_rng);
+
+  auto score = [&](PathLearner& learner) {
+    Rng rng(11);
+    run_learner(learner, *world.w.system, *world.w.failures, 250, rng);
+    Rng erng(12);
+    return estimate_expected_reward(*world.w.system,
+                                    learner.final_selection().paths,
+                                    *world.w.failures, 600, erng);
+  };
+
+  Lsr lsr(*world.w.system, world.w.costs, LsrConfig{.budget = budget});
+  EpsilonGreedy eg(*world.w.system, world.w.costs, budget, 0.1, Rng(13));
+  ThompsonSampling ts(*world.w.system, world.w.costs, budget, Rng(14));
+  EXPECT_GE(score(lsr), 0.7 * s_clair);
+  EXPECT_GE(score(eg), 0.7 * s_clair);
+  EXPECT_GE(score(ts), 0.7 * s_clair);
+}
+
+TEST(Learners, PolymorphicUseThroughBasePointer) {
+  World world(9);
+  const double budget = world.budget();
+  std::vector<std::unique_ptr<PathLearner>> learners;
+  learners.push_back(std::make_unique<Lsr>(*world.w.system, world.w.costs,
+                                           LsrConfig{.budget = budget}));
+  learners.push_back(std::make_unique<EpsilonGreedy>(
+      *world.w.system, world.w.costs, budget, 0.2, Rng(20)));
+  learners.push_back(std::make_unique<ThompsonSampling>(
+      *world.w.system, world.w.costs, budget, Rng(21)));
+  Rng rng(22);
+  for (auto& learner : learners) {
+    const auto result =
+        run_learner(*learner, *world.w.system, *world.w.failures, 15, rng);
+    EXPECT_EQ(result.records.size(), 15u);
+    EXPECT_EQ(learner->epoch(), 15u);
+    EXPECT_FALSE(learner->final_selection().paths.empty());
+  }
+}
+
+}  // namespace
+}  // namespace rnt::learning

@@ -1,0 +1,151 @@
+// Tests for CGLS (dense and sparse) and the least-squares estimation path:
+// exact solves on consistent systems, minimum-norm behavior, noise
+// averaging vs the basis-subsystem solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "exp/workload.h"
+#include "linalg/cgls.h"
+#include "linalg/elimination.h"
+#include "tomo/estimation.h"
+#include "util/rng.h"
+
+namespace rnt {
+namespace {
+
+TEST(Cgls, SolvesSquareConsistentSystem) {
+  linalg::Matrix a{{2, 1}, {1, 3}};
+  const std::vector<double> b = {5, 10};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 3.0, 1e-8);
+  EXPECT_NEAR(result.residual_norm, 0.0, 1e-8);
+}
+
+TEST(Cgls, OverdeterminedLeastSquares) {
+  // Three noisy observations of a single unknown: LS = mean.
+  linalg::Matrix a{{1}, {1}, {1}};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-10);
+  EXPECT_NEAR(result.residual_norm, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Cgls, UnderdeterminedGivesMinimumNorm) {
+  // x0 + x1 = 2: min-norm solution is (1, 1).
+  linalg::Matrix a{{1, 1}};
+  const std::vector<double> b = {2.0};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-10);
+}
+
+TEST(Cgls, SparseMatchesDense) {
+  Rng rng(1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t rows = 4 + rng.index(8);
+    const std::size_t cols = 3 + rng.index(6);
+    linalg::Matrix a(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (rng.bernoulli(0.4)) a(r, c) = 1.0;
+      }
+    }
+    std::vector<double> b(rows);
+    for (double& v : b) v = rng.uniform(-3, 3);
+    const auto dense = linalg::cgls_solve(a, b);
+    const auto sparse =
+        linalg::cgls_solve(linalg::SparseMatrix::from_dense(a), b);
+    ASSERT_EQ(dense.x.size(), sparse.x.size());
+    for (std::size_t i = 0; i < dense.x.size(); ++i) {
+      EXPECT_NEAR(dense.x[i], sparse.x[i], 1e-7);
+    }
+  }
+}
+
+TEST(Cgls, EmptyAndMismatchedInput) {
+  const auto empty = linalg::cgls_solve(linalg::Matrix(), std::vector<double>{});
+  EXPECT_TRUE(empty.converged);
+  EXPECT_TRUE(empty.x.empty());
+  linalg::Matrix a{{1, 0}};
+  const std::vector<double> bad = {1.0, 2.0};
+  EXPECT_THROW(linalg::cgls_solve(a, bad), std::invalid_argument);
+}
+
+TEST(Cgls, ResidualOrthogonalToRange) {
+  // LS optimality: Aᵀ(b - Ax) = 0.
+  Rng rng(2);
+  linalg::Matrix a(8, 4);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  std::vector<double> b(8);
+  for (double& v : b) v = rng.uniform(-2, 2);
+  const auto result = linalg::cgls_solve(a, b);
+  const auto ax = a.multiply(std::span<const double>(result.x));
+  std::vector<double> r(8);
+  for (std::size_t i = 0; i < 8; ++i) r[i] = b[i] - ax[i];
+  const auto atr = a.transposed().multiply(std::span<const double>(r));
+  for (double v : atr) {
+    EXPECT_NEAR(v, 0.0, 1e-7);
+  }
+}
+
+TEST(LsqEstimation, AgreesWithBasisSolverNoiseless) {
+  const exp::Workload w = exp::make_custom_workload(40, 80, 60, 5);
+  Rng rng(6);
+  const tomo::GroundTruth truth =
+      tomo::random_delays(w.graph.edge_count(), rng);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto v = w.failures->sample(rng);
+  const auto meas = tomo::simulate_measurements(*w.system, all, truth, v,
+                                                /*noise_std=*/0.0, rng);
+  const auto basis = tomo::estimate_link_metrics(*w.system, meas, truth);
+  const auto lsq = tomo::estimate_link_metrics_lsq(*w.system, meas, truth);
+  EXPECT_EQ(basis.identifiable, lsq.identifiable);
+  EXPECT_NEAR(lsq.mean_abs_error, 0.0, 1e-6);
+  for (std::size_t l : lsq.identifiable) {
+    EXPECT_NEAR(lsq.estimates[l], basis.estimates[l], 1e-6);
+  }
+}
+
+TEST(LsqEstimation, BeatsBasisSolverUnderNoise) {
+  // With redundant measurements and noise, LS averages; the basis solver
+  // commits to one noisy subsystem.  Compare mean errors over scenarios.
+  const exp::Workload w = exp::make_custom_workload(40, 80, 80, 7);
+  Rng rng(8);
+  const tomo::GroundTruth truth =
+      tomo::random_delays(w.graph.edge_count(), rng);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  double basis_err = 0.0;
+  double lsq_err = 0.0;
+  const double noise = 0.1;
+  for (int s = 0; s < 25; ++s) {
+    const auto v = w.failures->sample(rng);
+    const auto meas =
+        tomo::simulate_measurements(*w.system, all, truth, v, noise, rng);
+    basis_err +=
+        tomo::estimate_link_metrics(*w.system, meas, truth).mean_abs_error;
+    lsq_err +=
+        tomo::estimate_link_metrics_lsq(*w.system, meas, truth).mean_abs_error;
+  }
+  EXPECT_LT(lsq_err, basis_err);
+}
+
+TEST(LsqEstimation, EmptyMeasurements) {
+  const exp::Workload w = exp::make_custom_workload(20, 40, 20, 9);
+  tomo::GroundTruth truth;
+  truth.link_metrics.assign(w.graph.edge_count(), 1.0);
+  tomo::Measurements empty;
+  const auto result =
+      tomo::estimate_link_metrics_lsq(*w.system, empty, truth);
+  EXPECT_TRUE(result.identifiable.empty());
+}
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,150 @@
+// Tests for the rnt_cli subcommands, driven through the testable command
+// layer with captured output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli_commands.h"
+#include "util/flags.h"
+
+namespace rnt::cli {
+namespace {
+
+/// Builds Flags from a brace list of c-string flags.
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "test");
+  return Flags(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliTopology, PrintsStatsForCalibratedAs) {
+  auto flags = make_flags({"--as", "AS1755", "--seed", "3"});
+  std::ostringstream out;
+  EXPECT_EQ(cmd_topology(flags, out), 0);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("nodes"), std::string::npos);
+  EXPECT_NE(s.find("87"), std::string::npos);
+  EXPECT_NE(s.find("161"), std::string::npos);
+  EXPECT_NE(s.find("connected"), std::string::npos);
+  EXPECT_NO_THROW(flags.finish());
+}
+
+TEST(CliTopology, SavesAndReloadsEdgeList) {
+  const std::string path = "/tmp/rnt_cli_test_topology.edges";
+  {
+    auto flags =
+        make_flags({"--nodes", "20", "--links", "30", "--output",
+                    path.c_str()});
+    std::ostringstream out;
+    EXPECT_EQ(cmd_topology(flags, out), 0);
+    EXPECT_NE(out.str().find("wrote"), std::string::npos);
+  }
+  {
+    auto flags = make_flags({"--input", path.c_str()});
+    std::ostringstream out;
+    EXPECT_EQ(cmd_topology(flags, out), 0);
+    EXPECT_NE(out.str().find("20"), std::string::npos);
+    EXPECT_NE(out.str().find("30"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CliSelect, RunsEachAlgorithm) {
+  for (const char* algorithm :
+       {"prob-rome", "monte-rome", "select-path", "mat-rome"}) {
+    auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths",
+                             "40", "--algorithm", algorithm,
+                             "--budget-frac", "0.2"});
+    std::ostringstream out;
+    EXPECT_EQ(cmd_select(flags, out), 0) << algorithm;
+    EXPECT_NE(out.str().find("selected"), std::string::npos) << algorithm;
+    EXPECT_NE(out.str().find("availability"), std::string::npos);
+  }
+}
+
+TEST(CliSelect, RejectsUnknownAlgorithm) {
+  auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths", "20",
+                           "--algorithm", "magic"});
+  std::ostringstream out;
+  EXPECT_THROW(cmd_select(flags, out), std::invalid_argument);
+}
+
+TEST(CliEvaluate, ReportsMetrics) {
+  auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths", "40",
+                           "--budget-frac", "0.2", "--scenarios", "50",
+                           "--identifiability"});
+  std::ostringstream out;
+  EXPECT_EQ(cmd_evaluate(flags, out), 0);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("rank under failures (mean)"), std::string::npos);
+  EXPECT_NE(s.find("identifiable links (mean)"), std::string::npos);
+}
+
+TEST(CliLearn, RunsEachLearner) {
+  for (const char* learner : {"lsr", "epsilon-greedy", "thompson"}) {
+    auto flags = make_flags({"--nodes", "25", "--links", "50", "--paths",
+                             "20", "--epochs", "40", "--learner", learner,
+                             "--budget-frac", "0.3"});
+    std::ostringstream out;
+    EXPECT_EQ(cmd_learn(flags, out), 0) << learner;
+    EXPECT_NE(out.str().find("learned selection expected rank"),
+              std::string::npos)
+        << learner;
+  }
+}
+
+TEST(CliLearn, RejectsUnknownLearner) {
+  auto flags = make_flags({"--nodes", "25", "--links", "50", "--paths", "20",
+                           "--learner", "psychic"});
+  std::ostringstream out;
+  EXPECT_THROW(cmd_learn(flags, out), std::invalid_argument);
+}
+
+TEST(CliLocalize, ReportsScore) {
+  auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths", "40",
+                           "--budget-frac", "0.3", "--scenarios", "60"});
+  std::ostringstream out;
+  EXPECT_EQ(cmd_localize(flags, out), 0);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("localized exactly"), std::string::npos);
+  EXPECT_NE(s.find("invisible"), std::string::npos);
+}
+
+TEST(CliDispatch, UsageAndUnknownCommand) {
+  {
+    std::ostringstream out;
+    const char* argv[] = {"rnt_cli"};
+    EXPECT_EQ(dispatch(1, const_cast<char**>(argv), out), 1);
+    EXPECT_NE(out.str().find("usage:"), std::string::npos);
+  }
+  {
+    std::ostringstream out;
+    const char* argv[] = {"rnt_cli", "help"};
+    EXPECT_EQ(dispatch(2, const_cast<char**>(argv), out), 0);
+  }
+  {
+    std::ostringstream out;
+    const char* argv[] = {"rnt_cli", "frobnicate"};
+    EXPECT_EQ(dispatch(2, const_cast<char**>(argv), out), 1);
+    EXPECT_NE(out.str().find("unknown command"), std::string::npos);
+  }
+}
+
+TEST(CliDispatch, RunsFullCommandLine) {
+  std::ostringstream out;
+  const char* argv[] = {"rnt_cli", "topology", "--nodes", "15",
+                        "--links", "25"};
+  EXPECT_EQ(dispatch(6, const_cast<char**>(argv), out), 0);
+  EXPECT_NE(out.str().find("15"), std::string::npos);
+}
+
+TEST(CliDispatch, UnknownFlagFailsLoudly) {
+  std::ostringstream out;
+  const char* argv[] = {"rnt_cli", "topology", "--oops", "1"};
+  EXPECT_THROW(dispatch(4, const_cast<char**>(argv), out),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rnt::cli

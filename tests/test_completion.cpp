@@ -1,0 +1,132 @@
+// Tests for e2e measurement completion: exact reconstruction of dependent
+// path measurements, span/coverage semantics, and the robustness link —
+// robust selections reconstruct more of the candidate set under failures.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/workload.h"
+#include "linalg/elimination.h"
+#include "tomo/completion.h"
+#include "tomo/estimation.h"
+
+namespace rnt::tomo {
+namespace {
+
+/// Paths {l0}, {l1}, {l0,l1}, {l2}: path 2 = path 0 + path 1; path 3
+/// independent of all.
+PathSystem small_system() {
+  std::vector<ProbePath> paths(4);
+  paths[0].links = {0};
+  paths[0].hops = 1;
+  paths[1].links = {1};
+  paths[1].hops = 1;
+  paths[2].links = {0, 1};
+  paths[2].hops = 2;
+  paths[3].links = {2};
+  paths[3].hops = 1;
+  return PathSystem(3, paths);
+}
+
+TEST(Completion, ReconstructsDependentMeasurement) {
+  const PathSystem sys = small_system();
+  // Probe paths 0 and 1 with measurements 2.0 and 3.5.
+  MeasurementCompleter completer(sys, {0, 1}, {2.0, 3.5});
+  const auto m2 = completer.complete(2);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_NEAR(*m2, 5.5, 1e-9);  // Additivity: y2 = y0 + y1.
+  // Path 3 covers link l2, unseen by probes: not reconstructible.
+  EXPECT_FALSE(completer.complete(3).has_value());
+  // Probed paths reconstruct to their own measurements.
+  EXPECT_NEAR(*completer.complete(0), 2.0, 1e-9);
+  EXPECT_NEAR(*completer.complete(1), 3.5, 1e-9);
+}
+
+TEST(Completion, CoverageAndCoveredPaths) {
+  const PathSystem sys = small_system();
+  MeasurementCompleter completer(sys, {0, 1}, {1.0, 1.0});
+  EXPECT_EQ(completer.coverage(), 3u);
+  EXPECT_EQ(completer.covered_paths(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Completion, RedundantProbesAreConsistent) {
+  const PathSystem sys = small_system();
+  // Probing path 2 as well adds no new information; reconstruction must
+  // still be exact and prefer the independent subset's values.
+  MeasurementCompleter completer(sys, {0, 1, 2}, {2.0, 3.5, 5.5});
+  EXPECT_NEAR(*completer.complete(2), 5.5, 1e-9);
+  EXPECT_EQ(completer.coverage(), 3u);
+}
+
+TEST(Completion, SizeMismatchThrows) {
+  const PathSystem sys = small_system();
+  EXPECT_THROW(MeasurementCompleter(sys, {0, 1}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Completion, MatchesSimulatedGroundTruth) {
+  // On a realistic workload with additive delays: completing from a probed
+  // basis reproduces every covered path's true e2e delay.
+  const exp::Workload w = exp::make_custom_workload(40, 80, 80, 9);
+  Rng rng(10);
+  const GroundTruth truth = random_delays(w.graph.edge_count(), rng);
+  // Probe a basis of the candidate set.
+  const auto basis = linalg::independent_row_subset(w.system->matrix());
+  failures::FailureVector none(w.graph.edge_count(), false);
+  const auto meas =
+      simulate_measurements(*w.system, basis, truth, none, 0.0, rng);
+  MeasurementCompleter completer(*w.system, meas.rows, meas.values);
+  // Every candidate path is covered by a full basis.
+  EXPECT_EQ(completer.coverage(), w.system->path_count());
+  for (std::size_t q = 0; q < w.system->path_count(); ++q) {
+    double true_y = 0.0;
+    for (graph::EdgeId l : w.system->path(q).links) {
+      true_y += truth.link_metrics[l];
+    }
+    const auto y = completer.complete(q);
+    ASSERT_TRUE(y.has_value()) << "path " << q;
+    EXPECT_NEAR(*y, true_y, 1e-6) << "path " << q;
+  }
+}
+
+TEST(Completion, CoverageUnderFailuresCountsSurvivingSpan) {
+  const PathSystem sys = small_system();
+  failures::FailureVector v(3, false);
+  // No failures: probing {0,1,3} covers everything (rank 3).
+  EXPECT_EQ(completion_coverage_under(sys, {0, 1, 3}, v), 4u);
+  // l2 fails: path 3 is down; the rest still covered.
+  v[2] = true;
+  EXPECT_EQ(completion_coverage_under(sys, {0, 1, 3}, v), 3u);
+  // l0 fails: paths 0 and 2 down; coverage = {1, 3}.
+  v = {true, false, false};
+  EXPECT_EQ(completion_coverage_under(sys, {0, 1, 3}, v), 2u);
+}
+
+TEST(Completion, RobustSelectionCoversMoreUnderFailures) {
+  std::size_t rome_total = 0;
+  std::size_t sp_total = 0;
+  for (std::uint64_t seed = 30; seed < 33; ++seed) {
+    const exp::Workload w = exp::make_custom_workload(40, 80, 80, seed, 8.0);
+    std::vector<std::size_t> all(w.system->path_count());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const double budget = 0.2 * w.costs.subset_cost(*w.system, all);
+    core::ProbBoundEr engine(*w.system, *w.failures);
+    const auto rome_sel = core::rome(*w.system, w.costs, budget, engine);
+    Rng sp_rng(seed);
+    const auto sp_sel =
+        core::select_path_budgeted(*w.system, w.costs, budget, sp_rng);
+    Rng rng = w.eval_rng();
+    for (int s = 0; s < 40; ++s) {
+      const auto v = w.failures->sample(rng);
+      rome_total += completion_coverage_under(*w.system, rome_sel.paths, v);
+      sp_total += completion_coverage_under(*w.system, sp_sel.paths, v);
+    }
+  }
+  EXPECT_GT(rome_total, sp_total);
+}
+
+}  // namespace
+}  // namespace rnt::tomo

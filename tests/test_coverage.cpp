@@ -1,0 +1,92 @@
+// Tests for link-coverage statistics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/workload.h"
+#include "tomo/coverage.h"
+#include "tomo/identifiability.h"
+
+namespace rnt::tomo {
+namespace {
+
+PathSystem line_system() {
+  std::vector<ProbePath> paths(3);
+  paths[0].links = {0};
+  paths[0].hops = 1;
+  paths[1].links = {0, 1};
+  paths[1].hops = 2;
+  paths[2].links = {0, 1, 2};
+  paths[2].hops = 3;
+  return PathSystem(3, paths);
+}
+
+TEST(Coverage, CountsMultiplicities) {
+  const PathSystem sys = line_system();
+  const CoverageStats stats = coverage(sys, {0, 1, 2});
+  EXPECT_EQ(stats.covered_links, 3u);
+  EXPECT_EQ(stats.singly_covered, 1u);  // l2 only on path 2.
+  EXPECT_EQ(stats.max_multiplicity, 3u);  // l0 on all three paths.
+  EXPECT_EQ(stats.multiplicity, (std::vector<std::size_t>{3, 2, 1}));
+  EXPECT_NEAR(stats.mean_multiplicity, 2.0, 1e-12);
+  EXPECT_NEAR(stats.coverage_fraction(3), 1.0, 1e-12);
+}
+
+TEST(Coverage, PartialSelection) {
+  const PathSystem sys = line_system();
+  const CoverageStats stats = coverage(sys, {0});
+  EXPECT_EQ(stats.covered_links, 1u);
+  EXPECT_EQ(stats.singly_covered, 1u);
+  EXPECT_NEAR(stats.coverage_fraction(3), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(uncovered_links(sys, {0}), (std::vector<graph::EdgeId>{1, 2}));
+}
+
+TEST(Coverage, EmptySelection) {
+  const PathSystem sys = line_system();
+  const CoverageStats stats = coverage(sys, {});
+  EXPECT_EQ(stats.covered_links, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_multiplicity, 0.0);
+  EXPECT_EQ(uncovered_links(sys, {}).size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.coverage_fraction(0), 0.0);
+}
+
+TEST(Coverage, IdentifiabilityRequiresCoverage) {
+  // Property: every identifiable link is covered.
+  const exp::Workload w = exp::make_custom_workload(40, 80, 60, 3, 5.0);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  core::ProbBoundEr engine(*w.system, *w.failures);
+  const auto sel = core::rome(
+      *w.system, w.costs,
+      0.2 * w.costs.subset_cost(*w.system, all), engine);
+  const auto stats = coverage(*w.system, sel.paths);
+  for (std::size_t l : identifiable_links(*w.system, sel.paths)) {
+    EXPECT_GT(stats.multiplicity[l], 0u);
+  }
+}
+
+TEST(Coverage, RankNeverExceedsCoveredLinks) {
+  // Invariant: the rank of a selection is at most the number of covered
+  // links (nonzero columns) and at most the number of selected paths.
+  for (std::uint64_t seed = 4; seed < 8; ++seed) {
+    const exp::Workload w = exp::make_custom_workload(40, 80, 60, seed, 5.0);
+    std::vector<std::size_t> all(w.system->path_count());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const double budget = 0.1 * w.costs.subset_cost(*w.system, all);
+    core::ProbBoundEr engine(*w.system, *w.failures);
+    const auto sel = core::rome(*w.system, w.costs, budget, engine);
+    const auto stats = coverage(*w.system, sel.paths);
+    const std::size_t rank = w.system->rank_of(sel.paths);
+    EXPECT_LE(rank, stats.covered_links);
+    EXPECT_LE(rank, sel.paths.size());
+    // Redundancy accounting is self-consistent.
+    EXPECT_LE(stats.singly_covered, stats.covered_links);
+    EXPECT_GE(stats.mean_multiplicity, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rnt::tomo

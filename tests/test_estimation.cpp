@@ -1,0 +1,164 @@
+// Tests for end-to-end link metric estimation: noiseless recovery on
+// identifiable links, failure handling, noise behavior, and the connection
+// between robust selection and estimation quality.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/workload.h"
+#include "tomo/estimation.h"
+#include "tomo/identifiability.h"
+
+namespace rnt::tomo {
+namespace {
+
+/// Line topology system: paths (l0), (l0,l1), (l0,l1,l2).
+PathSystem line_system() {
+  std::vector<ProbePath> paths(3);
+  paths[0].links = {0};
+  paths[0].hops = 1;
+  paths[1].links = {0, 1};
+  paths[1].hops = 2;
+  paths[2].links = {0, 1, 2};
+  paths[2].hops = 3;
+  return PathSystem(3, paths);
+}
+
+TEST(Estimation, RandomDelaysInRange) {
+  Rng rng(1);
+  const GroundTruth truth = random_delays(50, rng, 2.0, 4.0);
+  ASSERT_EQ(truth.link_metrics.size(), 50u);
+  for (double m : truth.link_metrics) {
+    EXPECT_GE(m, 2.0);
+    EXPECT_LT(m, 4.0);
+  }
+}
+
+TEST(Estimation, NoiselessExactRecovery) {
+  const PathSystem sys = line_system();
+  GroundTruth truth;
+  truth.link_metrics = {1.5, 2.5, 3.5};
+  failures::FailureVector v(3, false);
+  Rng rng(2);
+  const auto meas =
+      simulate_measurements(sys, {0, 1, 2}, truth, v, /*noise_std=*/0.0, rng);
+  ASSERT_EQ(meas.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(meas.values[0], 1.5);
+  EXPECT_DOUBLE_EQ(meas.values[1], 4.0);
+  EXPECT_DOUBLE_EQ(meas.values[2], 7.5);
+  const auto result = estimate_link_metrics(sys, meas, truth);
+  ASSERT_EQ(result.identifiable.size(), 3u);
+  EXPECT_NEAR(result.mean_abs_error, 0.0, 1e-9);
+  EXPECT_NEAR(result.estimates[0], 1.5, 1e-9);
+  EXPECT_NEAR(result.estimates[1], 2.5, 1e-9);
+  EXPECT_NEAR(result.estimates[2], 3.5, 1e-9);
+}
+
+TEST(Estimation, FailedPathsDropOut) {
+  const PathSystem sys = line_system();
+  GroundTruth truth;
+  truth.link_metrics = {1.0, 2.0, 3.0};
+  failures::FailureVector v(3, false);
+  v[2] = true;  // Path 2 dies; links 0, 1 still identifiable.
+  Rng rng(3);
+  const auto meas = simulate_measurements(sys, {0, 1, 2}, truth, v, 0.0, rng);
+  ASSERT_EQ(meas.rows.size(), 2u);
+  const auto result = estimate_link_metrics(sys, meas, truth);
+  ASSERT_EQ(result.identifiable.size(), 2u);
+  EXPECT_NEAR(result.estimates[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.estimates[1], 2.0, 1e-9);
+}
+
+TEST(Estimation, EmptyMeasurements) {
+  const PathSystem sys = line_system();
+  GroundTruth truth;
+  truth.link_metrics = {1.0, 2.0, 3.0};
+  Measurements empty;
+  const auto result = estimate_link_metrics(sys, empty, truth);
+  EXPECT_TRUE(result.identifiable.empty());
+  EXPECT_DOUBLE_EQ(result.mean_abs_error, 0.0);
+}
+
+TEST(Estimation, SizeValidation) {
+  const PathSystem sys = line_system();
+  GroundTruth bad;
+  bad.link_metrics = {1.0};
+  failures::FailureVector v(3, false);
+  Rng rng(4);
+  EXPECT_THROW(simulate_measurements(sys, {0}, bad, v, 0.0, rng),
+               std::invalid_argument);
+  Measurements mismatched;
+  mismatched.rows = {0, 1};
+  mismatched.values = {1.0};
+  GroundTruth truth;
+  truth.link_metrics = {1.0, 2.0, 3.0};
+  EXPECT_THROW(estimate_link_metrics(sys, mismatched, truth),
+               std::invalid_argument);
+}
+
+TEST(Estimation, NoiseShiftsEstimatesBoundedly) {
+  const PathSystem sys = line_system();
+  GroundTruth truth;
+  truth.link_metrics = {1.0, 2.0, 3.0};
+  failures::FailureVector v(3, false);
+  Rng rng(5);
+  const double noise = 0.01;
+  const auto meas = simulate_measurements(sys, {0, 1, 2}, truth, v, noise, rng);
+  const auto result = estimate_link_metrics(sys, meas, truth);
+  ASSERT_EQ(result.identifiable.size(), 3u);
+  // Errors are a few noise standard deviations at most (3 equations).
+  EXPECT_LT(result.max_abs_error, 10.0 * noise);
+  EXPECT_GT(result.mean_abs_error, 0.0);
+}
+
+TEST(Estimation, NoiselessRecoveryOnRealisticWorkload) {
+  const exp::Workload w = exp::make_custom_workload(40, 80, 60, /*seed=*/6);
+  Rng rng(7);
+  const GroundTruth truth = random_delays(w.graph.edge_count(), rng);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto v = w.failures->sample(rng);
+  const auto meas = simulate_measurements(*w.system, all, truth, v, 0.0, rng);
+  const auto result = estimate_link_metrics(*w.system, meas, truth);
+  // Identifiability must agree with the standalone computation.
+  EXPECT_EQ(result.identifiable, identifiable_links(*w.system, meas.rows));
+  // Noiseless: identifiable links recovered exactly.
+  EXPECT_NEAR(result.mean_abs_error, 0.0, 1e-7);
+  EXPECT_NEAR(result.max_abs_error, 0.0, 1e-6);
+}
+
+TEST(Estimation, RobustSelectionEstimatesMoreLinks) {
+  // The point of the whole exercise: under failures, RoMe's selection keeps
+  // more links identifiable — and therefore estimable — than SelectPath.
+  std::size_t rome_total = 0;
+  std::size_t sp_total = 0;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const exp::Workload w = exp::make_custom_workload(40, 80, 60, seed, 8.0);
+    const double budget = 2500.0;
+    core::ProbBoundEr engine(*w.system, *w.failures);
+    const auto rome_sel = core::rome(*w.system, w.costs, budget, engine);
+    Rng sp_rng(seed);
+    const auto sp_sel =
+        core::select_path_budgeted(*w.system, w.costs, budget, sp_rng);
+    Rng rng = w.eval_rng();
+    const GroundTruth truth = random_delays(w.graph.edge_count(), rng);
+    for (int s = 0; s < 30; ++s) {
+      const auto v = w.failures->sample(rng);
+      const auto rome_meas =
+          simulate_measurements(*w.system, rome_sel.paths, truth, v, 0.0, rng);
+      const auto sp_meas =
+          simulate_measurements(*w.system, sp_sel.paths, truth, v, 0.0, rng);
+      rome_total +=
+          estimate_link_metrics(*w.system, rome_meas, truth).identifiable.size();
+      sp_total +=
+          estimate_link_metrics(*w.system, sp_meas, truth).identifiable.size();
+    }
+  }
+  EXPECT_GT(rome_total, sp_total);
+}
+
+}  // namespace
+}  // namespace rnt::tomo

@@ -1,0 +1,149 @@
+// Tests for the experiment-support extensions: failure traces (record /
+// replay / persistence / statistics) and CSV data series.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "exp/series.h"
+#include "failures/trace.h"
+#include "util/rng.h"
+
+namespace rnt {
+namespace {
+
+// --------------------------------------------------------------------------
+// FailureTrace
+// --------------------------------------------------------------------------
+
+TEST(FailureTrace, AppendAndAccess) {
+  failures::FailureTrace trace(3);
+  trace.append({true, false, false});
+  trace.append({false, true, true});
+  EXPECT_EQ(trace.epoch_count(), 2u);
+  EXPECT_TRUE(trace.epoch(0)[0]);
+  EXPECT_TRUE(trace.epoch(1)[2]);
+  EXPECT_THROW(trace.append({true}), std::invalid_argument);
+}
+
+TEST(FailureTrace, CyclicAccess) {
+  failures::FailureTrace trace(2);
+  trace.append({true, false});
+  trace.append({false, true});
+  EXPECT_EQ(trace.cyclic(0), trace.epoch(0));
+  EXPECT_EQ(trace.cyclic(5), trace.epoch(1));
+  failures::FailureTrace empty(2);
+  EXPECT_THROW(empty.cyclic(0), std::logic_error);
+}
+
+TEST(FailureTrace, Statistics) {
+  failures::FailureTrace trace(2);
+  trace.append({true, false});
+  trace.append({true, true});
+  trace.append({false, false});
+  EXPECT_NEAR(trace.empirical_failure_rate(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(trace.empirical_failure_rate(1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(trace.mean_concurrent_failures(), 1.0, 1e-12);
+  EXPECT_THROW(trace.empirical_failure_rate(5), std::out_of_range);
+}
+
+TEST(FailureTrace, RecordMatchesModelStatistically) {
+  const failures::FailureModel model({0.3, 0.05});
+  Rng rng(1);
+  const auto trace = failures::FailureTrace::record(model, 20000, rng);
+  EXPECT_EQ(trace.epoch_count(), 20000u);
+  EXPECT_NEAR(trace.empirical_failure_rate(0), 0.3, 0.02);
+  EXPECT_NEAR(trace.empirical_failure_rate(1), 0.05, 0.01);
+}
+
+TEST(FailureTrace, StreamRoundTrip) {
+  failures::FailureTrace trace(4);
+  trace.append({false, false, false, false});
+  trace.append({true, false, true, false});
+  trace.append({false, false, false, true});
+  std::stringstream buffer;
+  trace.write(buffer);
+  const auto loaded = failures::FailureTrace::read(buffer);
+  EXPECT_EQ(loaded, trace);
+}
+
+TEST(FailureTrace, FileRoundTrip) {
+  const std::string path = "/tmp/rnt_test_trace.txt";
+  Rng rng(2);
+  const auto model = failures::uniform_model(6, 0.4);
+  const auto trace = failures::FailureTrace::record(model, 25, rng);
+  trace.save(path);
+  const auto loaded = failures::FailureTrace::load(path);
+  EXPECT_EQ(loaded, trace);
+  std::remove(path.c_str());
+  EXPECT_THROW(failures::FailureTrace::load("/nonexistent/trace"),
+               std::runtime_error);
+}
+
+TEST(FailureTrace, ReadValidatesInput) {
+  std::istringstream no_header("# only a comment\n");
+  EXPECT_THROW(failures::FailureTrace::read(no_header), std::runtime_error);
+  std::istringstream bad_link("3\n0 7\n");
+  EXPECT_THROW(failures::FailureTrace::read(bad_link), std::runtime_error);
+  std::istringstream bad_count("zebra\n");
+  EXPECT_THROW(failures::FailureTrace::read(bad_count), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// SeriesTable
+// --------------------------------------------------------------------------
+
+TEST(SeriesTable, BuildAndQuery) {
+  exp::SeriesTable t("budget", {"rome", "selectpath"});
+  t.add_row(0.1, {10.0, 7.0});
+  t.add_row(0.2, {20.0, 12.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.series_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.x(1), 0.2);
+  EXPECT_DOUBLE_EQ(t.value(1, 0), 20.0);
+  EXPECT_EQ(t.series("selectpath"), (std::vector<double>{7.0, 12.0}));
+  EXPECT_THROW(t.series("nope"), std::invalid_argument);
+  EXPECT_THROW(t.add_row(0.3, {1.0}), std::invalid_argument);
+}
+
+TEST(SeriesTable, ValidatesConstruction) {
+  EXPECT_THROW(exp::SeriesTable("x", {}), std::invalid_argument);
+  EXPECT_THROW(exp::SeriesTable("x", {"a,b"}), std::invalid_argument);
+  EXPECT_THROW(exp::SeriesTable("x", {""}), std::invalid_argument);
+}
+
+TEST(SeriesTable, CsvRoundTripPreservesPrecision) {
+  exp::SeriesTable t("k", {"value"});
+  t.add_row(1.0, {1.0 / 3.0});
+  t.add_row(2.0, {0.1234567890123456});
+  std::stringstream buffer;
+  t.write_csv(buffer);
+  const auto loaded = exp::SeriesTable::read_csv(buffer);
+  EXPECT_EQ(loaded, t);
+}
+
+TEST(SeriesTable, FileRoundTrip) {
+  const std::string path = "/tmp/rnt_test_series.csv";
+  exp::SeriesTable t("epoch", {"lsr", "thompson"});
+  for (int i = 1; i <= 5; ++i) {
+    t.add_row(i, {i * 1.5, i * 2.0});
+  }
+  t.save_csv(path);
+  const auto loaded = exp::SeriesTable::load_csv(path);
+  EXPECT_EQ(loaded, t);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesTable, ReadValidatesInput) {
+  std::istringstream empty("");
+  EXPECT_THROW(exp::SeriesTable::read_csv(empty), std::runtime_error);
+  std::istringstream one_col("justx\n1\n");
+  EXPECT_THROW(exp::SeriesTable::read_csv(one_col), std::runtime_error);
+  std::istringstream bad_number("x,y\n1,zebra\n");
+  EXPECT_THROW(exp::SeriesTable::read_csv(bad_number), std::runtime_error);
+  std::istringstream ragged("x,y\n1,2,3\n");
+  EXPECT_THROW(exp::SeriesTable::read_csv(ragged), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,213 @@
+// Tests for the failure substrate: the Markopoulou power-law model,
+// i.i.d. sampling, exactly-k scenarios, scenario probabilities (Eq. 2),
+// and exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "failures/failure_model.h"
+#include "failures/scenario.h"
+#include "util/rng.h"
+
+namespace rnt::failures {
+namespace {
+
+TEST(FailureModel, ValidatesProbabilities) {
+  EXPECT_NO_THROW(FailureModel({0.0, 0.5, 1.0}));
+  EXPECT_THROW(FailureModel({-0.1}), std::invalid_argument);
+  EXPECT_THROW(FailureModel({1.1}), std::invalid_argument);
+}
+
+TEST(FailureModel, ExpectedFailuresIsSum) {
+  const FailureModel m({0.1, 0.2, 0.3});
+  EXPECT_NEAR(m.expected_failures(), 0.6, 1e-12);
+}
+
+TEST(FailureModel, SampleRespectsExtremes) {
+  const FailureModel m({0.0, 1.0, 0.0});
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto v = m.sample(rng);
+    EXPECT_FALSE(v[0]);
+    EXPECT_TRUE(v[1]);
+    EXPECT_FALSE(v[2]);
+  }
+}
+
+TEST(FailureModel, SampleFrequencyMatchesProbability) {
+  const FailureModel m({0.25});
+  Rng rng(2);
+  int fails = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (m.sample(rng)[0]) ++fails;
+  }
+  EXPECT_NEAR(static_cast<double>(fails) / n, 0.25, 0.01);
+}
+
+TEST(FailureModel, SampleExactlyK) {
+  const FailureModel m({0.5, 0.5, 0.5, 0.5, 0.5});
+  Rng rng(3);
+  for (std::size_t k = 0; k <= 5; ++k) {
+    const auto v = m.sample_exactly_k(k, rng);
+    EXPECT_EQ(static_cast<std::size_t>(std::count(v.begin(), v.end(), true)),
+              k);
+  }
+  EXPECT_THROW(m.sample_exactly_k(6, rng), std::invalid_argument);
+}
+
+TEST(FailureModel, SampleExactlyKWeighted) {
+  // Link 0 is 9x more failure-prone; it should fail in most k=1 draws.
+  const FailureModel m({0.9, 0.1});
+  Rng rng(4);
+  int first = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (m.sample_exactly_k(1, rng)[0]) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.9, 0.02);
+}
+
+TEST(FailureModel, SampleExactlyKWithZeroWeights) {
+  const FailureModel m({0.0, 0.0, 0.0});
+  Rng rng(5);
+  const auto v = m.sample_exactly_k(2, rng);
+  EXPECT_EQ(std::count(v.begin(), v.end(), true), 2);
+}
+
+TEST(FailureModel, ScenarioProbabilityEq2) {
+  const FailureModel m({0.1, 0.2});
+  EXPECT_NEAR(m.scenario_probability({false, false}), 0.9 * 0.8, 1e-12);
+  EXPECT_NEAR(m.scenario_probability({true, false}), 0.1 * 0.8, 1e-12);
+  EXPECT_NEAR(m.scenario_probability({true, true}), 0.1 * 0.2, 1e-12);
+  EXPECT_THROW(m.scenario_probability({true}), std::invalid_argument);
+}
+
+TEST(FailureModel, PathAvailabilityEq3) {
+  const FailureModel m({0.1, 0.2, 0.3});
+  EXPECT_NEAR(m.path_availability({0, 2}), 0.9 * 0.7, 1e-12);
+  EXPECT_NEAR(m.path_availability({}), 1.0, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Markopoulou model
+// --------------------------------------------------------------------------
+
+TEST(Markopoulou, ProbabilitiesAreNormalizedCounts) {
+  const auto p = markopoulou_probabilities(100);
+  ASSERT_EQ(p.size(), 100u);
+  // Rank order: strictly decreasing in failure rank.
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_LE(p[i], p[i - 1]);
+  }
+  // Counts were normalized by the total, so probabilities sum to 1.
+  const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double x : p) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Markopoulou, TwoSegmentPowerLaw) {
+  const std::size_t links = 1000;  // 2.5% -> 25 high-failure links
+  const auto p = markopoulou_probabilities(links);
+  // Inside the high segment: p(l) / p(2l) == 2^0.73.
+  EXPECT_NEAR(p[0] / p[1], std::pow(2.0, 0.73), 1e-9);
+  EXPECT_NEAR(p[9] / p[19], std::pow(2.0, 0.73), 1e-9);
+  // Inside the low segment: exponent 1.35.
+  EXPECT_NEAR(p[99] / p[199], std::pow(2.0, 1.35), 1e-9);
+  // Continuity at the boundary: no large jump between ranks 25 and 26.
+  EXPECT_LT(p[24] / p[25], 1.2);
+}
+
+TEST(Markopoulou, IntensityScalesLinearly) {
+  const auto p1 = markopoulou_probabilities(50, 1.0);
+  const auto p3 = markopoulou_probabilities(50, 3.0);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_NEAR(p3[i], std::min(1.0, 3.0 * p1[i]), 1e-12);
+  }
+  EXPECT_THROW(markopoulou_probabilities(50, -1.0), std::invalid_argument);
+}
+
+TEST(Markopoulou, ModelShufflesRanksDeterministically) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const auto m1 = markopoulou_model(64, rng1);
+  const auto m2 = markopoulou_model(64, rng2);
+  EXPECT_EQ(m1.probabilities(), m2.probabilities());
+  // The multiset of probabilities equals the ranked list.
+  auto sorted = m1.probabilities();
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto ranked = markopoulou_probabilities(64);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_NEAR(sorted[i], ranked[i], 1e-12);
+  }
+}
+
+TEST(Markopoulou, EmptyAndTiny) {
+  EXPECT_TRUE(markopoulou_probabilities(0).empty());
+  const auto p = markopoulou_probabilities(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(UniformModel, AllEqual) {
+  const auto m = uniform_model(10, 0.05);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(m.probability(i), 0.05);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Scenario enumeration
+// --------------------------------------------------------------------------
+
+TEST(Scenario, EnumerationCoversAllAndSumsToOne) {
+  const FailureModel m({0.3, 0.5, 0.1});
+  std::size_t count = 0;
+  double total_prob = 0.0;
+  enumerate_scenarios(m, [&](const FailureVector& v, double p) {
+    EXPECT_EQ(v.size(), 3u);
+    ++count;
+    total_prob += p;
+  });
+  EXPECT_EQ(count, 8u);
+  EXPECT_NEAR(total_prob, 1.0, 1e-12);
+}
+
+TEST(Scenario, EnumerationGuardsLargeInstances) {
+  const auto m = uniform_model(30, 0.1);
+  EXPECT_THROW(enumerate_scenarios(m, [](const FailureVector&, double) {}),
+               std::invalid_argument);
+}
+
+TEST(Scenario, EnumerationMatchesExpectedFailures) {
+  // E[#failed] from enumeration must equal the sum of probabilities.
+  const FailureModel m({0.2, 0.7, 0.05, 0.4});
+  double expected = 0.0;
+  enumerate_scenarios(m, [&](const FailureVector& v, double p) {
+    expected += p * static_cast<double>(std::count(v.begin(), v.end(), true));
+  });
+  EXPECT_NEAR(expected, m.expected_failures(), 1e-12);
+}
+
+TEST(Scenario, SampleScenariosCount) {
+  const auto m = uniform_model(5, 0.5);
+  Rng rng(6);
+  const auto scenarios = sample_scenarios(m, 17, rng);
+  EXPECT_EQ(scenarios.size(), 17u);
+  for (const auto& v : scenarios) EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(Scenario, PathSurvives) {
+  const FailureVector v = {false, true, false};
+  EXPECT_TRUE(path_survives({0, 2}, v));
+  EXPECT_FALSE(path_survives({0, 1}, v));
+  EXPECT_TRUE(path_survives({}, v));
+}
+
+}  // namespace
+}  // namespace rnt::failures

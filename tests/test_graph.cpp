@@ -1,0 +1,381 @@
+// Tests for the graph substrate: core graph invariants, Dijkstra (validated
+// against Bellman-Ford), generators, the calibrated ISP topologies, and
+// edge-list I/O round-tripping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/isp_topology.h"
+#include "graph/shortest_path.h"
+#include "util/rng.h"
+
+namespace rnt::graph {
+namespace {
+
+// --------------------------------------------------------------------------
+// Graph
+// --------------------------------------------------------------------------
+
+TEST(Graph, AddEdgeAndAdjacency) {
+  Graph g(4);
+  const EdgeId e0 = g.add_edge(0, 1, 2.0);
+  const EdgeId e1 = g.add_edge(1, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.edge(e0).weight, 2.0);
+  EXPECT_EQ(g.edge(e1).other(1), 2u);
+  EXPECT_TRUE(g.find_edge(1, 0).has_value());
+  EXPECT_FALSE(g.find_edge(0, 3).has_value());
+}
+
+TEST(Graph, RejectsInvalidEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);   // self-loop
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);       // bad node
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);   // duplicate
+}
+
+TEST(Graph, AddNode) {
+  Graph g(2);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+  g.add_edge(n, 0);
+  EXPECT_EQ(g.degree(n), 1u);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.is_connected());
+  EXPECT_EQ(g.component_count(), 3u);  // {0,1,2}, {3}, {4}
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.component_count(), 1u);
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g(0);
+  EXPECT_TRUE(g.is_connected());
+}
+
+// --------------------------------------------------------------------------
+// Shortest paths
+// --------------------------------------------------------------------------
+
+TEST(ShortestPath, SimpleChain) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  const auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->weight, 6.0);
+  EXPECT_EQ(p->hop_count(), 3u);
+  EXPECT_EQ(p->nodes.front(), 0u);
+  EXPECT_EQ(p->nodes.back(), 3u);
+}
+
+TEST(ShortestPath, PrefersLighterDetour) {
+  Graph g(3);
+  g.add_edge(0, 2, 10.0);          // direct but heavy
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);           // detour, total 2
+  const auto p = shortest_path(g, 0, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->weight, 2.0);
+  EXPECT_EQ(p->hop_count(), 2u);
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(shortest_path(g, 0, 3).has_value());
+}
+
+TEST(ShortestPath, PathEdgesAreConsistent) {
+  Rng rng(5);
+  Graph g = connected_erdos_renyi(30, 60, rng, WeightModel::kUniformReal);
+  const auto tree = dijkstra(g, 0);
+  for (NodeId t = 1; t < g.node_count(); ++t) {
+    const auto p = extract_path(g, tree, t);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_EQ(p->edges.size() + 1, p->nodes.size());
+    double w = 0.0;
+    for (std::size_t i = 0; i < p->edges.size(); ++i) {
+      const Edge& e = g.edge(p->edges[i]);
+      // Edge i must connect nodes i and i+1.
+      const bool forward = e.u == p->nodes[i] && e.v == p->nodes[i + 1];
+      const bool backward = e.v == p->nodes[i] && e.u == p->nodes[i + 1];
+      EXPECT_TRUE(forward || backward);
+      w += e.weight;
+    }
+    EXPECT_NEAR(w, p->weight, 1e-9);
+  }
+}
+
+TEST(ShortestPath, DijkstraMatchesBellmanFord) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = connected_erdos_renyi(25, 50, rng, WeightModel::kUniformReal);
+    const NodeId src = static_cast<NodeId>(rng.index(g.node_count()));
+    const auto tree = dijkstra(g, src);
+    const auto bf = bellman_ford_distances(g, src);
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      EXPECT_NEAR(tree.distance[n], bf[n], 1e-9);
+    }
+  }
+}
+
+TEST(ShortestPath, DeterministicAcrossRuns) {
+  Rng rng(33);
+  Graph g = connected_erdos_renyi(20, 45, rng, WeightModel::kUnit);
+  const auto p1 = shortest_path(g, 0, 10);
+  const auto p2 = shortest_path(g, 0, 10);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->nodes, p2->nodes);
+}
+
+TEST(ShortestPath, SourceOutOfRangeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(dijkstra(g, 7), std::out_of_range);
+  EXPECT_THROW(bellman_ford_distances(g, 7), std::out_of_range);
+}
+
+// --------------------------------------------------------------------------
+// Generators
+// --------------------------------------------------------------------------
+
+TEST(Generators, ErdosRenyiHasRequestedEdges) {
+  Rng rng(1);
+  Graph g = erdos_renyi(20, 40, rng);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 40u);
+  EXPECT_THROW(erdos_renyi(4, 100, rng), std::invalid_argument);
+}
+
+TEST(Generators, ConnectedErdosRenyiIsConnected) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = connected_erdos_renyi(30, 35, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.edge_count(), 35u);
+  }
+}
+
+TEST(Generators, ConnectedErdosRenyiSparseFallsBackToTree) {
+  Rng rng(3);
+  Graph g = connected_erdos_renyi(10, 0, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.edge_count(), 9u);  // Spanning tree.
+}
+
+TEST(Generators, BarabasiAlbertConnectedHeavyTail) {
+  Rng rng(4);
+  Graph g = barabasi_albert(200, 2, rng);
+  EXPECT_TRUE(g.is_connected());
+  // Heavy tail: max degree should far exceed the mean degree.
+  std::size_t max_deg = 0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    max_deg = std::max(max_deg, g.degree(n));
+  }
+  const double mean_deg =
+      2.0 * static_cast<double>(g.edge_count()) / static_cast<double>(g.node_count());
+  EXPECT_GT(static_cast<double>(max_deg), 3.0 * mean_deg);
+}
+
+TEST(Generators, BarabasiAlbertValidation) {
+  Rng rng(4);
+  EXPECT_THROW(barabasi_albert(2, 3, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, RingWithChords) {
+  Rng rng(6);
+  Graph g = ring_with_chords(10, 5, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_THROW(ring_with_chords(2, 0, rng), std::invalid_argument);
+}
+
+TEST(Generators, MakeConnectedJoinsComponents) {
+  Rng rng(8);
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  make_connected(g, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.edge_count(), 5u);  // Exactly components-1 added.
+}
+
+TEST(Generators, RandomGeometricRadiusOne) {
+  Rng rng(9);
+  Graph g = random_geometric(12, 1.5, rng);  // Radius covers unit square.
+  EXPECT_EQ(g.edge_count(), 12u * 11u / 2u);  // Complete graph.
+}
+
+TEST(Generators, WeightModels) {
+  Rng rng(10);
+  EXPECT_DOUBLE_EQ(sample_weight(WeightModel::kUnit, rng), 1.0);
+  for (int i = 0; i < 100; ++i) {
+    const double w = sample_weight(WeightModel::kUniformInteger, rng);
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 20.0);
+    EXPECT_DOUBLE_EQ(w, std::floor(w));
+    const double r = sample_weight(WeightModel::kUniformReal, rng);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LT(r, 10.0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// ISP topologies (Table I calibration)
+// --------------------------------------------------------------------------
+
+TEST(IspTopology, ProfilesMatchTableI) {
+  const auto profiles = all_isp_profiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "AS1755");
+  EXPECT_EQ(profiles[0].nodes, 87u);
+  EXPECT_EQ(profiles[0].links, 161u);
+  EXPECT_EQ(profiles[1].name, "AS3257");
+  EXPECT_EQ(profiles[1].nodes, 161u);
+  EXPECT_EQ(profiles[1].links, 328u);
+  EXPECT_EQ(profiles[2].name, "AS1239");
+  EXPECT_EQ(profiles[2].nodes, 315u);
+  EXPECT_EQ(profiles[2].links, 972u);
+}
+
+TEST(IspTopology, ParseNames) {
+  EXPECT_EQ(parse_isp_topology("as1755"), IspTopology::kAS1755);
+  EXPECT_EQ(parse_isp_topology("AS3257"), IspTopology::kAS3257);
+  EXPECT_EQ(parse_isp_topology("As1239"), IspTopology::kAS1239);
+  EXPECT_THROW(parse_isp_topology("AS9999"), std::invalid_argument);
+}
+
+class IspTopologyBuild : public ::testing::TestWithParam<IspTopology> {};
+
+TEST_P(IspTopologyBuild, ExactSizesConnectedWeighted) {
+  Rng rng(123);
+  const IspProfile profile = isp_profile(GetParam());
+  const Graph g = build_isp_topology(GetParam(), rng);
+  EXPECT_EQ(g.node_count(), profile.nodes);
+  EXPECT_EQ(g.edge_count(), profile.links);
+  EXPECT_TRUE(g.is_connected());
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight, 20.0);
+  }
+}
+
+TEST_P(IspTopologyBuild, HeavyTailedDegrees) {
+  Rng rng(321);
+  const Graph g = build_isp_topology(GetParam(), rng);
+  std::size_t max_deg = 0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    max_deg = std::max(max_deg, g.degree(n));
+  }
+  const double mean_deg = 2.0 * static_cast<double>(g.edge_count()) /
+                          static_cast<double>(g.node_count());
+  EXPECT_GT(static_cast<double>(max_deg), 2.5 * mean_deg);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, IspTopologyBuild,
+                         ::testing::Values(IspTopology::kAS1755,
+                                           IspTopology::kAS3257,
+                                           IspTopology::kAS1239));
+
+TEST(IspTopology, CustomSizesValidated) {
+  Rng rng(5);
+  EXPECT_THROW(build_isp_like(2, 1, rng), std::invalid_argument);
+  EXPECT_THROW(build_isp_like(10, 5, rng), std::invalid_argument);   // < n-1
+  EXPECT_THROW(build_isp_like(5, 100, rng), std::invalid_argument);  // > max
+  const Graph g = build_isp_like(20, 30, rng);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 30u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(IspTopology, DeterministicGivenSeed) {
+  Rng rng1(77);
+  Rng rng2(77);
+  const Graph a = build_isp_topology(IspTopology::kAS1755, rng1);
+  const Graph b = build_isp_topology(IspTopology::kAS1755, rng2);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::size_t e = 0; e < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(static_cast<EdgeId>(e)), b.edge(static_cast<EdgeId>(e)));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Edge-list I/O
+// --------------------------------------------------------------------------
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(88);
+  const Graph g = connected_erdos_renyi(15, 30, rng, WeightModel::kUniformReal);
+  std::stringstream buffer;
+  write_edge_list(g, buffer);
+  const Graph h = read_edge_list(buffer);
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(h.edge(static_cast<EdgeId>(e)).u, g.edge(static_cast<EdgeId>(e)).u);
+    EXPECT_NEAR(h.edge(static_cast<EdgeId>(e)).weight,
+                g.edge(static_cast<EdgeId>(e)).weight, 1e-9);
+  }
+}
+
+TEST(GraphIo, ParsesCommentsAndDefaults) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "0 1 2.5\n"
+      "1 2   # trailing comment, default weight\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 2.5);
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 1.0);
+}
+
+TEST(GraphIo, SkipsDuplicateEdges) {
+  std::istringstream in("0 1\n1 0 5.0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 1.0);  // First occurrence kept.
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  std::istringstream self_loop("3 3\n");
+  EXPECT_THROW(read_edge_list(self_loop), std::runtime_error);
+  std::istringstream negative("-1 2\n");
+  EXPECT_THROW(read_edge_list(negative), std::runtime_error);
+  std::istringstream one_field("4\n");
+  EXPECT_THROW(read_edge_list(one_field), std::runtime_error);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/file.txt"), std::runtime_error);
+}
+
+TEST(GraphIo, EmptyInput) {
+  std::istringstream in("# nothing\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rnt::graph

@@ -1,0 +1,191 @@
+// Tests for the graph algorithm extensions: Yen's k-shortest paths and
+// betweenness centrality.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/centrality.h"
+#include "graph/generators.h"
+#include "graph/yen.h"
+#include "util/rng.h"
+
+namespace rnt::graph {
+namespace {
+
+// --------------------------------------------------------------------------
+// Yen's k shortest paths
+// --------------------------------------------------------------------------
+
+/// Diamond: two 2-hop routes 0-1-3 (weight 2) and 0-2-3 (weight 3), plus a
+/// direct heavy edge 0-3 (weight 4).
+Graph diamond() {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(0, 3, 4.0);
+  return g;
+}
+
+TEST(Yen, EnumeratesInWeightOrder) {
+  const Graph g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].weight, 3.0);
+  EXPECT_DOUBLE_EQ(paths[2].weight, 4.0);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(paths[1].nodes, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(paths[2].nodes, (std::vector<NodeId>{0, 3}));
+}
+
+TEST(Yen, RespectsK) {
+  const Graph g = diamond();
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 1).size(), 1u);
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 2).size(), 2u);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 0).empty());
+}
+
+TEST(Yen, PathsAreLooplessAndDistinct) {
+  Rng rng(7);
+  const Graph g = connected_erdos_renyi(25, 60, rng, WeightModel::kUniformReal);
+  const auto paths = k_shortest_paths(g, 0, 12, 8);
+  ASSERT_FALSE(paths.empty());
+  std::set<std::vector<NodeId>> seen;
+  for (const Path& p : paths) {
+    // Loopless: all nodes distinct.
+    std::set<NodeId> nodes(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(nodes.size(), p.nodes.size());
+    // Distinct paths.
+    EXPECT_TRUE(seen.insert(p.nodes).second);
+    // Endpoint correctness.
+    EXPECT_EQ(p.nodes.front(), 0u);
+    EXPECT_EQ(p.nodes.back(), 12u);
+  }
+  // Ascending weights.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].weight + 1e-12, paths[i - 1].weight);
+  }
+}
+
+TEST(Yen, FirstPathMatchesDijkstra) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g =
+        connected_erdos_renyi(20, 45, rng, WeightModel::kUniformReal);
+    const auto yen = k_shortest_paths(g, 1, 15, 3);
+    const auto direct = shortest_path(g, 1, 15);
+    ASSERT_FALSE(yen.empty());
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_NEAR(yen[0].weight, direct->weight, 1e-9);
+  }
+}
+
+TEST(Yen, WeightsAreConsistentWithEdges) {
+  Rng rng(9);
+  const Graph g = connected_erdos_renyi(15, 35, rng, WeightModel::kUniformReal);
+  for (const Path& p : k_shortest_paths(g, 0, 9, 6)) {
+    double w = 0.0;
+    for (EdgeId e : p.edges) w += g.edge(e).weight;
+    EXPECT_NEAR(w, p.weight, 1e-9);
+  }
+}
+
+TEST(Yen, DisconnectedAndDegenerate) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 3).empty());
+  EXPECT_TRUE(k_shortest_paths(g, 0, 0, 3).empty());
+  EXPECT_THROW(k_shortest_paths(g, 0, 9, 3), std::out_of_range);
+}
+
+TEST(Yen, ExhaustsAllPathsInSmallGraph) {
+  // Triangle 0-1-2: exactly two loopless paths 0->2.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  const auto paths = k_shortest_paths(g, 0, 2, 10);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Betweenness centrality
+// --------------------------------------------------------------------------
+
+TEST(Centrality, StarCenterDominates) {
+  // Star: center 0, leaves 1..5.  Center lies on all 10 leaf pairs.
+  Graph g(6);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) g.add_edge(0, leaf);
+  const auto c = betweenness_centrality(g);
+  EXPECT_NEAR(c[0], 10.0, 1e-9);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_NEAR(c[leaf], 0.0, 1e-9);
+  }
+  EXPECT_EQ(nodes_by_centrality(g)[0], 0u);
+}
+
+TEST(Centrality, PathGraphValues) {
+  // Path 0-1-2-3: betweenness of node 1 = pairs (0,2),(0,3) -> 2;
+  // node 2 symmetric.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto c = betweenness_centrality(g);
+  EXPECT_NEAR(c[0], 0.0, 1e-9);
+  EXPECT_NEAR(c[1], 2.0, 1e-9);
+  EXPECT_NEAR(c[2], 2.0, 1e-9);
+  EXPECT_NEAR(c[3], 0.0, 1e-9);
+}
+
+TEST(Centrality, SplitsEqualPaths) {
+  // 4-cycle: two equal shortest paths between opposite corners; each
+  // intermediate node carries half a pair.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const auto c = betweenness_centrality(g);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_NEAR(c[n], 0.5, 1e-9) << "node " << n;
+  }
+}
+
+TEST(Centrality, RespectsWeights) {
+  // Triangle where the direct edge 0-2 is heavy: node 1 carries pair (0,2).
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 10.0);
+  const auto c = betweenness_centrality(g);
+  EXPECT_NEAR(c[1], 1.0, 1e-9);
+  EXPECT_NEAR(c[0], 0.0, 1e-9);
+}
+
+TEST(Centrality, SortersAreConsistent) {
+  Rng rng(11);
+  const Graph g = barabasi_albert(60, 2, rng);
+  const auto by_c = nodes_by_centrality(g);
+  const auto by_d = nodes_by_degree(g);
+  ASSERT_EQ(by_c.size(), g.node_count());
+  ASSERT_EQ(by_d.size(), g.node_count());
+  // Degree sorter: verify descending degrees.
+  for (std::size_t i = 1; i < by_d.size(); ++i) {
+    EXPECT_GE(g.degree(by_d[i - 1]), g.degree(by_d[i]));
+  }
+  // In a BA graph, the top-centrality node should be a high-degree hub.
+  const double mean_deg = 2.0 * static_cast<double>(g.edge_count()) /
+                          static_cast<double>(g.node_count());
+  EXPECT_GT(static_cast<double>(g.degree(by_c[0])), mean_deg);
+}
+
+TEST(Centrality, EmptyGraph) {
+  EXPECT_TRUE(betweenness_centrality(Graph(0)).empty());
+}
+
+}  // namespace
+}  // namespace rnt::graph

@@ -1,0 +1,179 @@
+// End-to-end integration tests across workload construction, the selection
+// algorithms, metric evaluation, and online learning — the same plumbing
+// the figure benches use, exercised at reduced scale with assertions on the
+// paper's qualitative claims (robust selection beats the failure-agnostic
+// baseline).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/matrome.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/metrics.h"
+#include "exp/workload.h"
+#include "learning/lsr.h"
+#include "learning/simulator.h"
+
+namespace rnt::exp {
+namespace {
+
+TEST(Workload, MaterializesAllPieces) {
+  const Workload w = make_custom_workload(50, 100, 60, /*seed=*/3);
+  EXPECT_EQ(w.graph.node_count(), 50u);
+  EXPECT_EQ(w.graph.edge_count(), 100u);
+  EXPECT_EQ(w.system->path_count(), 60u);
+  EXPECT_EQ(w.failures->link_count(), 100u);
+  EXPECT_FALSE(w.costs.is_unit());
+  EXPECT_EQ(w.topology_name, "custom");
+}
+
+TEST(Workload, UnitCostOption) {
+  const Workload w =
+      make_custom_workload(30, 60, 30, 4, /*failure_intensity=*/1.0,
+                           /*unit_costs=*/true);
+  EXPECT_TRUE(w.costs.is_unit());
+}
+
+TEST(Workload, DeterministicAcrossCalls) {
+  const Workload a = make_custom_workload(40, 80, 40, 7);
+  const Workload b = make_custom_workload(40, 80, 40, 7);
+  ASSERT_EQ(a.system->path_count(), b.system->path_count());
+  for (std::size_t i = 0; i < a.system->path_count(); ++i) {
+    EXPECT_EQ(a.system->path(i), b.system->path(i));
+  }
+  EXPECT_EQ(a.failures->probabilities(), b.failures->probabilities());
+}
+
+TEST(Workload, TableITopologies) {
+  WorkloadSpec spec;
+  spec.topology = graph::IspTopology::kAS1755;
+  spec.candidate_paths = 100;
+  spec.seed = 5;
+  const Workload w = make_workload(spec);
+  EXPECT_EQ(w.topology_name, "AS1755");
+  EXPECT_EQ(w.graph.node_count(), 87u);
+  EXPECT_EQ(w.graph.edge_count(), 161u);
+  EXPECT_EQ(w.system->path_count(), 100u);
+}
+
+TEST(Metrics, EvaluateSelectionBasics) {
+  const Workload w = make_custom_workload(40, 80, 50, 11, 5.0);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng = w.eval_rng();
+  EvalOptions opts;
+  opts.scenarios = 100;
+  opts.identifiability = true;
+  const SelectionEvaluation eval =
+      evaluate_selection(*w.system, all, *w.failures, opts, rng);
+  EXPECT_EQ(eval.rank.stats.count(), 100u);
+  EXPECT_EQ(eval.identifiability.stats.count(), 100u);
+  EXPECT_LE(eval.rank.stats.max(), static_cast<double>(eval.no_failure_rank));
+  EXPECT_LE(eval.identifiability.stats.mean(), eval.rank.stats.mean() + 1e-9);
+  EXPECT_GE(eval.rank.stats.min(), 0.0);
+}
+
+TEST(Metrics, LossIsNonNegativeAndBounded) {
+  const Workload w = make_custom_workload(40, 80, 50, 12, 5.0);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng = w.eval_rng();
+  const LossEvaluation loss =
+      evaluate_loss(*w.system, all, *w.failures, 100, true, rng);
+  EXPECT_GE(loss.rank_loss.min(), 0.0);
+  EXPECT_LE(loss.rank_loss.max(), static_cast<double>(w.system->full_rank()));
+  EXPECT_GE(loss.identifiability_loss.min(), -1e-9);
+}
+
+TEST(Integration, RomeBeatsSelectPathUnderFailures) {
+  // The paper's headline claim (Fig. 5) at miniature scale: under a failure
+  // model with substantial failure mass, ProbRoMe's selection sustains a
+  // higher expected surviving rank than the budget-fitted arbitrary basis.
+  double rome_total = 0.0;
+  double select_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Workload w = make_custom_workload(40, 80, 60, seed, 8.0);
+    const double budget = 2500.0;
+    core::ProbBoundEr engine(*w.system, *w.failures);
+    const auto rome_sel = core::rome(*w.system, w.costs, budget, engine);
+    Rng sp_rng(seed);
+    const auto sp_sel =
+        core::select_path_budgeted(*w.system, w.costs, budget, sp_rng);
+    EXPECT_LE(rome_sel.cost, budget + 1e-9);
+    EXPECT_LE(sp_sel.cost, budget + 1e-9);
+    Rng rng = w.eval_rng();
+    EvalOptions opts;
+    opts.scenarios = 120;
+    const auto rome_eval =
+        evaluate_selection(*w.system, rome_sel.paths, *w.failures, opts, rng);
+    const auto sp_eval =
+        evaluate_selection(*w.system, sp_sel.paths, *w.failures, opts, rng);
+    rome_total += rome_eval.rank.stats.mean();
+    select_total += sp_eval.rank.stats.mean();
+  }
+  EXPECT_GT(rome_total, select_total);
+}
+
+TEST(Integration, MatRomeBeatsSelectPathOnRankLoss) {
+  // Figures 8-9 at miniature scale: under the independence constraint,
+  // MatRoMe's basis loses less rank under failures than an arbitrary basis.
+  double mat_loss = 0.0;
+  double sp_loss = 0.0;
+  for (std::uint64_t seed = 4; seed <= 6; ++seed) {
+    const Workload w = make_custom_workload(40, 80, 60, seed, 8.0, true);
+    const auto mat_sel = core::matrome(*w.system, *w.failures);
+    Rng sp_rng(seed);
+    const auto sp_sel = core::select_path_basis(*w.system, sp_rng);
+    ASSERT_EQ(mat_sel.paths.size(), sp_sel.paths.size());  // Both bases.
+    Rng rng = w.eval_rng();
+    mat_loss += evaluate_loss(*w.system, mat_sel.paths, *w.failures, 120,
+                              false, rng)
+                    .rank_loss.mean();
+    sp_loss += evaluate_loss(*w.system, sp_sel.paths, *w.failures, 120,
+                             false, rng)
+                   .rank_loss.mean();
+  }
+  EXPECT_LT(mat_loss, sp_loss);
+}
+
+TEST(Integration, LsrLearnsCompetitiveSelection) {
+  // Fig. 10 at miniature scale: after a few hundred epochs LSR's learned
+  // selection approaches the clairvoyant ProbRoMe and beats SelectPath.
+  const Workload w = make_custom_workload(30, 60, 40, 21, 6.0);
+  const double budget = 2000.0;
+
+  learning::Lsr learner(*w.system, w.costs,
+                        learning::LsrConfig{.budget = budget});
+  Rng sim_rng(22);
+  learning::run_lsr(learner, *w.system, *w.failures, 400, sim_rng);
+  const auto learned = learner.final_selection();
+
+  core::ProbBoundEr engine(*w.system, *w.failures);
+  const auto clairvoyant = core::rome(*w.system, w.costs, budget, engine);
+  Rng sp_rng(23);
+  const auto baseline =
+      core::select_path_budgeted(*w.system, w.costs, budget, sp_rng);
+
+  Rng eval_rng(24);
+  const double s_learned = learning::estimate_expected_reward(
+      *w.system, learned.paths, *w.failures, 800, eval_rng);
+  const double s_clair = learning::estimate_expected_reward(
+      *w.system, clairvoyant.paths, *w.failures, 800, eval_rng);
+  const double s_base = learning::estimate_expected_reward(
+      *w.system, baseline.paths, *w.failures, 800, eval_rng);
+
+  EXPECT_GE(s_learned, 0.75 * s_clair);
+  EXPECT_GT(s_learned, s_base);
+}
+
+TEST(Integration, EvalRngIsStableButDistinctFromConstruction) {
+  const Workload w = make_custom_workload(30, 60, 20, 31);
+  Rng a = w.eval_rng();
+  Rng b = w.eval_rng();
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace rnt::exp

@@ -1,0 +1,230 @@
+// Executable version of the paper's illustrative example (Section II-B,
+// Figures 1-2): a small topology with 8 nodes, 8 links and 6 monitors where
+// every basis identifies all links when nothing fails, but bases differ
+// dramatically in robustness to the failure of the inter-hub link l7.
+//
+// Topology (our reconstruction of the example's structure):
+//
+//   m1 --l1--\                /--l4-- m4
+//   m2 --l2-- c1 ----l7---- c2 --l5-- m5
+//   m3 --l3--/      ___________--l6-- m6
+//         \--------l8-------/
+//
+// Nodes: m1..m6 = 0..5, hubs c1 = 6, c2 = 7.  Link l8 (m3-c2) provides an
+// alternative crossing, so the candidate set (all 15 monitor pairs, routed
+// by shortest path) has full rank 8.  A basis loaded with l7-crossing paths
+// collapses when l7 fails; a robust basis loses only one path and keeps
+// every link except l7 identifiable — exactly the paper's narrative.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/matrome.h"
+#include "core/rome.h"
+#include "failures/failure_model.h"
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "tomo/identifiability.h"
+#include "tomo/path_system.h"
+
+namespace rnt {
+namespace {
+
+constexpr graph::NodeId kM1 = 0, kM2 = 1, kM3 = 2, kM4 = 3, kM5 = 4, kM6 = 5;
+constexpr graph::NodeId kC1 = 6, kC2 = 7;
+
+// Link ids follow insertion order below.
+constexpr graph::EdgeId kL1 = 0, kL2 = 1, kL3 = 2, kL4 = 3, kL5 = 4, kL6 = 5,
+                        kL7 = 6, kL8 = 7;
+
+graph::Graph example_graph() {
+  graph::Graph g(8);
+  g.add_edge(kM1, kC1);  // l1
+  g.add_edge(kM2, kC1);  // l2
+  g.add_edge(kM3, kC1);  // l3
+  g.add_edge(kM4, kC2);  // l4
+  g.add_edge(kM5, kC2);  // l5
+  g.add_edge(kM6, kC2);  // l6
+  g.add_edge(kC1, kC2);  // l7
+  g.add_edge(kM3, kC2);  // l8
+  return g;
+}
+
+/// All 15 monitor-pair shortest paths (monitors act as both sources and
+/// destinations, as in the paper's example).
+tomo::PathSystem example_system() {
+  const graph::Graph g = example_graph();
+  std::vector<tomo::ProbePath> paths;
+  for (graph::NodeId a = kM1; a <= kM6; ++a) {
+    for (graph::NodeId b = a + 1; b <= kM6; ++b) {
+      const auto routed = graph::shortest_path(g, a, b);
+      paths.push_back(tomo::make_probe_path(*routed));
+    }
+  }
+  return tomo::PathSystem(g.edge_count(), std::move(paths));
+}
+
+/// Index of the path between monitors a and b in the pair enumeration.
+std::size_t pair_index(graph::NodeId a, graph::NodeId b) {
+  if (a > b) std::swap(a, b);
+  std::size_t idx = 0;
+  for (graph::NodeId x = kM1; x <= kM6; ++x) {
+    for (graph::NodeId y = x + 1; y <= kM6; ++y) {
+      if (x == a && y == b) return idx;
+      ++idx;
+    }
+  }
+  throw std::logic_error("not a monitor pair");
+}
+
+class PaperExample : public ::testing::Test {
+ protected:
+  PaperExample() : system_(example_system()) {}
+
+  tomo::PathSystem system_;
+  // The fragile basis R1: four independent l7-crossing paths plus the four
+  // fillers needed to reach rank 8 (l1..l6 pairs, l3 and l8 coverage).
+  std::vector<std::size_t> fragile_basis() const {
+    return {pair_index(kM1, kM4), pair_index(kM1, kM5), pair_index(kM1, kM6),
+            pair_index(kM2, kM4), pair_index(kM1, kM2), pair_index(kM4, kM5),
+            pair_index(kM1, kM3), pair_index(kM3, kM4)};
+  }
+  // No rank-8 basis avoids l7 entirely (l7 is only coverable by a crossing
+  // path), but the robust basis R2 uses exactly one.
+  std::vector<std::size_t> robust_basis() const {
+    return {pair_index(kM1, kM2), pair_index(kM1, kM3), pair_index(kM2, kM3),
+            pair_index(kM4, kM5), pair_index(kM4, kM6), pair_index(kM5, kM6),
+            pair_index(kM3, kM4), pair_index(kM1, kM4)};
+  }
+  failures::FailureVector l7_fails() const {
+    failures::FailureVector v(8, false);
+    v[kL7] = true;
+    return v;
+  }
+};
+
+TEST_F(PaperExample, FifteenCandidatePathsRankEight) {
+  EXPECT_EQ(system_.path_count(), 15u);
+  EXPECT_EQ(system_.link_count(), 8u);
+  EXPECT_EQ(system_.full_rank(), 8u);
+}
+
+TEST_F(PaperExample, RoutingMatchesFigure) {
+  // Same-side pairs: two hops through the shared hub.
+  EXPECT_EQ(system_.path(pair_index(kM1, kM2)).links,
+            (std::vector<graph::EdgeId>{kL1, kL2}));
+  // Cross pairs from m1/m2: through l7.
+  EXPECT_EQ(system_.path(pair_index(kM1, kM4)).links,
+            (std::vector<graph::EdgeId>{kL1, kL4, kL7}));
+  // m3's cross pairs take the l8 shortcut instead of l3+l7.
+  EXPECT_EQ(system_.path(pair_index(kM3, kM4)).links,
+            (std::vector<graph::EdgeId>{kL4, kL8}));
+}
+
+TEST_F(PaperExample, AllLinksIdentifiableWithoutFailures) {
+  std::vector<std::size_t> all(system_.path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  EXPECT_EQ(tomo::identifiable_count(system_, all), 8u);
+  // Both bases individually identify everything too (each has rank 8 over
+  // 8 unknowns).
+  EXPECT_EQ(tomo::identifiable_count(system_, fragile_basis()), 8u);
+  EXPECT_EQ(tomo::identifiable_count(system_, robust_basis()), 8u);
+}
+
+TEST_F(PaperExample, BothBasesAreBases) {
+  EXPECT_EQ(system_.rank_of(fragile_basis()), 8u);
+  EXPECT_EQ(system_.rank_of(robust_basis()), 8u);
+}
+
+TEST_F(PaperExample, FragileBasisCollapsesUnderL7) {
+  const auto v = l7_fails();
+  const auto survivors = system_.surviving_rows(fragile_basis(), v);
+  // All four l7-crossing paths die; the four fillers survive, but their
+  // link sums cannot pin down any individual link metric.
+  EXPECT_EQ(survivors.size(), 4u);
+  EXPECT_EQ(system_.rank_of(survivors), 4u);
+  EXPECT_EQ(tomo::identifiable_links(system_, survivors).size(), 0u);
+}
+
+TEST_F(PaperExample, RobustBasisLosesOnlyL7) {
+  const auto v = l7_fails();
+  const auto survivors = system_.surviving_rows(robust_basis(), v);
+  // Only the single crossing path m1-m4 is lost.
+  EXPECT_EQ(survivors.size(), 7u);
+  EXPECT_EQ(system_.rank_of(survivors), 7u);
+  // Every link except the failed l7 stays identifiable (paper: "uniquely
+  // identifies the metrics of all links except l7").
+  const auto ids = tomo::identifiable_links(system_, survivors);
+  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), kL7), 0);
+}
+
+TEST_F(PaperExample, ExpectedRankPrefersRobustBasis) {
+  // Failure model concentrated on l7 (the example's failure-prone link).
+  std::vector<double> p(8, 0.01);
+  p[kL7] = 0.3;
+  const failures::FailureModel model(p);
+  core::ExactEr er(system_, model);
+  EXPECT_GT(er.evaluate(robust_basis()), er.evaluate(fragile_basis()) + 0.5);
+}
+
+TEST_F(PaperExample, MatRoMeFindsARobustBasis) {
+  std::vector<double> p(8, 0.01);
+  p[kL7] = 0.3;
+  const failures::FailureModel model(p);
+  const auto selection = core::matrome(system_, model);
+  ASSERT_EQ(selection.paths.size(), 8u);
+  // At most one selected path may cross l7: crossing paths have low EA and
+  // a second one adds nothing that same-side paths cannot.
+  std::size_t crossing = 0;
+  for (std::size_t q : selection.paths) {
+    const auto& links = system_.path(q).links;
+    if (std::find(links.begin(), links.end(), kL7) != links.end()) ++crossing;
+  }
+  EXPECT_LE(crossing, 1u);
+  // Under the l7 failure, MatRoMe's basis retains rank >= 7.
+  EXPECT_GE(system_.rank_of(system_.surviving_rows(selection.paths,
+                                                   l7_fails())),
+            7u);
+}
+
+TEST_F(PaperExample, RoMeBeatsFragileBasisAtEqualBudget) {
+  std::vector<double> p(8, 0.01);
+  p[kL7] = 0.3;
+  const failures::FailureModel model(p);
+  core::ExactEr er(system_, model);
+  const tomo::CostModel unit = tomo::CostModel::unit();
+  const auto selection = core::rome(system_, unit, 8.0, er);
+  EXPECT_LE(selection.paths.size(), 8u);
+  EXPECT_GE(er.evaluate(selection.paths),
+            er.evaluate(fragile_basis()) + 0.5);
+}
+
+TEST_F(PaperExample, FailedLinkIsLocalizable) {
+  // The paper notes that observing which robust-basis path failed localizes
+  // the failure: with R2, only paths containing l7 can explain q(m1,m4)
+  // failing while everything else survives.
+  const auto v = l7_fails();
+  std::vector<std::size_t> failed_paths;
+  for (std::size_t q : robust_basis()) {
+    if (!system_.path_survives(q, v)) failed_paths.push_back(q);
+  }
+  ASSERT_EQ(failed_paths.size(), 1u);
+  // Candidate culprit links: links of the failed path not on any surviving
+  // selected path.
+  const auto survivors = system_.surviving_rows(robust_basis(), v);
+  std::vector<bool> exonerated(system_.link_count(), false);
+  for (std::size_t q : survivors) {
+    for (graph::EdgeId l : system_.path(q).links) exonerated[l] = true;
+  }
+  std::vector<graph::EdgeId> culprits;
+  for (graph::EdgeId l : system_.path(failed_paths[0]).links) {
+    if (!exonerated[l]) culprits.push_back(l);
+  }
+  ASSERT_EQ(culprits.size(), 1u);
+  EXPECT_EQ(culprits[0], kL7);
+}
+
+}  // namespace
+}  // namespace rnt

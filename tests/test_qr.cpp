@@ -1,0 +1,117 @@
+// Tests for the column-pivoted Householder QR: rank agreement with
+// elimination and exact rationals, factor structure, and the QR-based row
+// basis selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/elimination.h"
+#include "linalg/qr.h"
+#include "linalg/rational.h"
+#include "util/rng.h"
+
+namespace rnt::linalg {
+namespace {
+
+Matrix random_binary_matrix(std::size_t rows, std::size_t cols, double density,
+                            Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    bool any = false;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) {
+        m(r, c) = 1.0;
+        any = true;
+      }
+    }
+    if (!any) m(r, rng.index(cols)) = 1.0;
+  }
+  return m;
+}
+
+TEST(Qr, RankOfIdentityAndZero) {
+  EXPECT_EQ(qr_rank(Matrix::identity(7)), 7u);
+  EXPECT_EQ(qr_rank(Matrix(4, 5)), 0u);
+  EXPECT_EQ(qr_rank(Matrix()), 0u);
+}
+
+TEST(Qr, RankMatchesEliminationOnRandomBinary) {
+  Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 2 + rng.index(12);
+    const std::size_t cols = 2 + rng.index(12);
+    Matrix m = random_binary_matrix(rows, cols, 0.35, rng);
+    EXPECT_EQ(qr_rank(m), exact_rank(m)) << "trial " << trial;
+  }
+}
+
+TEST(Qr, DiagIsNonIncreasing) {
+  // Column pivoting guarantees |R_kk| are (weakly) decreasing — the
+  // rank-revealing property.
+  Rng rng(102);
+  Matrix m = random_binary_matrix(15, 10, 0.4, rng);
+  const PivotedQr qr = qr_column_pivoted(m);
+  for (std::size_t k = 1; k < qr.diag.size(); ++k) {
+    EXPECT_LE(qr.diag[k], qr.diag[k - 1] + 1e-9);
+  }
+}
+
+TEST(Qr, PermutationIsValid) {
+  Rng rng(103);
+  Matrix m = random_binary_matrix(8, 6, 0.4, rng);
+  const PivotedQr qr = qr_column_pivoted(m);
+  std::vector<bool> seen(m.cols(), false);
+  for (std::size_t p : qr.permutation) {
+    ASSERT_LT(p, m.cols());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Qr, PreservesColumnNorms) {
+  // Householder reflections are orthogonal: each permuted column of A has
+  // the same 2-norm as the corresponding column of R.
+  Rng rng(104);
+  Matrix m = random_binary_matrix(10, 6, 0.5, rng);
+  const PivotedQr qr = qr_column_pivoted(m);
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    double a_norm = 0.0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      a_norm += m(r, qr.permutation[c]) * m(r, qr.permutation[c]);
+    }
+    double r_norm = 0.0;
+    for (std::size_t r = 0; r < qr.r.rows(); ++r) {
+      r_norm += qr.r(r, c) * qr.r(r, c);
+    }
+    EXPECT_NEAR(std::sqrt(a_norm), std::sqrt(r_norm), 1e-8);
+  }
+}
+
+TEST(Qr, RowBasisHasFullRank) {
+  Rng rng(105);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m = random_binary_matrix(12, 8, 0.35, rng);
+    const auto basis = qr_row_basis(m);
+    EXPECT_EQ(basis.size(), rank(m));
+    EXPECT_EQ(rank_of_rows(m, basis), basis.size());
+  }
+}
+
+TEST(Qr, RowBasisOrdersByContribution) {
+  // The first selected row must be one with the largest norm (most links).
+  Matrix m{{1, 0, 0, 0}, {1, 1, 1, 1}, {0, 1, 0, 0}};
+  const auto basis = qr_row_basis(m);
+  ASSERT_FALSE(basis.empty());
+  EXPECT_EQ(basis[0], 1u);  // The 4-link row.
+}
+
+TEST(Qr, HandlesWideAndTallMatrices) {
+  Rng rng(106);
+  Matrix tall = random_binary_matrix(20, 5, 0.4, rng);
+  EXPECT_EQ(qr_rank(tall), rank(tall));
+  Matrix wide = random_binary_matrix(5, 20, 0.4, rng);
+  EXPECT_EQ(qr_rank(wide), rank(wide));
+}
+
+}  // namespace
+}  // namespace rnt::linalg

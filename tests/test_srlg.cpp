@@ -1,0 +1,124 @@
+// Tests for the correlated (shared-risk-link-group) failure model
+// extension: sampling semantics, marginals, and the interaction with the
+// independence-based machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "failures/srlg.h"
+#include "util/rng.h"
+
+namespace rnt::failures {
+namespace {
+
+TEST(Srlg, ValidatesInput) {
+  FailureModel bg({0.0, 0.0, 0.0});
+  EXPECT_THROW(SrlgModel(bg, {RiskGroup{{0}, 1.5}}), std::invalid_argument);
+  EXPECT_THROW(SrlgModel(bg, {RiskGroup{{7}, 0.1}}), std::out_of_range);
+  EXPECT_NO_THROW(SrlgModel(bg, {RiskGroup{{0, 2}, 0.1}}));
+}
+
+TEST(Srlg, GroupFailsTogether) {
+  // No background failures, one group that always fails.
+  FailureModel bg({0.0, 0.0, 0.0, 0.0});
+  SrlgModel model(bg, {RiskGroup{{1, 3}, 1.0}});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto v = model.sample(rng);
+    EXPECT_FALSE(v[0]);
+    EXPECT_TRUE(v[1]);
+    EXPECT_FALSE(v[2]);
+    EXPECT_TRUE(v[3]);
+  }
+}
+
+TEST(Srlg, CorrelationIsVisible) {
+  // Group of links {0,1} failing with p=0.5, no background: links 0 and 1
+  // must be perfectly correlated.
+  FailureModel bg({0.0, 0.0});
+  SrlgModel model(bg, {RiskGroup{{0, 1}, 0.5}});
+  Rng rng(2);
+  int both = 0, only_one = 0, neither = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = model.sample(rng);
+    if (v[0] && v[1]) ++both;
+    else if (v[0] || v[1]) ++only_one;
+    else ++neither;
+  }
+  EXPECT_EQ(only_one, 0);
+  EXPECT_NEAR(static_cast<double>(both) / n, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(neither) / n, 0.5, 0.02);
+}
+
+TEST(Srlg, MarginalsCombineBackgroundAndGroups) {
+  FailureModel bg({0.1, 0.0, 0.2});
+  SrlgModel model(bg, {RiskGroup{{0, 1}, 0.5}, RiskGroup{{0}, 0.2}});
+  const FailureModel marginal = model.marginal_model();
+  // Link 0: 1 - 0.9 * 0.5 * 0.8.
+  EXPECT_NEAR(marginal.probability(0), 1.0 - 0.9 * 0.5 * 0.8, 1e-12);
+  // Link 1: 1 - 1.0 * 0.5.
+  EXPECT_NEAR(marginal.probability(1), 0.5, 1e-12);
+  // Link 2: background only.
+  EXPECT_NEAR(marginal.probability(2), 0.2, 1e-12);
+}
+
+TEST(Srlg, MarginalMatchesEmpiricalFrequency) {
+  Rng setup(3);
+  FailureModel bg = markopoulou_model(20, setup, 3.0);
+  SrlgModel model = make_random_srlg_model(bg, 3, 4, 0.1, setup);
+  const FailureModel marginal = model.marginal_model();
+  Rng rng(4);
+  std::vector<int> fails(20, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = model.sample(rng);
+    for (std::size_t l = 0; l < 20; ++l) {
+      if (v[l]) ++fails[l];
+    }
+  }
+  for (std::size_t l = 0; l < 20; ++l) {
+    EXPECT_NEAR(static_cast<double>(fails[l]) / n, marginal.probability(l),
+                0.015)
+        << "link " << l;
+  }
+}
+
+TEST(Srlg, ExpectedFailuresUsesMarginals) {
+  FailureModel bg({0.1, 0.1});
+  SrlgModel model(bg, {RiskGroup{{0, 1}, 0.5}});
+  const double per_link = 1.0 - 0.9 * 0.5;
+  EXPECT_NEAR(model.expected_failures(), 2.0 * per_link, 1e-12);
+}
+
+TEST(Srlg, RandomBuilderMakesDisjointGroups) {
+  Rng rng(5);
+  FailureModel bg(std::vector<double>(30, 0.01));
+  const SrlgModel model = make_random_srlg_model(bg, 4, 5, 0.2, rng);
+  ASSERT_EQ(model.groups().size(), 4u);
+  std::vector<bool> used(30, false);
+  for (const RiskGroup& g : model.groups()) {
+    EXPECT_EQ(g.links.size(), 5u);
+    EXPECT_DOUBLE_EQ(g.probability, 0.2);
+    for (std::uint32_t l : g.links) {
+      EXPECT_FALSE(used[l]);  // Disjoint.
+      used[l] = true;
+    }
+  }
+  EXPECT_THROW(make_random_srlg_model(bg, 10, 5, 0.2, rng),
+               std::invalid_argument);
+}
+
+TEST(Srlg, NoGroupsReducesToBackground) {
+  Rng setup(6);
+  FailureModel bg = markopoulou_model(15, setup, 2.0);
+  SrlgModel model(bg, {});
+  const FailureModel marginal = model.marginal_model();
+  for (std::size_t l = 0; l < 15; ++l) {
+    EXPECT_NEAR(marginal.probability(l), bg.probability(l), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rnt::failures

@@ -1,0 +1,157 @@
+// Tests for the sieve-streaming path selector: constraint satisfaction,
+// approximation quality vs the offline greedy, order robustness, and
+// memory behavior.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_rank.h"
+#include "core/matrome.h"
+#include "core/rome.h"
+#include "core/streaming.h"
+#include "exp/workload.h"
+#include "util/rng.h"
+
+namespace rnt::core {
+namespace {
+
+struct World {
+  exp::Workload w;
+  std::unique_ptr<ProbBoundEr> engine;
+  explicit World(std::uint64_t seed, std::size_t paths = 80)
+      : w(exp::make_custom_workload(40, 80, paths, seed, 5.0)) {
+    engine = std::make_unique<ProbBoundEr>(*w.system, *w.failures);
+  }
+  std::vector<std::size_t> order() const {
+    std::vector<std::size_t> o(w.system->path_count());
+    std::iota(o.begin(), o.end(), std::size_t{0});
+    return o;
+  }
+};
+
+TEST(Streaming, ValidatesConfig) {
+  World world(1);
+  EXPECT_THROW(StreamingSelector(*world.engine, {.max_paths = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      StreamingSelector(*world.engine, {.max_paths = 5, .epsilon = 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      StreamingSelector(*world.engine, {.max_paths = 5, .epsilon = 1.0}),
+      std::invalid_argument);
+}
+
+TEST(Streaming, RespectsCardinality) {
+  World world(2);
+  for (std::size_t k : {1u, 3u, 10u}) {
+    const auto sel = sieve_stream_select(*world.engine, world.order(),
+                                         {.max_paths = k});
+    EXPECT_LE(sel.paths.size(), k);
+    EXPECT_FALSE(sel.paths.empty());
+  }
+}
+
+TEST(Streaming, NoDuplicateSelections) {
+  World world(3);
+  const auto sel = sieve_stream_select(*world.engine, world.order(),
+                                       {.max_paths = 10});
+  std::vector<std::size_t> sorted = sel.paths;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Streaming, ObjectiveMatchesEngineEvaluation) {
+  World world(4);
+  const auto sel = sieve_stream_select(*world.engine, world.order(),
+                                       {.max_paths = 8});
+  EXPECT_NEAR(sel.objective, world.engine->evaluate(sel.paths), 1e-9);
+}
+
+TEST(Streaming, WithinHalfOfOfflineGreedy) {
+  // Sieve-streaming guarantees (1/2 - eps) of OPT; offline greedy is
+  // >= (1 - 1/e) OPT, so streaming >= ~0.52 * greedy for modest eps.
+  // Check with margin across seeds and arrival orders.
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    World world(seed);
+    const std::size_t k = 8;
+    const auto greedy = rome(*world.w.system, tomo::CostModel::unit(),
+                             static_cast<double>(k), *world.engine);
+    Rng rng(seed);
+    auto order = world.order();
+    rng.shuffle(order);
+    const auto streamed = sieve_stream_select(*world.engine, order,
+                                              {.max_paths = k, .epsilon = 0.05});
+    const double greedy_value = world.engine->evaluate(greedy.paths);
+    const double stream_value = world.engine->evaluate(streamed.paths);
+    EXPECT_GE(stream_value, 0.5 * greedy_value) << "seed " << seed;
+  }
+}
+
+TEST(Streaming, SingleSlotPicksNearBestSingleton) {
+  World world(20);
+  double best_singleton = 0.0;
+  for (std::size_t q : world.order()) {
+    best_singleton = std::max(best_singleton, world.engine->evaluate({q}));
+  }
+  const auto sel = sieve_stream_select(*world.engine, world.order(),
+                                       {.max_paths = 1, .epsilon = 0.05});
+  ASSERT_EQ(sel.paths.size(), 1u);
+  EXPECT_GE(sel.objective, 0.45 * best_singleton);
+}
+
+TEST(Streaming, OfferReportsKeeps) {
+  World world(21);
+  StreamingSelector selector(*world.engine, {.max_paths = 5});
+  // The very first offered path must be kept by some sieve.
+  EXPECT_TRUE(selector.offer(0));
+  EXPECT_EQ(selector.offered(), 1u);
+  EXPECT_GT(selector.sieve_count(), 0u);
+}
+
+TEST(Streaming, MemoryBoundedSieves) {
+  World world(22);
+  StreamingSelector selector(*world.engine, {.max_paths = 6, .epsilon = 0.1});
+  for (std::size_t q : world.order()) selector.offer(q);
+  // Sieve count ~ log_{1+eps}(2k) plus the retired-window slack.
+  EXPECT_LT(selector.sieve_count(), 120u);
+}
+
+TEST(Streaming, IncrementalSelectionImproves) {
+  World world(23);
+  StreamingSelector selector(*world.engine, {.max_paths = 10});
+  double prev = 0.0;
+  std::size_t count = 0;
+  for (std::size_t q : world.order()) {
+    selector.offer(q);
+    if (++count % 20 == 0) {
+      const double now = selector.selection().objective;
+      EXPECT_GE(now + 1e-9, prev);
+      prev = now;
+    }
+  }
+}
+
+TEST(Streaming, LowAvailabilityPathsStillSelected) {
+  // Singleton ER values well below 1 must still be sieved (the threshold
+  // grid extends below 1): use an intense failure model so every path's
+  // availability is small.
+  exp::Workload w = exp::make_custom_workload(40, 80, 60, 31, 30.0);
+  ProbBoundEr engine(*w.system, *w.failures);
+  double best_singleton = 0.0;
+  std::vector<std::size_t> order(w.system->path_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t q : order) {
+    best_singleton = std::max(best_singleton, engine.evaluate({q}));
+  }
+  ASSERT_LT(best_singleton, 1.0);  // The regime under test.
+  const auto sel =
+      sieve_stream_select(engine, order, {.max_paths = 6, .epsilon = 0.1});
+  ASSERT_FALSE(sel.paths.empty());
+  EXPECT_GE(sel.objective, 0.45 * best_singleton);
+  // With 6 slots the streaming value should comfortably exceed the best
+  // singleton alone.
+  EXPECT_GT(sel.objective, best_singleton);
+}
+
+}  // namespace
+}  // namespace rnt::core

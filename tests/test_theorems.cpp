@@ -1,0 +1,236 @@
+// The paper's theory, executable: the Theorem 3 knapsack reduction, the
+// Theorem 6 greedy guarantee on the reduction instances, Lemma 11's
+// sufficient condition, and the Theorem 10 regret-growth shape (sublinear
+// regret for LSR when the condition holds).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/exhaustive.h"
+#include "core/expected_rank.h"
+#include "core/knapsack.h"
+#include "core/rome.h"
+#include "exp/workload.h"
+#include "learning/lsr.h"
+#include "learning/simulator.h"
+#include "util/rng.h"
+
+namespace rnt::core {
+namespace {
+
+/// Disjoint single-link paths (the Theorem 3 reduction gadget): path i has
+/// exactly link i; ER is then modular with ER({q_i}) = 1 - p_i.
+tomo::PathSystem disjoint_paths(std::size_t n) {
+  std::vector<tomo::ProbePath> paths(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    paths[i].source = static_cast<graph::NodeId>(2 * i);
+    paths[i].destination = static_cast<graph::NodeId>(2 * i + 1);
+    paths[i].links = {static_cast<graph::EdgeId>(i)};
+    paths[i].hops = 1;
+  }
+  return tomo::PathSystem(n, paths);
+}
+
+// --------------------------------------------------------------------------
+// Exact knapsack solver
+// --------------------------------------------------------------------------
+
+TEST(Knapsack, SolvesTextbookInstance) {
+  // values {60,100,120}, weights {10,20,30}, capacity 50 -> take {1,2}=220.
+  const auto result = knapsack({60, 100, 120}, {10, 20, 30}, 50);
+  EXPECT_EQ(result.items, (std::vector<std::size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(result.value, 220.0);
+  EXPECT_DOUBLE_EQ(result.weight, 50.0);
+}
+
+TEST(Knapsack, EdgeCases) {
+  EXPECT_TRUE(knapsack({}, {}, 10).items.empty());
+  EXPECT_TRUE(knapsack({5.0}, {3.0}, 0.0).items.empty());
+  EXPECT_TRUE(knapsack({5.0}, {3.0}, 2.0).items.empty());
+  const auto all = knapsack({1, 1, 1}, {1, 1, 1}, 100);
+  EXPECT_EQ(all.items.size(), 3u);
+  EXPECT_THROW(knapsack({1.0}, {1.0, 2.0}, 5), std::invalid_argument);
+  EXPECT_THROW(knapsack({1.0}, {-1.0}, 5), std::invalid_argument);
+  EXPECT_THROW(knapsack({1.0}, {1.0}, 5, 0), std::invalid_argument);
+}
+
+TEST(Knapsack, NeverExceedsCapacity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> values(8), weights(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      values[i] = rng.uniform(0.1, 1.0);
+      weights[i] = rng.uniform(0.5, 4.0);
+    }
+    const double cap = rng.uniform(2.0, 10.0);
+    const auto result = knapsack(values, weights, cap);
+    EXPECT_LE(result.weight, cap + 1e-9);
+  }
+}
+
+TEST(Knapsack, MatchesExhaustiveOnRandomInstances) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.index(8);
+    std::vector<double> values(n), weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = rng.uniform(0.1, 1.0);
+      // Integer weights so grid rounding is exact.
+      weights[i] = static_cast<double>(rng.integer(1, 6));
+    }
+    const double cap = static_cast<double>(rng.integer(4, 14));
+    const auto dp = knapsack(values, weights, cap,
+                             static_cast<std::size_t>(cap));
+    double best = 0.0;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      double v = 0.0, w = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          v += values[i];
+          w += weights[i];
+        }
+      }
+      if (w <= cap) best = std::max(best, v);
+    }
+    EXPECT_NEAR(dp.value, best, 1e-9) << "trial " << trial;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Theorem 3: the knapsack reduction
+// --------------------------------------------------------------------------
+
+TEST(Theorem3, ErOnReductionGadgetEqualsKnapsackObjective) {
+  // On disjoint unit-link paths with p_i = 1 - v_i / TC, ER(R) equals the
+  // scaled knapsack value of the corresponding item set.
+  const std::vector<double> item_values = {3.0, 1.0, 4.0, 2.0};
+  const std::vector<double> item_weights = {2.0, 1.0, 3.0, 2.0};
+  const double tc =
+      std::accumulate(item_values.begin(), item_values.end(), 0.0);
+  std::vector<double> p(item_values.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = 1.0 - item_values[i] / tc;
+  tomo::PathSystem sys = disjoint_paths(item_values.size());
+  failures::FailureModel model(p);
+  ExactEr er(sys, model);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> subset;
+    double knap_value = 0.0;
+    for (std::size_t i = 0; i < item_values.size(); ++i) {
+      if (rng.bernoulli(0.5)) {
+        subset.push_back(i);
+        knap_value += item_values[i];
+      }
+    }
+    EXPECT_NEAR(er.evaluate(subset), knap_value / tc, 1e-9);
+  }
+}
+
+TEST(Theorem3, OptimalSelectionSolvesKnapsack) {
+  // Solving the ER problem on the gadget solves the knapsack instance.
+  const std::vector<double> item_values = {3.0, 1.0, 4.0, 2.0, 5.0};
+  const std::vector<double> item_weights = {2.0, 1.0, 3.0, 2.0, 4.0};
+  const double capacity = 6.0;
+  const double tc =
+      std::accumulate(item_values.begin(), item_values.end(), 0.0);
+  std::vector<double> p(item_values.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = 1.0 - item_values[i] / tc;
+  tomo::PathSystem sys = disjoint_paths(item_values.size());
+  failures::FailureModel model(p);
+  // Costs: hop weight 0 plus per-source access = item weight.
+  std::unordered_map<graph::NodeId, double> access;
+  for (std::size_t i = 0; i < item_weights.size(); ++i) {
+    access[static_cast<graph::NodeId>(2 * i)] = item_weights[i];
+  }
+  tomo::CostModel costs(0.0, access);
+  ExactEr er(sys, model);
+  const Selection opt = exhaustive_optimum(sys, costs, capacity, er);
+  const auto knap = knapsack(item_values, item_weights, capacity,
+                             static_cast<std::size_t>(capacity));
+  EXPECT_NEAR(er.evaluate(opt.paths) * tc, knap.value, 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// Lemma 11 condition
+// --------------------------------------------------------------------------
+
+TEST(Lemma11, HoldsOnDisjointGadgetWithDistinctValues) {
+  tomo::PathSystem sys = disjoint_paths(4);
+  failures::FailureModel model({0.1, 0.2, 0.3, 0.4});
+  tomo::CostModel costs = tomo::CostModel::unit();
+  const auto result = lemma11_condition(sys, model, costs, 2.0);
+  EXPECT_TRUE(result.knapsack_solution_independent);
+  EXPECT_TRUE(result.knapsack_solution_unique);
+  EXPECT_TRUE(result.holds());
+  // The maximizer should be the two most reliable paths {0, 1}.
+  EXPECT_EQ(result.solution.items, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Lemma11, DetectsNonUniqueness) {
+  // Two identical paths: the knapsack optimum at budget 1 is not unique.
+  tomo::PathSystem sys = disjoint_paths(2);
+  failures::FailureModel model({0.3, 0.3});
+  tomo::CostModel costs = tomo::CostModel::unit();
+  const auto result = lemma11_condition(sys, model, costs, 1.0);
+  EXPECT_FALSE(result.knapsack_solution_unique);
+  EXPECT_FALSE(result.holds());
+}
+
+TEST(Lemma11, DetectsDependentSolution) {
+  // Three paths where the EA maximizer must include a dependent pair:
+  // paths {l0}, {l1}, {l0,l1}; budget 3 takes all three (dependent set).
+  std::vector<tomo::ProbePath> paths(3);
+  paths[0].links = {0};
+  paths[0].hops = 1;
+  paths[1].links = {1};
+  paths[1].hops = 1;
+  paths[2].links = {0, 1};
+  paths[2].hops = 2;
+  tomo::PathSystem sys(2, paths);
+  failures::FailureModel model({0.1, 0.1});
+  tomo::CostModel costs = tomo::CostModel::unit();
+  const auto result = lemma11_condition(sys, model, costs, 3.0);
+  EXPECT_FALSE(result.knapsack_solution_independent);
+  EXPECT_FALSE(result.holds());
+}
+
+// --------------------------------------------------------------------------
+// Theorem 10 shape: sublinear regret
+// --------------------------------------------------------------------------
+
+TEST(Theorem10, LsrRegretGrowsSublinearly) {
+  // Regret over the first half of the horizon vs the second half: for an
+  // O(log n) regret algorithm the second-half increment must be clearly
+  // smaller than the first-half increment (a linear-regret learner would
+  // show equal halves).
+  const exp::Workload w = exp::make_custom_workload(20, 40, 20, 5, 6.0);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double budget = 0.4 * w.costs.subset_cost(*w.system, all);
+
+  // Clairvoyant reference reward.
+  core::ProbBoundEr engine(*w.system, *w.failures);
+  const auto star = core::rome(*w.system, w.costs, budget, engine);
+  Rng ref_rng(6);
+  const double reference = learning::estimate_expected_reward(
+      *w.system, star.paths, *w.failures, 4000, ref_rng);
+
+  learning::Lsr learner(*w.system, w.costs,
+                        learning::LsrConfig{.budget = budget});
+  Rng rng(7);
+  const std::size_t horizon = 600;
+  const auto result =
+      learning::run_learner(learner, *w.system, *w.failures, horizon, rng);
+  const auto regret = result.regret_curve(reference);
+  ASSERT_EQ(regret.size(), horizon);
+  const double first_half = regret[horizon / 2 - 1];
+  const double second_half_increment = regret.back() - first_half;
+  // Sublinear: second half adds less than ~75% of the first half's regret
+  // (log growth would add far less; leave slack for simulation noise).
+  EXPECT_LT(second_half_increment, 0.75 * std::max(first_half, 1.0))
+      << "regret total " << regret.back() << " first half " << first_half;
+}
+
+}  // namespace
+}  // namespace rnt::core

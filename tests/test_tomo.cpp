@@ -1,0 +1,294 @@
+// Tests for the tomography layer: path matrix construction, survivor
+// queries, monitor placement / candidate path generation, the paper's
+// probing cost model, and link identifiability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "failures/failure_model.h"
+#include "graph/generators.h"
+#include "graph/isp_topology.h"
+#include "tomo/cost_model.h"
+#include "tomo/identifiability.h"
+#include "tomo/monitors.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::tomo {
+namespace {
+
+/// A 4-node line: 0 -1- 2 -3 with links l0=(0,1), l1=(1,2), l2=(2,3).
+PathSystem line_system() {
+  std::vector<ProbePath> paths;
+  ProbePath p01;
+  p01.source = 0;
+  p01.destination = 1;
+  p01.links = {0};
+  p01.hops = 1;
+  ProbePath p02;
+  p02.source = 0;
+  p02.destination = 2;
+  p02.links = {0, 1};
+  p02.hops = 2;
+  ProbePath p03;
+  p03.source = 0;
+  p03.destination = 3;
+  p03.links = {0, 1, 2};
+  p03.hops = 3;
+  paths = {p01, p02, p03};
+  return PathSystem(3, paths);
+}
+
+// --------------------------------------------------------------------------
+// PathSystem
+// --------------------------------------------------------------------------
+
+TEST(PathSystem, MatrixReflectsLinks) {
+  const PathSystem sys = line_system();
+  EXPECT_EQ(sys.path_count(), 3u);
+  EXPECT_EQ(sys.link_count(), 3u);
+  const auto& a = sys.matrix();
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 1.0);
+}
+
+TEST(PathSystem, RejectsInvalidPaths) {
+  ProbePath empty;
+  empty.links = {};
+  EXPECT_THROW(PathSystem(3, {empty}), std::invalid_argument);
+  ProbePath bad;
+  bad.links = {7};
+  EXPECT_THROW(PathSystem(3, {bad}), std::out_of_range);
+}
+
+TEST(PathSystem, SurvivorsUnderFailures) {
+  const PathSystem sys = line_system();
+  const failures::FailureVector v = {false, true, false};  // l1 fails
+  EXPECT_TRUE(sys.path_survives(0, v));
+  EXPECT_FALSE(sys.path_survives(1, v));
+  EXPECT_FALSE(sys.path_survives(2, v));
+  const auto survivors = sys.surviving_rows({0, 1, 2}, v);
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0], 0u);
+  EXPECT_EQ(sys.surviving_rank({0, 1, 2}, v), 1u);
+}
+
+TEST(PathSystem, FailureVectorSizeMismatchThrows) {
+  const PathSystem sys = line_system();
+  EXPECT_THROW(sys.path_survives(0, failures::FailureVector{true}),
+               std::invalid_argument);
+}
+
+TEST(PathSystem, RankQueries) {
+  const PathSystem sys = line_system();
+  EXPECT_EQ(sys.full_rank(), 3u);
+  EXPECT_EQ(sys.rank_of({0, 1}), 2u);
+  EXPECT_EQ(sys.rank_of({}), 0u);
+  // full_rank is cached; second call must agree.
+  EXPECT_EQ(sys.full_rank(), 3u);
+}
+
+TEST(PathSystem, ExpectedAvailability) {
+  const PathSystem sys = line_system();
+  const failures::FailureModel model({0.1, 0.2, 0.5});
+  EXPECT_NEAR(sys.expected_availability(0, model), 0.9, 1e-12);
+  EXPECT_NEAR(sys.expected_availability(2, model), 0.9 * 0.8 * 0.5, 1e-12);
+}
+
+TEST(PathSystem, MakeProbePathSortsLinks) {
+  graph::Path routed;
+  routed.nodes = {3, 2, 1};
+  routed.edges = {5, 2};
+  routed.weight = 4.0;
+  const ProbePath p = make_probe_path(routed);
+  EXPECT_EQ(p.source, 3u);
+  EXPECT_EQ(p.destination, 1u);
+  EXPECT_EQ(p.hops, 2u);
+  EXPECT_EQ(p.links, (std::vector<graph::EdgeId>{2, 5}));
+  graph::Path empty;
+  EXPECT_THROW(make_probe_path(empty), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Monitors and candidate paths
+// --------------------------------------------------------------------------
+
+TEST(Monitors, PickDisjointSourcesAndDestinations) {
+  Rng rng(1);
+  graph::Graph g = graph::connected_erdos_renyi(30, 60, rng);
+  const MonitorSet m = pick_monitors(g, 5, 7, rng);
+  EXPECT_EQ(m.sources.size(), 5u);
+  EXPECT_EQ(m.destinations.size(), 7u);
+  const auto monitors = m.all();
+  std::set<graph::NodeId> all(monitors.begin(), monitors.end());
+  EXPECT_EQ(all.size(), 12u);  // Disjoint.
+  EXPECT_THROW(pick_monitors(g, 20, 20, rng), std::invalid_argument);
+}
+
+TEST(Monitors, CandidatePathsAreShortestPaths) {
+  Rng rng(2);
+  graph::Graph g =
+      graph::connected_erdos_renyi(25, 50, rng, graph::WeightModel::kUniformReal);
+  const MonitorSet m = pick_monitors(g, 4, 4, rng);
+  const auto paths = generate_candidate_paths(g, m);
+  EXPECT_EQ(paths.size(), 16u);  // Connected graph: all pairs routed.
+  for (const ProbePath& p : paths) {
+    const auto direct = graph::shortest_path(g, p.source, p.destination);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_NEAR(p.routing_weight, direct->weight, 1e-9);
+    EXPECT_EQ(p.hops, direct->edges.size());
+  }
+}
+
+TEST(Monitors, BuildPathSystemHitsTarget) {
+  Rng rng(3);
+  graph::Graph g = graph::build_isp_like(60, 120, rng);
+  MonitorSet monitors;
+  const PathSystem sys = build_path_system(g, 50, rng, &monitors);
+  EXPECT_EQ(sys.path_count(), 50u);
+  EXPECT_EQ(sys.link_count(), g.edge_count());
+  EXPECT_FALSE(monitors.sources.empty());
+}
+
+TEST(Monitors, BuildPathSystemSmallGraphBestEffort) {
+  Rng rng(4);
+  graph::Graph g = graph::build_isp_like(10, 14, rng);
+  // Request far more paths than 5x5 monitor pairs can provide.
+  const PathSystem sys = build_path_system(g, 500, rng);
+  EXPECT_GT(sys.path_count(), 0u);
+  EXPECT_LE(sys.path_count(), 25u);
+  EXPECT_THROW(build_path_system(g, 0, rng), std::invalid_argument);
+}
+
+TEST(Monitors, DeterministicGivenSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  graph::Graph g1 = graph::build_isp_like(40, 80, rng1);
+  graph::Graph g2 = graph::build_isp_like(40, 80, rng2);
+  const PathSystem s1 = build_path_system(g1, 30, rng1);
+  const PathSystem s2 = build_path_system(g2, 30, rng2);
+  ASSERT_EQ(s1.path_count(), s2.path_count());
+  for (std::size_t i = 0; i < s1.path_count(); ++i) {
+    EXPECT_EQ(s1.path(i), s2.path(i));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Cost model
+// --------------------------------------------------------------------------
+
+TEST(CostModel, UnitCosts) {
+  const CostModel unit = CostModel::unit();
+  EXPECT_TRUE(unit.is_unit());
+  ProbePath p;
+  p.hops = 7;
+  p.links = {0};
+  EXPECT_DOUBLE_EQ(unit.path_cost(p), 1.0);
+}
+
+TEST(CostModel, HopAndAccessComponents) {
+  CostModel cm(100.0, {{0, 300.0}, {9, 0.0}});
+  ProbePath p;
+  p.source = 0;
+  p.destination = 9;
+  p.hops = 3;
+  // 3 hops * 100 + 300 (peer-owned src) + 0 (self-owned dst).
+  EXPECT_DOUBLE_EQ(cm.path_cost(p), 600.0);
+  // Unknown monitors contribute no access cost.
+  p.source = 5;
+  p.destination = 6;
+  EXPECT_DOUBLE_EQ(cm.path_cost(p), 300.0);
+}
+
+TEST(CostModel, RejectsNegativeCosts) {
+  EXPECT_THROW(CostModel(-1.0, {}), std::invalid_argument);
+  EXPECT_THROW(CostModel(1.0, {{0, -5.0}}), std::invalid_argument);
+}
+
+TEST(CostModel, PaperModelDrawsFromTwoClasses) {
+  Rng rng(6);
+  MonitorSet m;
+  for (graph::NodeId n = 0; n < 40; ++n) {
+    (n < 20 ? m.sources : m.destinations).push_back(n);
+  }
+  const CostModel cm = CostModel::paper_model(m, rng);
+  std::set<double> access_values;
+  for (graph::NodeId n = 0; n < 40; ++n) {
+    ProbePath p;
+    p.source = n;
+    p.destination = n;  // Same monitor twice isolates 2x access cost.
+    p.hops = 0;
+    access_values.insert(cm.path_cost(p) / 2.0);
+  }
+  // Both classes {0, 300} should appear across 40 monitors.
+  EXPECT_TRUE(access_values.count(0.0) == 1);
+  EXPECT_TRUE(access_values.count(300.0) == 1);
+  EXPECT_EQ(access_values.size(), 2u);
+}
+
+TEST(CostModel, SubsetCostIsAdditive) {
+  const PathSystem sys = line_system();
+  CostModel cm(10.0, {});
+  EXPECT_DOUBLE_EQ(cm.subset_cost(sys, {0, 2}), 10.0 + 30.0);
+  const auto costs = cm.path_costs(sys);
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_DOUBLE_EQ(costs[1], 20.0);
+}
+
+// --------------------------------------------------------------------------
+// Identifiability
+// --------------------------------------------------------------------------
+
+TEST(Identifiability, LineSystemFullyIdentifiable) {
+  const PathSystem sys = line_system();
+  // Paths (l0), (l0,l1), (l0,l1,l2) identify all three links by telescoping.
+  const auto ids = identifiable_links(sys, {0, 1, 2});
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(identifiable_count(sys, {0, 1, 2}), 3u);
+}
+
+TEST(Identifiability, PartialSubset) {
+  const PathSystem sys = line_system();
+  // Only the 2-hop path: covers l0,l1 but cannot separate them.
+  EXPECT_EQ(identifiable_count(sys, {1}), 0u);
+  // Paths 0 and 1: l0 directly, l1 = p1 - p0.
+  const auto ids = identifiable_links(sys, {0, 1});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+}
+
+TEST(Identifiability, EmptySubset) {
+  const PathSystem sys = line_system();
+  EXPECT_TRUE(identifiable_links(sys, {}).empty());
+}
+
+TEST(Identifiability, UnderFailures) {
+  const PathSystem sys = line_system();
+  const failures::FailureVector v = {false, false, true};  // l2 fails
+  // Path 2 is gone; paths 0,1 identify l0 and l1.
+  EXPECT_EQ(identifiable_count_under(sys, {0, 1, 2}, v), 2u);
+  const failures::FailureVector v0 = {true, false, false};  // l0 fails
+  // All paths traverse l0, so nothing survives.
+  EXPECT_EQ(identifiable_count_under(sys, {0, 1, 2}, v0), 0u);
+}
+
+TEST(Identifiability, IdentifiabilityNeverExceedsRank) {
+  Rng rng(7);
+  graph::Graph g = graph::build_isp_like(40, 80, rng);
+  const PathSystem sys = build_path_system(g, 60, rng);
+  auto model = failures::markopoulou_model(g.edge_count(), rng, 5.0);
+  std::vector<std::size_t> all(sys.path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto v = model.sample(rng);
+    const auto survivors = sys.surviving_rows(all, v);
+    EXPECT_LE(identifiable_links(sys, survivors).size(),
+              sys.rank_of(survivors));
+  }
+}
+
+}  // namespace
+}  // namespace rnt::tomo

@@ -1,0 +1,327 @@
+#include "cli_commands.h"
+
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "core/expected_rank.h"
+#include "core/matrome.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/metrics.h"
+#include "exp/workload.h"
+#include "graph/bridges.h"
+#include "graph/centrality.h"
+#include "graph/io.h"
+#include "learning/baselines.h"
+#include "learning/lsr.h"
+#include "learning/simulator.h"
+#include "tomo/localization.h"
+#include "util/table.h"
+
+namespace rnt::cli {
+namespace {
+
+/// Builds the workload shared by select / evaluate / learn / localize.
+exp::Workload build_workload(Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto paths = static_cast<std::size_t>(flags.get_int("paths", 400));
+  const double intensity = flags.get_double("intensity", 5.0);
+  const std::string input = flags.get_string("input", "");
+  const std::string as_name = flags.get_string("as", "");
+
+  if (!input.empty()) {
+    exp::Workload w;
+    w.topology_name = input;
+    w.graph = graph::load_edge_list(input);
+    w.seed = seed;
+    Rng rng(seed);
+    w.system = std::make_unique<tomo::PathSystem>(
+        tomo::build_path_system(w.graph, paths, rng, &w.monitors));
+    w.failures = std::make_unique<failures::FailureModel>(
+        failures::markopoulou_model(w.graph.edge_count(), rng, intensity));
+    w.costs = tomo::CostModel::paper_model(w.monitors, rng);
+    return w;
+  }
+  if (!as_name.empty()) {
+    exp::WorkloadSpec spec;
+    spec.topology = graph::parse_isp_topology(as_name);
+    spec.candidate_paths = paths;
+    spec.seed = seed;
+    spec.failure_intensity = intensity;
+    return exp::make_workload(spec);
+  }
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 87));
+  const auto links = static_cast<std::size_t>(flags.get_int("links", 161));
+  return exp::make_custom_workload(nodes, links, paths, seed, intensity);
+}
+
+core::Selection run_algorithm(const exp::Workload& w,
+                              const std::string& algorithm, double budget,
+                              std::uint64_t seed) {
+  if (algorithm == "prob-rome") {
+    core::ProbBoundEr engine(*w.system, *w.failures);
+    return core::rome(*w.system, w.costs, budget, engine);
+  }
+  if (algorithm == "monte-rome") {
+    Rng rng(seed * 101);
+    core::MonteCarloEr engine(*w.system, *w.failures, 50, rng);
+    return core::rome(*w.system, w.costs, budget, engine);
+  }
+  if (algorithm == "select-path") {
+    Rng rng(seed * 103);
+    return core::select_path_budgeted(*w.system, w.costs, budget, rng);
+  }
+  if (algorithm == "mat-rome") {
+    return core::matrome(*w.system, *w.failures);
+  }
+  throw std::invalid_argument(
+      "unknown --algorithm (want prob-rome, monte-rome, select-path or "
+      "mat-rome): " +
+      algorithm);
+}
+
+double total_cost(const exp::Workload& w) {
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return w.costs.subset_cost(*w.system, all);
+}
+
+}  // namespace
+
+void print_usage(std::ostream& out) {
+  out <<
+      "usage: rnt_cli <topology|select|evaluate|learn|localize> [--flags]\n"
+      "\n"
+      "common workload flags:\n"
+      "  --as NAME          AS1755 | AS3257 | AS1239 (calibrated synthetic)\n"
+      "  --input FILE       load an edge-list topology instead\n"
+      "  --nodes N --links M  custom ISP-like topology\n"
+      "  --paths N          candidate path count (default 400)\n"
+      "  --seed S           RNG seed (default 1)\n"
+      "  --intensity X      failure model scale (default 5.0)\n"
+      "\n"
+      "select/evaluate/localize flags:\n"
+      "  --algorithm A      prob-rome | monte-rome | select-path | mat-rome\n"
+      "  --budget-frac F    budget as a fraction of probing all paths\n"
+      "  --scenarios N      evaluation failure scenarios\n"
+      "  --identifiability  also score link identifiability (evaluate)\n"
+      "\n"
+      "learn flags:\n"
+      "  --learner L        lsr | epsilon-greedy | thompson\n"
+      "  --epochs N         training epochs (default 500)\n"
+      "  --epsilon X        exploration rate for epsilon-greedy (default 0.1)\n"
+      "\n"
+      "topology flags:\n"
+      "  --output FILE      save the topology as an edge list\n";
+}
+
+int cmd_topology(Flags& flags, std::ostream& out) {
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string input = flags.get_string("input", "");
+  const std::string as_name = flags.get_string("as", "");
+  graph::Graph g(0);
+  if (!input.empty()) {
+    g = graph::load_edge_list(input);
+  } else if (!as_name.empty()) {
+    Rng rng(seed);
+    g = graph::build_isp_topology(graph::parse_isp_topology(as_name), rng);
+  } else {
+    const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 87));
+    const auto links = static_cast<std::size_t>(flags.get_int("links", 161));
+    Rng rng(seed);
+    g = graph::build_isp_like(nodes, links, rng);
+  }
+
+  const auto bridges = graph::find_bridges(g);
+  const auto articulation = graph::find_articulation_points(g);
+  std::size_t max_deg = 0;
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    max_deg = std::max(max_deg, g.degree(n));
+  }
+  TablePrinter table({"property", "value"});
+  table.add_row({"nodes", std::to_string(g.node_count())});
+  table.add_row({"links", std::to_string(g.edge_count())});
+  table.add_row({"connected", g.is_connected() ? "yes" : "no"});
+  table.add_row({"max degree", std::to_string(max_deg)});
+  table.add_row({"bridge links", std::to_string(bridges.size())});
+  table.add_row({"articulation points", std::to_string(articulation.size())});
+  table.print(out);
+
+  const std::string output = flags.get_string("output", "");
+  if (!output.empty()) {
+    graph::save_edge_list(g, output);
+    out << "\nwrote " << output << "\n";
+  }
+  return 0;
+}
+
+int cmd_select(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::string algorithm = flags.get_string("algorithm", "prob-rome");
+  const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+
+  out << "workload: " << w.topology_name << ", " << w.system->path_count()
+      << " candidate paths, budget " << budget << "\n";
+  out << algorithm << " selected " << sel.size() << " paths, cost "
+      << sel.cost << ", objective " << sel.objective << ", rank "
+      << w.system->rank_of(sel.paths) << "\n\n";
+  TablePrinter table({"path", "src", "dst", "hops", "cost", "availability"});
+  const bool verbose = flags.get_bool("verbose", false);
+  const std::size_t limit =
+      verbose ? sel.paths.size() : std::min<std::size_t>(sel.paths.size(), 20);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& p = w.system->path(sel.paths[i]);
+    table.add_row({std::to_string(sel.paths[i]), std::to_string(p.source),
+                   std::to_string(p.destination), std::to_string(p.hops),
+                   fmt(w.costs.path_cost(p), 0),
+                   fmt(w.system->expected_availability(sel.paths[i],
+                                                       *w.failures),
+                       4)});
+  }
+  table.print(out);
+  if (limit < sel.paths.size()) {
+    out << "... " << sel.paths.size() - limit << " more (use --verbose)\n";
+  }
+  return 0;
+}
+
+int cmd_evaluate(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::string algorithm = flags.get_string("algorithm", "prob-rome");
+  const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  const auto scenarios =
+      static_cast<std::size_t>(flags.get_int("scenarios", 200));
+  const bool identifiability = flags.get_bool("identifiability", false);
+
+  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  Rng rng = w.eval_rng();
+  exp::EvalOptions opts;
+  opts.scenarios = scenarios;
+  opts.identifiability = identifiability;
+  const auto eval =
+      exp::evaluate_selection(*w.system, sel.paths, *w.failures, opts, rng);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"selected paths", std::to_string(sel.size())});
+  table.add_row({"probing cost", fmt(sel.cost, 0)});
+  table.add_row({"no-failure rank", std::to_string(eval.no_failure_rank)});
+  table.add_row({"rank under failures (mean)", fmt(eval.rank.stats.mean(), 2)});
+  table.add_row({"rank under failures (std)", fmt(eval.rank.stats.stddev(), 2)});
+  table.add_row({"rank 10th percentile",
+                 fmt(eval.rank.distribution.quantile(0.1), 1)});
+  if (identifiability) {
+    table.add_row({"identifiable links (no failure)",
+                   std::to_string(eval.no_failure_identifiability)});
+    table.add_row({"identifiable links (mean)",
+                   fmt(eval.identifiability.stats.mean(), 2)});
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_learn(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::string which = flags.get_string("learner", "lsr");
+  const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  const auto epochs = static_cast<std::size_t>(flags.get_int("epochs", 500));
+
+  std::unique_ptr<learning::PathLearner> learner;
+  if (which == "lsr") {
+    learner = std::make_unique<learning::Lsr>(
+        *w.system, w.costs, learning::LsrConfig{.budget = budget});
+  } else if (which == "epsilon-greedy") {
+    learner = std::make_unique<learning::EpsilonGreedy>(
+        *w.system, w.costs, budget, flags.get_double("epsilon", 0.1),
+        Rng(w.seed * 5));
+  } else if (which == "thompson") {
+    learner = std::make_unique<learning::ThompsonSampling>(
+        *w.system, w.costs, budget, Rng(w.seed * 7));
+  } else {
+    throw std::invalid_argument(
+        "unknown --learner (want lsr, epsilon-greedy or thompson): " + which);
+  }
+
+  Rng sim_rng(w.seed * 11);
+  TablePrinter table({"epochs", "avg reward (window)"});
+  const std::size_t window = std::max<std::size_t>(epochs / 5, 1);
+  std::size_t done = 0;
+  while (done < epochs) {
+    const std::size_t batch = std::min(window, epochs - done);
+    const auto result = learning::run_learner(*learner, *w.system,
+                                              *w.failures, batch, sim_rng);
+    done += batch;
+    table.add_row(
+        {std::to_string(done),
+         fmt(result.cumulative_reward / static_cast<double>(batch), 2)});
+  }
+  table.print(out);
+
+  const auto learned = learner->final_selection();
+  core::ProbBoundEr engine(*w.system, *w.failures);
+  const auto clairvoyant = core::rome(*w.system, w.costs, budget, engine);
+  Rng eval_rng = w.eval_rng();
+  const double s_learned = learning::estimate_expected_reward(
+      *w.system, learned.paths, *w.failures, 500, eval_rng);
+  const double s_clair = learning::estimate_expected_reward(
+      *w.system, clairvoyant.paths, *w.failures, 500, eval_rng);
+  out << "\nlearned selection expected rank: " << fmt(s_learned, 2)
+      << " (clairvoyant " << fmt(s_clair, 2) << ", "
+      << fmt(s_clair > 0 ? 100.0 * s_learned / s_clair : 100.0, 1) << "%)\n";
+  return 0;
+}
+
+int cmd_localize(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::string algorithm = flags.get_string("algorithm", "prob-rome");
+  const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  const auto trials =
+      static_cast<std::size_t>(flags.get_int("scenarios", 300));
+  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  Rng rng = w.eval_rng();
+  const auto score =
+      tomo::score_localization(*w.system, sel.paths, *w.failures, trials, rng);
+  TablePrinter table({"metric", "value"});
+  table.add_row({"selected paths", std::to_string(sel.size())});
+  table.add_row({"injected failures", std::to_string(score.trials)});
+  table.add_row({"localized exactly", std::to_string(score.exact)});
+  table.add_row({"ambiguous", std::to_string(score.ambiguous)});
+  table.add_row({"invisible", std::to_string(score.invisible)});
+  table.add_row({"mean candidate set", fmt(score.mean_candidates, 2)});
+  table.print(out);
+  return 0;
+}
+
+int dispatch(int argc, char** argv, std::ostream& out) {
+  if (argc < 2) {
+    print_usage(out);
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    print_usage(out);
+    return 0;
+  }
+  Flags flags(argc - 1, argv + 1);
+  int rc;
+  if (command == "topology") {
+    rc = cmd_topology(flags, out);
+  } else if (command == "select") {
+    rc = cmd_select(flags, out);
+  } else if (command == "evaluate") {
+    rc = cmd_evaluate(flags, out);
+  } else if (command == "learn") {
+    rc = cmd_learn(flags, out);
+  } else if (command == "localize") {
+    rc = cmd_localize(flags, out);
+  } else {
+    out << "unknown command: " << command << "\n";
+    print_usage(out);
+    return 1;
+  }
+  flags.finish();
+  return rc;
+}
+
+}  // namespace rnt::cli
