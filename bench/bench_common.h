@@ -24,7 +24,9 @@ struct CommonOptions {
   bool full = false;
   bool csv = false;
   std::uint64_t seed = 1;
-  std::string topology;  ///< Empty = driver default.
+  std::string topology;     ///< Empty = driver default.
+  std::size_t threads = 0;  ///< Workers for parallel ER evaluation;
+                            ///< 0 = hardware concurrency.
 };
 
 inline CommonOptions parse_common(Flags& flags) {
@@ -33,6 +35,7 @@ inline CommonOptions parse_common(Flags& flags) {
   opts.csv = flags.get_bool("csv", false);
   opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   opts.topology = flags.get_string("topology", "");
+  opts.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   return opts;
 }
 

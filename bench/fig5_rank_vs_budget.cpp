@@ -27,8 +27,10 @@ double seconds_since(Clock::time_point start) {
 }
 
 struct Series {
-  RunningStats rank;     ///< Over monitor sets x failure scenarios.
-  RunningStats runtime;  ///< Selection wall-clock seconds.
+  RunningStats rank;        ///< Over monitor sets x failure scenarios.
+  RunningStats runtime;     ///< Selection wall-clock seconds.
+  RunningStats mc_er;       ///< MC-engine ER of the selection.
+  RunningStats er_runtime;  ///< evaluate_parallel wall-clock seconds.
 };
 
 int main_body(Flags& flags) {
@@ -93,6 +95,13 @@ int main_body(Flags& flags) {
             series.rank.add(static_cast<double>(
                 w.system->surviving_rank(sel.paths, v)));
           }
+          // Common-yardstick ER of every selection under the shared MC
+          // scenario set, scored with the multithreaded evaluator
+          // (--threads; bitwise-equal to serial at any worker count).
+          auto t_er = Clock::now();
+          series.mc_er.add(
+              mc_engine.evaluate_parallel(sel.paths, opts.threads));
+          series.er_runtime.add(seconds_since(t_er));
         };
 
         auto t0 = Clock::now();
@@ -117,12 +126,14 @@ int main_body(Flags& flags) {
                 << " scenarios) ---\n";
     }
     TablePrinter table({"topology", "budget-frac", "algorithm", "rank mean",
-                        "rank std", "select sec"});
+                        "rank std", "MC ER", "select sec", "er sec"});
     for (const auto& [name, by_budget] : results) {
       for (const auto& [frac, series] : by_budget) {
         table.add_row({topology, fmt(frac, 2), name,
                        fmt(series.rank.mean(), 2), fmt(series.rank.stddev(), 2),
-                       fmt(series.runtime.mean(), 3)});
+                       fmt(series.mc_er.mean(), 2),
+                       fmt(series.runtime.mean(), 3),
+                       fmt(series.er_runtime.mean(), 4)});
       }
     }
     table.print(std::cout, opts.csv);

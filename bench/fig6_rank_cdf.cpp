@@ -5,6 +5,7 @@
 // dominates) MonteRoMe and SelectPath — a uniformly higher rank across
 // failure scenarios, not just on average.
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "bench_common.h"
@@ -80,6 +81,23 @@ int main_body(Flags& flags) {
     std::cout << "\nmeans: ProbRoMe " << fmt(prob_d.mean(), 2) << ", MonteRoMe "
               << fmt(mc_d.mean(), 2) << ", SelectPath " << fmt(sp_d.mean(), 2)
               << "\n";
+  }
+
+  // ER of each selection under the shared MC scenario set, scored with the
+  // multithreaded evaluator (--threads workers; bitwise-equal to the serial
+  // evaluate() at any worker count).
+  const auto t_er = std::chrono::steady_clock::now();
+  const double prob_er = mc_engine.evaluate_parallel(prob_sel.paths,
+                                                     opts.threads);
+  const double mc_er = mc_engine.evaluate_parallel(mc_sel.paths, opts.threads);
+  const double sp_er = mc_engine.evaluate_parallel(sp_sel.paths, opts.threads);
+  const double er_sec = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t_er)
+                            .count();
+  if (!opts.csv) {
+    std::cout << "MC ER: ProbRoMe " << fmt(prob_er, 2) << ", MonteRoMe "
+              << fmt(mc_er, 2) << ", SelectPath " << fmt(sp_er, 2) << " ("
+              << fmt(er_sec, 3) << "s parallel eval)\n";
   }
   return 0;
 }

@@ -1,0 +1,81 @@
+// NOC service session — the repeated-query regime the service layer is
+// built for.
+//
+// A network operations center keeps a resident tomography service and
+// re-plans its probing basis as the *estimated* link failure intensity
+// drifts through the day (estimates oscillate, so earlier operating points
+// recur).  Each re-planning round fires a burst of concurrent requests —
+// robust selection at two budgets, an ER evaluation of the chosen basis,
+// and a localization score — against the same deployed topology.  The
+// workload cache absorbs the expensive topology/path-matrix/availability
+// rebuilds: only the first visit to each intensity estimate builds, every
+// revisit is a cache hit.
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "service/service.h"
+
+int main() {
+  using namespace rnt;
+
+  service::Service svc(service::ServiceConfig{.threads = 4,
+                                              .cache_capacity = 8});
+
+  // Morning ramp-up, midday incident, evening recovery: the NOC's failure
+  // intensity estimate drifts up and back.  Values repeat, so the second
+  // half of the session is served from cache.
+  const std::vector<double> intensity_drift = {4.0, 5.0, 6.0, 5.0, 4.0};
+  const char* workload = "as=AS1755 paths=200 seed=77";
+
+  std::cout << "NOC service session on AS1755 (200 candidate paths), "
+            << "re-planning as the failure estimate drifts\n\n";
+  std::cout << std::left << std::setw(10) << "estimate" << std::setw(14)
+            << "basis@8%" << std::setw(14) << "basis@15%" << std::setw(12)
+            << "rank mean" << std::setw(12) << "localized" << "\n";
+
+  for (double intensity : intensity_drift) {
+    const std::string w =
+        std::string(workload) + " intensity=" + std::to_string(intensity);
+
+    // One re-planning burst: four requests in flight at once.
+    auto lean = svc.submit_line("select " + w + " budget-frac=0.08");
+    auto rich = svc.submit_line("select " + w + " budget-frac=0.15");
+    auto robust = svc.submit_line("er-eval " + w +
+                                  " budget-frac=0.08 scenarios=100");
+    auto localize = svc.submit_line("localize " + w +
+                                    " budget-frac=0.08 scenarios=100");
+
+    const service::Response lean_r = lean.get();
+    const service::Response rich_r = rich.get();
+    const service::Response robust_r = robust.get();
+    const service::Response localize_r = localize.get();
+    for (const auto* r : {&lean_r, &rich_r, &robust_r, &localize_r}) {
+      if (!r->ok) {
+        std::cerr << "request failed: " << r->error << "\n";
+        return 1;
+      }
+    }
+
+    std::cout << std::setw(10) << intensity << std::setw(14)
+              << (lean_r.at("selected") + " paths") << std::setw(14)
+              << (rich_r.at("selected") + " paths") << std::setw(12)
+              << robust_r.at("rank-mean").substr(0, 5) << std::setw(12)
+              << (localize_r.at("exact") + "/" + localize_r.at("trials"))
+              << "\n";
+  }
+
+  const auto cache = svc.cache_counters();
+  const auto metrics = svc.metrics();
+  std::cout << "\n" << metrics.requests << " requests, " << cache.misses
+            << " workload builds, " << cache.hits
+            << " served from cache (hit rate " << std::fixed
+            << std::setprecision(2) << cache.hit_rate() << ") — "
+            << "revisited failure estimates never rebuilt the path system\n";
+  std::cout << "latency: mean " << std::setprecision(1)
+            << metrics.latency_mean_ms << " ms, p99 "
+            << metrics.latency_p99_ms << " ms over "
+            << svc.pool_size() << " workers\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/expected_rank.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <thread>
@@ -74,13 +75,33 @@ ScenarioErEngine::ScenarioErEngine(
   }
 }
 
+namespace {
+
+/// Scenario chunk width shared by the serial and parallel evaluate paths.
+/// Both reduce per-chunk partial sums in chunk order, so the summation tree
+/// — and therefore the floating-point result — is identical no matter how
+/// many workers computed the chunks.
+constexpr std::size_t kEvalChunk = 64;
+
+}  // namespace
+
+double ScenarioErEngine::chunk_sum(const std::vector<std::size_t>& subset,
+                                   std::size_t begin, std::size_t end) const {
+  double acc = 0.0;
+  for (std::size_t s = begin; s < end; ++s) {
+    if (weights_[s] == 0.0) continue;
+    acc += weights_[s] * static_cast<double>(
+                             system_.surviving_rank(subset, scenarios_[s]));
+  }
+  return acc;
+}
+
 double ScenarioErEngine::evaluate(
     const std::vector<std::size_t>& subset) const {
+  const std::size_t n = scenarios_.size();
   double er = 0.0;
-  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
-    if (weights_[s] == 0.0) continue;
-    er += weights_[s] * static_cast<double>(
-                            system_.surviving_rank(subset, scenarios_[s]));
+  for (std::size_t begin = 0; begin < n; begin += kEvalChunk) {
+    er += chunk_sum(subset, begin, std::min(begin + kEvalChunk, n));
   }
   return er;
 }
@@ -96,29 +117,30 @@ double ScenarioErEngine::evaluate_parallel(
   }
   const std::size_t n = scenarios_.size();
   if (n == 0) return 0.0;
-  threads = std::min(threads, n);
+  const std::size_t chunks = (n + kEvalChunk - 1) / kEvalChunk;
+  threads = std::min(threads, chunks);
 
-  // Contiguous chunks; each worker writes only its own partial slot.
-  std::vector<double> partial(threads, 0.0);
+  // Workers claim fixed-width chunks off a shared counter and write each
+  // partial into its chunk slot; the single-threaded reduction below then
+  // adds the slots in chunk order.  The chunk grid does not depend on the
+  // worker count, so the result is bitwise identical to serial evaluate()
+  // for every `threads` value.
+  std::vector<double> partial(chunks, 0.0);
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t begin = c * kEvalChunk;
+      partial[c] = chunk_sum(subset, begin, std::min(begin + kEvalChunk, n));
+    }
+  };
   std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const std::size_t chunk = (n + threads - 1) / threads;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t begin = t * chunk;
-    const std::size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    workers.emplace_back([this, &subset, &partial, t, begin, end] {
-      double acc = 0.0;
-      for (std::size_t s = begin; s < end; ++s) {
-        if (weights_[s] == 0.0) continue;
-        acc += weights_[s] * static_cast<double>(
-                                 system_.surviving_rank(subset, scenarios_[s]));
-      }
-      partial[t] = acc;
-    });
-  }
+  workers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) workers.emplace_back(work);
+  work();
   for (std::thread& w : workers) w.join();
-  // Ordered reduction keeps the result deterministic.
+
   double total = 0.0;
   for (double p : partial) total += p;
   return total;

@@ -79,15 +79,21 @@ class ScenarioErEngine : public ErEngine {
 
   std::size_t scenario_count() const { return scenarios_.size(); }
 
-  /// Multithreaded evaluate(): scenarios are partitioned into contiguous
-  /// chunks, one worker per chunk, and partial sums are reduced in chunk
-  /// order — so the result is bitwise identical to the serial path for the
-  /// same chunking and deterministic across runs.  threads = 0 picks the
-  /// hardware concurrency.
+  /// Multithreaded evaluate(): scenarios are partitioned into fixed-width
+  /// chunks (independent of the worker count), workers compute per-chunk
+  /// partial sums, and the partials are reduced in chunk order — the same
+  /// summation tree the serial evaluate() uses, so the result is bitwise
+  /// identical to evaluate() for every thread count.  threads = 0 picks
+  /// the hardware concurrency.
   double evaluate_parallel(const std::vector<std::size_t>& subset,
                            std::size_t threads = 0) const;
 
  protected:
+  /// Ordered partial sum of scenarios [begin, end) — the shared kernel of
+  /// evaluate() and evaluate_parallel().
+  double chunk_sum(const std::vector<std::size_t>& subset, std::size_t begin,
+                   std::size_t end) const;
+
   const tomo::PathSystem& system_;
   std::vector<failures::FailureVector> scenarios_;
   std::vector<double> weights_;

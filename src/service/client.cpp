@@ -1,0 +1,87 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace rnt::service {
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port,
+                     double timeout_s) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect " + numeric + ":" +
+                             std::to_string(port) + ": " + what);
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      1e6 * (timeout_s - std::floor(timeout_s)));
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response TcpClient::call(const Request& request) {
+  return parse_response(call_line(format_request(request)));
+}
+
+std::string TcpClient::call_line(const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string reply = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+      return reply;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw std::runtime_error("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("timed out waiting for a reply");
+      }
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace rnt::service

@@ -1,0 +1,36 @@
+// Blocking TCP client for the tomography service's line protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace rnt::service {
+
+class TcpClient {
+ public:
+  /// Connects to host:port (host: dotted IPv4 or "localhost"); throws
+  /// std::runtime_error on connection failure.  `timeout_s` bounds each
+  /// reply wait.
+  TcpClient(const std::string& host, std::uint16_t port,
+            double timeout_s = 60.0);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Sends one request and waits for its reply line.  Throws
+  /// std::runtime_error on socket errors or timeout.
+  Response call(const Request& request);
+
+  /// Raw form: sends `line` verbatim (newline appended) and returns the
+  /// reply line.
+  std::string call_line(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes received past the last reply line.
+};
+
+}  // namespace rnt::service

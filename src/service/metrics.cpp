@@ -1,0 +1,29 @@
+#include "service/metrics.h"
+
+namespace rnt::service {
+
+void ServiceMetrics::record(RequestType type, bool ok, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[type];
+  if (!ok) ++errors_;
+  latency_s_.add(seconds);
+  latency_dist_s_.add(seconds);
+}
+
+ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [type, count] : counts_) {
+    s.requests += count;
+    s.by_verb[to_verb(type)] = count;
+  }
+  s.errors = errors_;
+  if (latency_s_.count() > 0) {
+    s.latency_min_ms = 1e3 * latency_s_.min();
+    s.latency_mean_ms = 1e3 * latency_s_.mean();
+    s.latency_p99_ms = 1e3 * latency_dist_s_.quantile(0.99);
+  }
+  return s;
+}
+
+}  // namespace rnt::service

@@ -1,0 +1,40 @@
+// Service-side observability: request/error counters per verb and the
+// end-to-end handler latency distribution (min / mean / p99 via
+// util/stats).  Queryable through the `stats` request and dumped as a
+// summary on shutdown.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/protocol.h"
+#include "util/stats.h"
+
+namespace rnt::service {
+
+class ServiceMetrics {
+ public:
+  /// Records one handled request (latency measured around the handler).
+  void record(RequestType type, bool ok, double seconds);
+
+  struct Snapshot {
+    std::size_t requests = 0;
+    std::size_t errors = 0;
+    std::map<std::string, std::size_t> by_verb;
+    double latency_min_ms = 0.0;
+    double latency_mean_ms = 0.0;
+    double latency_p99_ms = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<RequestType, std::size_t> counts_;
+  std::size_t errors_ = 0;
+  RunningStats latency_s_;
+  EmpiricalDistribution latency_dist_s_;
+};
+
+}  // namespace rnt::service

@@ -1,0 +1,172 @@
+#include "service/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace rnt::service {
+namespace {
+
+/// Poll granularity: how often blocked loops re-check the stop flag.
+constexpr int kPollMs = 100;
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must not SIGPIPE the
+    // whole server process.
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // Peer gone; the connection loop will see EOF and close.
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ServerConfig config)
+    : config_(config),
+      service_(ServiceConfig{.threads = config.threads,
+                             .cache_capacity = config.cache_capacity}) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind 127.0.0.1:" +
+                             std::to_string(config_.port) + ": " + what);
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen: " + what);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer() {
+  stop();
+  reap_connections(/*all=*/true);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpServer::run() {
+  while (!stopping()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    reap_connections(/*all=*/false);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->thread = std::thread([this, fd, raw] { serve_connection(fd, raw); });
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(std::move(conn));
+  }
+  reap_connections(/*all=*/true);
+  service_.shutdown();  // Drain-and-join the request pool.
+}
+
+void TcpServer::serve_connection(int fd, Connection* conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // EOF.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      // Detect shutdown before dispatching so the acceptor stops even if
+      // the pool is busy.
+      bool is_shutdown = false;
+      try {
+        is_shutdown = parse_request(line).type == RequestType::kShutdown;
+      } catch (const std::exception&) {
+        // Fall through; handle_line turns it into an error reply.
+      }
+
+      std::string reply;
+      try {
+        std::future<Response> future = service_.submit_line(line);
+        const auto deadline = std::chrono::duration<double>(
+            config_.request_timeout_s);
+        if (future.wait_for(deadline) == std::future_status::ready) {
+          reply = format_response(future.get());
+        } else {
+          // The handler keeps running on the pool; its result is dropped.
+          reply = format_response(Response::failure(
+              "timeout: request exceeded " +
+              std::to_string(config_.request_timeout_s) + "s"));
+        }
+      } catch (const std::exception& e) {
+        // submit() after shutdown, or a torn-down pool.
+        reply = format_response(Response::failure(e.what()));
+      }
+      send_all(fd, reply + "\n");
+
+      if (is_shutdown) {
+        stop();
+        open = false;
+      }
+    }
+  }
+  ::close(fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void TcpServer::reap_connections(bool all) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection& conn = **it;
+    if (all || conn.done.load(std::memory_order_acquire)) {
+      if (conn.thread.joinable()) conn.thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rnt::service

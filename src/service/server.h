@@ -1,0 +1,73 @@
+// TCP front end: the line-delimited protocol of service/protocol.h served
+// over a POSIX socket.
+//
+// One acceptor loop (run()) hands each connection to its own reader
+// thread; request lines are executed on the Service's thread pool, so many
+// connections share the same fixed worker budget.  Each request gets a
+// wall-clock timeout — a late handler is answered with a structured
+// `error` reply (the computation itself finishes on the pool and is
+// discarded).  stop() is safe to call from a signal handler: it only
+// stores an atomic flag, which the acceptor and reader loops poll.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "service/service.h"
+
+namespace rnt::service {
+
+struct ServerConfig {
+  std::uint16_t port = 0;          ///< 0 = kernel-assigned ephemeral port.
+  std::size_t threads = 0;         ///< Service pool size; 0 = hardware.
+  std::size_t cache_capacity = 8;  ///< Workload cache LRU bound.
+  double request_timeout_s = 60.0; ///< Per-request reply deadline.
+  int backlog = 16;
+};
+
+class TcpServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; throws std::runtime_error on
+  /// socket failures.  port() reports the actual port (useful with 0).
+  explicit TcpServer(ServerConfig config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  Service& service() { return service_; }
+
+  /// Accepts and serves connections until stop() (or a `shutdown`
+  /// request).  Joins every connection thread and drains the service pool
+  /// before returning.
+  void run();
+
+  /// Requests a graceful stop.  Async-signal-safe (atomic store only).
+  void stop() { stop_.store(true, std::memory_order_release); }
+
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void serve_connection(int fd, Connection* conn);
+  void reap_connections(bool all);
+
+  ServerConfig config_;
+  Service service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::mutex conn_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace rnt::service

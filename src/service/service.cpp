@@ -1,0 +1,290 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/matrome.h"
+#include "core/rome.h"
+#include "core/select_path.h"
+#include "exp/metrics.h"
+#include "tomo/localization.h"
+
+namespace rnt::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Workload parameters shared by every compute verb; defaults mirror the
+/// rnt_cli commands so a service reply matches the one-shot CLI answer.
+WorkloadKey key_from(const Request& request) {
+  WorkloadKey key;
+  key.topology = request.get("as", "");
+  key.nodes = static_cast<std::size_t>(request.get_int("nodes", 87));
+  key.links = static_cast<std::size_t>(request.get_int("links", 161));
+  key.candidate_paths =
+      static_cast<std::size_t>(request.get_int("paths", 400));
+  key.seed = static_cast<std::uint64_t>(request.get_int("seed", 1));
+  key.intensity = request.get_double("intensity", 5.0);
+  key.unit_costs = request.get_bool("unit-costs", false);
+  return key;
+}
+
+double total_cost(const exp::Workload& w) {
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return w.costs.subset_cost(*w.system, all);
+}
+
+/// Same algorithm zoo and seeding as cli_commands.cpp run_algorithm(),
+/// with the cached ProbBound tables standing in for a fresh ProbBoundEr
+/// (its construction is deterministic, so the selection is identical).
+core::Selection run_algorithm(const CachedWorkload& cw,
+                              const std::string& algorithm, double budget) {
+  const exp::Workload& w = cw.workload;
+  if (algorithm == "prob-rome") {
+    return core::rome(*w.system, w.costs, budget, cw.prob_bound);
+  }
+  if (algorithm == "monte-rome") {
+    Rng rng(w.seed * 101);
+    core::MonteCarloEr engine(*w.system, *w.failures, 50, rng);
+    return core::rome(*w.system, w.costs, budget, engine);
+  }
+  if (algorithm == "select-path") {
+    Rng rng(w.seed * 103);
+    return core::select_path_budgeted(*w.system, w.costs, budget, rng);
+  }
+  if (algorithm == "mat-rome") {
+    return core::matrome(*w.system, *w.failures);
+  }
+  throw std::invalid_argument(
+      "unknown algorithm (want prob-rome, monte-rome, select-path or "
+      "mat-rome): " +
+      algorithm);
+}
+
+std::vector<std::size_t> parse_subset(const std::string& csv,
+                                      std::size_t path_count) {
+  std::vector<std::size_t> subset;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(token, &used);
+    if (used != token.size() || value >= path_count) {
+      throw std::invalid_argument("subset: bad path index '" + token + "'");
+    }
+    subset.push_back(static_cast<std::size_t>(value));
+  }
+  if (subset.empty()) {
+    throw std::invalid_argument("subset: no path indices given");
+  }
+  return subset;
+}
+
+std::string join_subset(const std::vector<std::size_t>& subset) {
+  std::string csv;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (i > 0) csv += ',';
+    csv += std::to_string(subset[i]);
+  }
+  return csv;
+}
+
+/// The probe subset a request talks about: an explicit `subset=` list, or
+/// the output of a selection algorithm at the requested budget.
+std::vector<std::size_t> resolve_subset(const Request& request,
+                                        const CachedWorkload& cw) {
+  const std::string explicit_subset = request.get("subset", "");
+  if (!explicit_subset.empty()) {
+    // Consume the selection parameters anyway so they are not "unknown".
+    request.get("algorithm", "");
+    request.get_double("budget-frac", 0.3);
+    return parse_subset(explicit_subset, cw.workload.system->path_count());
+  }
+  const std::string algorithm = request.get("algorithm", "prob-rome");
+  const double budget =
+      request.get_double("budget-frac", 0.3) * total_cost(cw.workload);
+  return run_algorithm(cw, algorithm, budget).paths;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.threads) {}
+
+Response Service::handle(const Request& request) {
+  const auto start = Clock::now();
+  Response response;
+  try {
+    response = dispatch(request);
+    request.finish();
+  } catch (const std::exception& e) {
+    response = Response::failure(e.what());
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  metrics_.record(request.type, response.ok, seconds);
+  return response;
+}
+
+Response Service::handle_line(const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& e) {
+    return Response::failure(e.what());
+  }
+  return handle(request);
+}
+
+std::future<Response> Service::submit(Request request) {
+  return pool_.submit(
+      [this, request = std::move(request)] { return handle(request); });
+}
+
+std::future<Response> Service::submit_line(std::string line) {
+  return pool_.submit(
+      [this, line = std::move(line)] { return handle_line(line); });
+}
+
+Response Service::dispatch(const Request& request) {
+  switch (request.type) {
+    case RequestType::kPing: {
+      Response r;
+      r.set("pong", std::size_t{1});
+      return r;
+    }
+    case RequestType::kShutdown: {
+      // The server front end acts on the verb; in-process callers just get
+      // an acknowledgement.
+      Response r;
+      r.set("shutting-down", std::size_t{1});
+      return r;
+    }
+    case RequestType::kStats: {
+      const ServiceMetrics::Snapshot m = metrics_.snapshot();
+      const WorkloadCache::Counters c = cache_.counters();
+      Response r;
+      r.set("requests", m.requests);
+      r.set("errors", m.errors);
+      for (const auto& [verb, count] : m.by_verb) {
+        r.set("count-" + verb, count);
+      }
+      r.set("latency-min-ms", m.latency_min_ms);
+      r.set("latency-mean-ms", m.latency_mean_ms);
+      r.set("latency-p99-ms", m.latency_p99_ms);
+      r.set("cache-hits", c.hits);
+      r.set("cache-misses", c.misses);
+      r.set("cache-evictions", c.evictions);
+      r.set("cache-size", c.size);
+      r.set("cache-hit-rate", c.hit_rate());
+      r.set("threads", pool_.size());
+      return r;
+    }
+    case RequestType::kSelect: {
+      const auto cw = cache_.get(key_from(request));
+      const exp::Workload& w = cw->workload;
+      const std::string algorithm = request.get("algorithm", "prob-rome");
+      const double budget =
+          request.get_double("budget-frac", 0.3) * total_cost(w);
+      const core::Selection sel = run_algorithm(*cw, algorithm, budget);
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("algorithm", algorithm);
+      r.set("budget", budget);
+      r.set("selected", sel.size());
+      r.set("cost", sel.cost);
+      r.set("objective", sel.objective);
+      r.set("rank", w.system->rank_of(sel.paths));
+      r.set("paths", join_subset(sel.paths));
+      return r;
+    }
+    case RequestType::kErEval: {
+      const auto cw = cache_.get(key_from(request));
+      const exp::Workload& w = cw->workload;
+      const std::vector<std::size_t> subset = resolve_subset(request, *cw);
+      exp::EvalOptions opts;
+      opts.scenarios =
+          static_cast<std::size_t>(request.get_int("scenarios", 200));
+      opts.identifiability = false;
+      Rng rng = w.eval_rng();
+      const auto eval =
+          exp::evaluate_selection(*w.system, subset, *w.failures, opts, rng);
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("paths", subset.size());
+      r.set("no-failure-rank", eval.no_failure_rank);
+      r.set("rank-mean", eval.rank.stats.mean());
+      r.set("rank-std", eval.rank.stats.stddev());
+      r.set("rank-p10", eval.rank.distribution.quantile(0.1));
+      r.set("prob-er", cw->prob_bound.evaluate(subset));
+      return r;
+    }
+    case RequestType::kIdentifiability: {
+      const auto cw = cache_.get(key_from(request));
+      const exp::Workload& w = cw->workload;
+      const std::vector<std::size_t> subset = resolve_subset(request, *cw);
+      exp::EvalOptions opts;
+      opts.scenarios =
+          static_cast<std::size_t>(request.get_int("scenarios", 200));
+      opts.identifiability = true;
+      Rng rng = w.eval_rng();
+      const auto eval =
+          exp::evaluate_selection(*w.system, subset, *w.failures, opts, rng);
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("paths", subset.size());
+      r.set("links", w.system->link_count());
+      r.set("identifiable", eval.no_failure_identifiability);
+      r.set("identifiable-mean", eval.identifiability.stats.mean());
+      r.set("identifiable-std", eval.identifiability.stats.stddev());
+      return r;
+    }
+    case RequestType::kLocalize: {
+      const auto cw = cache_.get(key_from(request));
+      const exp::Workload& w = cw->workload;
+      const std::vector<std::size_t> subset = resolve_subset(request, *cw);
+      const auto trials =
+          static_cast<std::size_t>(request.get_int("scenarios", 300));
+      Rng rng = w.eval_rng();
+      const auto score = tomo::score_localization(*w.system, subset,
+                                                  *w.failures, trials, rng);
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("paths", subset.size());
+      r.set("trials", score.trials);
+      r.set("exact", score.exact);
+      r.set("ambiguous", score.ambiguous);
+      r.set("invisible", score.invisible);
+      r.set("mean-candidates", score.mean_candidates);
+      r.set("exact-fraction", score.exact_fraction());
+      return r;
+    }
+  }
+  throw std::logic_error("Service::dispatch: unhandled request type");
+}
+
+std::string Service::summary() const {
+  const ServiceMetrics::Snapshot m = metrics_.snapshot();
+  const WorkloadCache::Counters c = cache_.counters();
+  std::ostringstream out;
+  out << "service summary\n";
+  out << "  requests:  " << m.requests << " (" << m.errors << " errors)\n";
+  for (const auto& [verb, count] : m.by_verb) {
+    out << "    " << verb << ": " << count << "\n";
+  }
+  out << "  latency:   min " << m.latency_min_ms << " ms, mean "
+      << m.latency_mean_ms << " ms, p99 " << m.latency_p99_ms << " ms\n";
+  out << "  cache:     " << c.hits << " hits / " << c.misses
+      << " misses (hit rate " << c.hit_rate() << "), " << c.size
+      << " resident, " << c.evictions << " evictions\n";
+  return out.str();
+}
+
+}  // namespace rnt::service

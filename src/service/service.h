@@ -1,0 +1,72 @@
+// The in-process tomography service: a request router over the paper's
+// algorithms, executing on a fixed thread pool against LRU-cached
+// workloads.
+//
+// One Service owns one WorkloadCache, one ThreadPool and one
+// ServiceMetrics.  handle() answers a request synchronously on the calling
+// thread; submit() runs it on the pool and returns a future — both paths
+// share the router, record metrics, and never throw (failures become
+// `error` replies).  Handlers mirror the rnt_cli commands parameter for
+// parameter, so a service reply is observably identical to the one-shot
+// CLI answer for the same request.
+#pragma once
+
+#include <future>
+#include <string>
+
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/thread_pool.h"
+#include "service/workload_cache.h"
+
+namespace rnt::service {
+
+struct ServiceConfig {
+  std::size_t threads = 0;         ///< Pool size; 0 = hardware concurrency.
+  std::size_t cache_capacity = 8;  ///< Resident workloads (LRU bound).
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+
+  /// Drains in-flight requests (drain-and-join, via ~ThreadPool).
+  ~Service() = default;
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Answers on the calling thread.  Never throws: handler errors come
+  /// back as error replies (and count toward the error metric).
+  Response handle(const Request& request);
+
+  /// Parses one protocol line and answers it; parse errors become error
+  /// replies too.
+  Response handle_line(const std::string& line);
+
+  /// Runs handle() on the thread pool.  Throws only when the pool is
+  /// already shut down.
+  std::future<Response> submit(Request request);
+  std::future<Response> submit_line(std::string line);
+
+  /// Stops accepting work and drains the pool.  Idempotent.
+  void shutdown() { pool_.shutdown(); }
+
+  WorkloadCache::Counters cache_counters() const { return cache_.counters(); }
+  ServiceMetrics::Snapshot metrics() const { return metrics_.snapshot(); }
+  std::size_t pool_size() const { return pool_.size(); }
+
+  /// Multi-line human-readable metrics/cache dump (printed on shutdown by
+  /// the server front end).
+  std::string summary() const;
+
+ private:
+  Response dispatch(const Request& request);
+
+  ServiceConfig config_;
+  WorkloadCache cache_;
+  ServiceMetrics metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace rnt::service

@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a FIFO work queue and future-returning
+// submit() — the execution substrate of the tomography service.
+//
+// Shutdown is drain-and-join: once shutdown() (or the destructor) is
+// called no new work is accepted, but every task already queued still runs
+// to completion before the workers join, so no accepted future is ever
+// abandoned.  Exceptions thrown by a task propagate through its future.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rnt::service {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means the hardware concurrency (at least
+  /// one worker either way).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a nullary callable; the returned future yields its result or
+  /// rethrows its exception.  Throws std::runtime_error after shutdown().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> future = task.get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit: pool is shut down");
+      }
+      queue_.emplace_back([t = std::move(task)]() mutable { t(); });
+    }
+    work_cv_.notify_one();
+    return future;
+  }
+
+  /// Stops accepting work, runs everything already queued, joins the
+  /// workers.  Idempotent; safe to call from any thread except a worker.
+  void shutdown();
+
+  /// Number of worker threads (0 after shutdown).
+  std::size_t size() const;
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace rnt::service

@@ -1,0 +1,111 @@
+#include "service/workload_cache.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/isp_topology.h"
+
+namespace rnt::service {
+namespace {
+
+exp::Workload build_workload(const WorkloadKey& key) {
+  if (!key.topology.empty()) {
+    exp::WorkloadSpec spec;
+    spec.topology = graph::parse_isp_topology(key.topology);
+    spec.candidate_paths = key.candidate_paths;
+    spec.seed = key.seed;
+    spec.failure_intensity = key.intensity;
+    spec.unit_costs = key.unit_costs;
+    return exp::make_workload(spec);
+  }
+  return exp::make_custom_workload(key.nodes, key.links, key.candidate_paths,
+                                   key.seed, key.intensity, key.unit_costs);
+}
+
+}  // namespace
+
+std::string WorkloadKey::describe() const {
+  std::ostringstream out;
+  if (topology.empty()) {
+    out << "custom(" << nodes << "n," << links << "l)";
+  } else {
+    out << topology;
+  }
+  out << "/paths=" << candidate_paths << "/seed=" << seed
+      << "/intensity=" << intensity;
+  if (unit_costs) out << "/unit-costs";
+  return out.str();
+}
+
+WorkloadCache::WorkloadCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedWorkload> WorkloadCache::get(
+    const WorkloadKey& key) {
+  std::promise<std::shared_ptr<const CachedWorkload>> promise;
+  EntryFuture future;
+  bool build = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      future = it->second.future;
+    } else {
+      ++misses_;
+      build = true;
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      entries_[key] = Entry{future, lru_.begin()};
+      evict_over_capacity();
+    }
+  }
+
+  if (build) {
+    try {
+      promise.set_value(
+          std::make_shared<const CachedWorkload>(build_workload(key)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Forget the failed entry so a later request can retry.
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+      }
+    }
+  }
+  return future.get();  // Rethrows a build failure to every waiter.
+}
+
+void WorkloadCache::evict_over_capacity() {
+  auto victim = lru_.end();
+  while (entries_.size() > capacity_ && victim != lru_.begin()) {
+    --victim;
+    const auto it = entries_.find(*victim);
+    // Skip entries still being built; their waiters hold the future.
+    if (it == entries_.end() ||
+        it->second.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+      continue;
+    }
+    entries_.erase(it);
+    victim = lru_.erase(victim);
+    ++evictions_;
+  }
+}
+
+WorkloadCache::Counters WorkloadCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters c;
+  c.hits = hits_;
+  c.misses = misses_;
+  c.evictions = evictions_;
+  c.size = entries_.size();
+  return c;
+}
+
+}  // namespace rnt::service

@@ -70,10 +70,12 @@ std::size_t PathSystem::rank_of(const std::vector<std::size_t>& subset) const {
 }
 
 std::size_t PathSystem::full_rank() const {
-  if (cached_full_rank_ < 0) {
-    cached_full_rank_ = static_cast<std::ptrdiff_t>(linalg::rank(matrix_));
+  std::ptrdiff_t cached = cached_full_rank_.load(std::memory_order_acquire);
+  if (cached < 0) {
+    cached = static_cast<std::ptrdiff_t>(linalg::rank(matrix_));
+    cached_full_rank_.store(cached, std::memory_order_release);
   }
-  return static_cast<std::size_t>(cached_full_rank_);
+  return static_cast<std::size_t>(cached);
 }
 
 double PathSystem::expected_availability(

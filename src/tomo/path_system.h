@@ -7,6 +7,7 @@
 // (Section II-A of the paper).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -36,6 +37,41 @@ class PathSystem {
  public:
   /// `link_count` is |E| of the underlying graph (columns of A).
   PathSystem(std::size_t link_count, std::vector<ProbePath> paths);
+
+  // The atomic rank cache is not copyable/movable by default; these carry
+  // the cached value across.
+  PathSystem(const PathSystem& other)
+      : link_count_(other.link_count_),
+        paths_(other.paths_),
+        matrix_(other.matrix_),
+        cached_full_rank_(
+            other.cached_full_rank_.load(std::memory_order_relaxed)) {}
+  PathSystem(PathSystem&& other) noexcept
+      : link_count_(other.link_count_),
+        paths_(std::move(other.paths_)),
+        matrix_(std::move(other.matrix_)),
+        cached_full_rank_(
+            other.cached_full_rank_.load(std::memory_order_relaxed)) {}
+  PathSystem& operator=(const PathSystem& other) {
+    if (this != &other) {
+      link_count_ = other.link_count_;
+      paths_ = other.paths_;
+      matrix_ = other.matrix_;
+      cached_full_rank_.store(
+          other.cached_full_rank_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  PathSystem& operator=(PathSystem&& other) noexcept {
+    link_count_ = other.link_count_;
+    paths_ = std::move(other.paths_);
+    matrix_ = std::move(other.matrix_);
+    cached_full_rank_.store(
+        other.cached_full_rank_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   std::size_t path_count() const { return paths_.size(); }
   std::size_t link_count() const { return link_count_; }
@@ -77,7 +113,10 @@ class PathSystem {
   std::size_t link_count_;
   std::vector<ProbePath> paths_;
   linalg::Matrix matrix_;
-  mutable std::ptrdiff_t cached_full_rank_ = -1;
+  /// Lazy full-rank cache; atomic so concurrent const callers (the service
+  /// layer shares one PathSystem across request threads) stay race-free.
+  /// Worst case two threads both compute and store the same value.
+  mutable std::atomic<std::ptrdiff_t> cached_full_rank_{-1};
 };
 
 }  // namespace rnt::tomo

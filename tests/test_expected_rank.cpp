@@ -274,6 +274,26 @@ TEST(MonteCarlo, ParallelEvaluateMatchesSerial) {
   EXPECT_NEAR(mc.evaluate_parallel(all), serial, 1e-9);
 }
 
+TEST(MonteCarlo, ParallelEvaluateBitwiseEqualAcrossThreadCounts) {
+  // evaluate() and evaluate_parallel() both sum fixed 64-scenario chunks
+  // and reduce them in chunk order, so the parallel answer is bitwise
+  // identical to the serial one at every worker count — not merely close.
+  SmallWorld w(76);
+  Rng rng(76);
+  // 333 scenarios: several chunks plus a ragged tail.
+  MonteCarloEr mc(*w.system, *w.model, 333, rng);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double serial = mc.evaluate(all);
+  for (std::size_t threads : {1u, 2u, 3u, 7u, 8u}) {
+    EXPECT_EQ(mc.evaluate_parallel(all, threads), serial)
+        << threads << " threads";
+  }
+  Rng sub_rng(77);
+  const auto subset = random_subset(w.system->path_count(), sub_rng);
+  EXPECT_EQ(mc.evaluate_parallel(subset, 8), mc.evaluate(subset));
+}
+
 TEST(MonteCarlo, ParallelEvaluateEdgeCases) {
   SmallWorld w(75);
   Rng rng(75);

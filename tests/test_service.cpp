@@ -1,0 +1,388 @@
+// The concurrent tomography service: protocol codec, workload cache,
+// request router, and the TCP front end.
+//
+// The acceptance test (ConcurrentMixedRequestsMatchModules) launches the
+// service in-process, fires concurrent requests from several client
+// threads spanning all four compute verbs, and checks every reply against
+// the answer computed single-threaded straight from the core/tomo/exp
+// modules with the CLI's seeding — the service must be observably
+// identical to the one-shot path, only resident and concurrent.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "exp/metrics.h"
+#include "exp/workload.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/workload_cache.h"
+#include "tomo/localization.h"
+
+namespace rnt::service {
+namespace {
+
+// --------------------------------------------------------------------------
+// Protocol: line codec round trips
+// --------------------------------------------------------------------------
+
+TEST(Protocol, VerbsRoundTrip) {
+  for (RequestType type :
+       {RequestType::kSelect, RequestType::kErEval,
+        RequestType::kIdentifiability, RequestType::kLocalize,
+        RequestType::kStats, RequestType::kPing, RequestType::kShutdown}) {
+    EXPECT_EQ(parse_verb(to_verb(type)), type);
+  }
+  EXPECT_THROW(parse_verb("frobnicate"), std::invalid_argument);
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request request;
+  request.type = RequestType::kSelect;
+  request.params = {{"as", "AS1755"}, {"budget-frac", "0.25"}, {"seed", "9"}};
+  const Request back = parse_request(format_request(request));
+  EXPECT_EQ(back.type, RequestType::kSelect);
+  EXPECT_EQ(back.params, request.params);
+}
+
+TEST(Protocol, ResponseRoundTripIsExactForDoubles) {
+  Response response;
+  response.set("objective", 1.0 / 3.0);
+  response.set("count", std::size_t{42});
+  response.set("name", "AS3257");
+  const Response back = parse_response(format_response(response));
+  ASSERT_TRUE(back.ok);
+  EXPECT_EQ(back.number("objective"), 1.0 / 3.0);  // Bitwise round trip.
+  EXPECT_EQ(back.at("count"), "42");
+  EXPECT_EQ(back.at("name"), "AS3257");
+}
+
+TEST(Protocol, ErrorReplyKeepsMessage) {
+  const Response back =
+      parse_response(format_response(Response::failure("bad thing: x=1")));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "bad thing: x=1");
+}
+
+TEST(Protocol, ParseRejectsMalformedLines) {
+  EXPECT_THROW(parse_request(""), std::invalid_argument);
+  EXPECT_THROW(parse_request("select budget"), std::invalid_argument);
+  EXPECT_THROW(parse_request("warp speed=9"), std::invalid_argument);
+  EXPECT_THROW(parse_response("maybe x=1"), std::invalid_argument);
+}
+
+TEST(Protocol, RequestFinishRejectsUnknownParams) {
+  Request request = parse_request("ping colour=blue");
+  EXPECT_THROW(request.finish(), std::invalid_argument);
+  Request clean = parse_request("select seed=5");
+  EXPECT_EQ(clean.get_int("seed", 1), 5);
+  EXPECT_NO_THROW(clean.finish());
+}
+
+// --------------------------------------------------------------------------
+// Workload cache
+// --------------------------------------------------------------------------
+
+WorkloadKey small_key(std::uint64_t seed) {
+  WorkloadKey key;
+  key.nodes = 30;
+  key.links = 60;
+  key.candidate_paths = 30;
+  key.seed = seed;
+  key.intensity = 5.0;
+  return key;
+}
+
+TEST(WorkloadCache, SecondGetIsAHit) {
+  WorkloadCache cache(4);
+  const auto a = cache.get(small_key(3));
+  const auto b = cache.get(small_key(3));
+  EXPECT_EQ(a.get(), b.get());  // Same immutable entry is shared.
+  const auto c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_GT(c.hit_rate(), 0.0);
+}
+
+TEST(WorkloadCache, LruBoundEvictsOldest) {
+  WorkloadCache cache(2);
+  (void)cache.get(small_key(1));
+  (void)cache.get(small_key(2));
+  (void)cache.get(small_key(3));  // Evicts seed=1.
+  auto c = cache.counters();
+  EXPECT_EQ(c.size, 2u);
+  EXPECT_EQ(c.evictions, 1u);
+  (void)cache.get(small_key(1));  // Rebuild: a miss, not a hit.
+  c = cache.counters();
+  EXPECT_EQ(c.misses, 4u);
+  EXPECT_EQ(c.hits, 0u);
+}
+
+TEST(WorkloadCache, ConcurrentSameKeyBuildsOnce) {
+  WorkloadCache cache(4);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CachedWorkload>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cache, &got, i] { got[i] = cache.get(small_key(7)); });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(got[0].get(), got[i].get());
+  const auto c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);  // Exactly one build.
+  EXPECT_EQ(c.hits, static_cast<std::size_t>(kThreads) - 1);
+}
+
+TEST(WorkloadCache, BuildFailureIsRetriable) {
+  WorkloadCache cache(4);
+  WorkloadKey bad = small_key(3);
+  bad.links = 2;  // Too few links for 30 nodes: the builder throws.
+  EXPECT_THROW((void)cache.get(bad), std::exception);
+  EXPECT_THROW((void)cache.get(bad), std::exception);  // Not a poisoned hit.
+  EXPECT_NO_THROW((void)cache.get(small_key(3)));
+}
+
+// --------------------------------------------------------------------------
+// Service router
+// --------------------------------------------------------------------------
+
+TEST(Service, PingAndStats) {
+  Service svc(ServiceConfig{.threads = 2, .cache_capacity = 2});
+  const Response pong = svc.handle_line("ping");
+  ASSERT_TRUE(pong.ok) << pong.error;
+  EXPECT_EQ(pong.at("pong"), "1");
+  const Response stats = svc.handle_line("stats");
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.number("requests"), 1.0);  // The ping, not this stats call.
+  EXPECT_EQ(stats.number("errors"), 0.0);
+  EXPECT_EQ(stats.number("threads"), 2.0);
+}
+
+TEST(Service, ErrorsBecomeRepliesAndAreCounted) {
+  Service svc(ServiceConfig{.threads = 1, .cache_capacity = 2});
+  const Response bad_verb = svc.handle_line("frobnicate x=1");
+  EXPECT_FALSE(bad_verb.ok);
+  const Response bad_algo = svc.handle_line(
+      "select nodes=30 links=60 paths=30 seed=3 intensity=5 algorithm=magic");
+  EXPECT_FALSE(bad_algo.ok);
+  EXPECT_NE(bad_algo.error.find("magic"), std::string::npos);
+  const Response typo = svc.handle_line(
+      "select nodes=30 links=60 paths=30 seed=3 intensity=5 budgett-frac=0.2");
+  EXPECT_FALSE(typo.ok);
+  EXPECT_NE(typo.error.find("budgett-frac"), std::string::npos);
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.errors, 2u);  // Unparseable verbs never reach the router.
+}
+
+TEST(Service, ExplicitSubsetSkipsSelection) {
+  Service svc(ServiceConfig{.threads = 1, .cache_capacity = 2});
+  const Response r = svc.handle_line(
+      "er-eval nodes=30 links=60 paths=30 seed=3 intensity=5 subset=0,1,2 "
+      "scenarios=50");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.number("paths"), 3.0);
+  const Response bad = svc.handle_line(
+      "er-eval nodes=30 links=60 paths=30 seed=3 intensity=5 subset=0,999");
+  EXPECT_FALSE(bad.ok);
+}
+
+// The ISSUE acceptance test: concurrent mixed verbs from several client
+// threads, every reply equal to the single-threaded module answer, cache
+// hit rate > 0, clean shutdown.
+TEST(Service, ConcurrentMixedRequestsMatchModules) {
+  constexpr std::size_t kNodes = 40, kLinks = 80, kPaths = 60;
+  constexpr std::uint64_t kSeed = 9;
+  constexpr double kIntensity = 5.0, kBudgetFrac = 0.25;
+  constexpr std::size_t kScenarios = 100;
+
+  // Ground truth, single-threaded, straight from the modules with the
+  // CLI's seeding discipline.
+  exp::Workload w =
+      exp::make_custom_workload(kNodes, kLinks, kPaths, kSeed, kIntensity);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double budget = kBudgetFrac * w.costs.subset_cost(*w.system, all);
+  core::ProbBoundEr prob(*w.system, *w.failures);
+  const core::Selection sel = core::rome(*w.system, w.costs, budget, prob);
+  ASSERT_FALSE(sel.paths.empty());
+
+  exp::EvalOptions er_opts;
+  er_opts.scenarios = kScenarios;
+  er_opts.identifiability = false;
+  Rng er_rng = w.eval_rng();
+  const auto er =
+      exp::evaluate_selection(*w.system, sel.paths, *w.failures, er_opts,
+                              er_rng);
+  exp::EvalOptions id_opts;
+  id_opts.scenarios = kScenarios;
+  id_opts.identifiability = true;
+  Rng id_rng = w.eval_rng();
+  const auto ident =
+      exp::evaluate_selection(*w.system, sel.paths, *w.failures, id_opts,
+                              id_rng);
+  Rng loc_rng = w.eval_rng();
+  const auto loc = tomo::score_localization(*w.system, sel.paths, *w.failures,
+                                            kScenarios, loc_rng);
+
+  const std::string wparams =
+      "nodes=40 links=80 paths=60 seed=9 intensity=5";
+  const std::vector<std::string> lines = {
+      "select " + wparams + " algorithm=prob-rome budget-frac=0.25",
+      "er-eval " + wparams + " budget-frac=0.25 scenarios=100",
+      "identifiability " + wparams + " budget-frac=0.25 scenarios=100",
+      "localize " + wparams + " budget-frac=0.25 scenarios=100",
+  };
+
+  Service svc(ServiceConfig{.threads = 4, .cache_capacity = 4});
+
+  // 3 client threads x 4 verbs = 12 concurrent requests (>= 8, all four
+  // compute verbs in flight at once).
+  constexpr int kClients = 3;
+  std::vector<std::vector<Response>> replies(
+      kClients, std::vector<Response>(lines.size()));
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&svc, &lines, &replies, c] {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        replies[c][i] = svc.handle_line(lines[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::string expected_paths;
+  for (std::size_t i = 0; i < sel.paths.size(); ++i) {
+    if (i > 0) expected_paths += ',';
+    expected_paths += std::to_string(sel.paths[i]);
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    const Response& select = replies[c][0];
+    ASSERT_TRUE(select.ok) << select.error;
+    EXPECT_EQ(select.number("selected"),
+              static_cast<double>(sel.paths.size()));
+    EXPECT_EQ(select.number("budget"), budget);
+    EXPECT_EQ(select.number("cost"), sel.cost);
+    EXPECT_EQ(select.number("objective"), sel.objective);
+    EXPECT_EQ(select.at("paths"), expected_paths);
+
+    const Response& ereval = replies[c][1];
+    ASSERT_TRUE(ereval.ok) << ereval.error;
+    EXPECT_EQ(ereval.number("no-failure-rank"),
+              static_cast<double>(er.no_failure_rank));
+    EXPECT_EQ(ereval.number("rank-mean"), er.rank.stats.mean());
+    EXPECT_EQ(ereval.number("rank-std"), er.rank.stats.stddev());
+    EXPECT_EQ(ereval.number("prob-er"), prob.evaluate(sel.paths));
+
+    const Response& identifiability = replies[c][2];
+    ASSERT_TRUE(identifiability.ok) << identifiability.error;
+    EXPECT_EQ(identifiability.number("identifiable"),
+              static_cast<double>(ident.no_failure_identifiability));
+    EXPECT_EQ(identifiability.number("identifiable-mean"),
+              ident.identifiability.stats.mean());
+
+    const Response& localize = replies[c][3];
+    ASSERT_TRUE(localize.ok) << localize.error;
+    EXPECT_EQ(localize.number("trials"), static_cast<double>(loc.trials));
+    EXPECT_EQ(localize.number("exact"), static_cast<double>(loc.exact));
+    EXPECT_EQ(localize.number("mean-candidates"), loc.mean_candidates);
+  }
+
+  // One workload key: one build, everything else served from cache.
+  const auto cache = svc.cache_counters();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, static_cast<std::size_t>(kClients) * lines.size() - 1);
+  EXPECT_GT(cache.hit_rate(), 0.0);
+
+  const auto m = svc.metrics();
+  EXPECT_EQ(m.requests, static_cast<std::size_t>(kClients) * lines.size());
+  EXPECT_EQ(m.errors, 0u);
+
+  svc.shutdown();  // Clean drain; double shutdown stays safe.
+  svc.shutdown();
+}
+
+TEST(Service, SubmitRunsOnPoolAndMatchesHandle) {
+  Service svc(ServiceConfig{.threads = 2, .cache_capacity = 2});
+  const std::string line =
+      "select nodes=30 links=60 paths=30 seed=3 intensity=5 budget-frac=0.3";
+  auto f1 = svc.submit_line(line);
+  auto f2 = svc.submit_line(line);
+  const Response a = f1.get();
+  const Response b = f2.get();
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(format_response(a), format_response(b));
+  svc.shutdown();
+  EXPECT_THROW((void)svc.submit_line(line), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// TCP front end
+// --------------------------------------------------------------------------
+
+TEST(TcpServer, ServesProtocolOverLoopbackAndStopsOnShutdown) {
+  TcpServer server(ServerConfig{.port = 0,  // Kernel-assigned ephemeral port.
+                                .threads = 2,
+                                .cache_capacity = 2,
+                                .request_timeout_s = 120.0});
+  ASSERT_GT(server.port(), 0);
+  std::thread runner([&server] { server.run(); });
+
+  {
+    TcpClient client("127.0.0.1", server.port(), 120.0);
+    const Response pong = parse_response(client.call_line("ping"));
+    ASSERT_TRUE(pong.ok) << pong.error;
+    EXPECT_EQ(pong.at("pong"), "1");
+
+    Request select;
+    select.type = RequestType::kSelect;
+    select.params = {{"nodes", "30"}, {"links", "60"}, {"paths", "30"},
+                     {"seed", "3"},   {"intensity", "5"},
+                     {"budget-frac", "0.3"}};
+    const Response first = client.call(select);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_GT(first.number("selected"), 0.0);
+    const Response again = client.call(select);  // Cache hit, same answer.
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(format_response(first), format_response(again));
+
+    // Errors come back as structured replies, not dropped connections.
+    const Response bad = parse_response(client.call_line("warp factor=9"));
+    EXPECT_FALSE(bad.ok);
+    const Response typo = parse_response(client.call_line(
+        "select nodes=30 links=60 paths=30 seed=3 intensity=5 "
+        "budgett-frac=0.3"));
+    EXPECT_FALSE(typo.ok);
+    EXPECT_NE(typo.error.find("budgett-frac"), std::string::npos);
+
+    const Response stats = parse_response(client.call_line("stats"));
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_GT(stats.number("cache-hit-rate"), 0.0);
+
+    const Response down = parse_response(client.call_line("shutdown"));
+    ASSERT_TRUE(down.ok) << down.error;
+    EXPECT_EQ(down.at("shutting-down"), "1");
+  }
+
+  runner.join();  // `shutdown` request stops run(); joining proves it.
+  EXPECT_TRUE(server.stopping());
+}
+
+TEST(TcpServer, StopUnblocksRun) {
+  TcpServer server(ServerConfig{.port = 0, .threads = 1});
+  std::thread runner([&server] { server.run(); });
+  server.stop();  // What the SIGINT handler does.
+  runner.join();
+}
+
+}  // namespace
+}  // namespace rnt::service

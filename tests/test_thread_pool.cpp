@@ -1,0 +1,138 @@
+// service::ThreadPool — the execution substrate of the tomography service.
+//
+// The contract under test: futures deliver results and exceptions, shutdown
+// drains every accepted task before joining (drain-and-join), and submit
+// after shutdown is refused rather than silently dropped.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "service/thread_pool.h"
+
+namespace rnt::service {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManySmallTasksAllComplete) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([i, &ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(sum, static_cast<long long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that each wait for the other to start can only finish when
+  // two workers genuinely run in parallel.
+  ThreadPool pool(2);
+  std::promise<void> first_started;
+  std::promise<void> second_started;
+  auto a = pool.submit([&] {
+    first_started.set_value();
+    second_started.get_future().wait();
+    return 1;
+  });
+  auto b = pool.submit([&] {
+    second_started.set_value();
+    first_started.get_future().wait();
+    return 2;
+  });
+  EXPECT_EQ(a.get() + b.get(), 3);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task exploded"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  // One worker, blocked on a gate while 100 tasks pile up behind it;
+  // shutdown() must still run every queued task before joining.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  auto blocker = pool.submit([f = gate.get_future().share()] { f.wait(); });
+  constexpr int kQueued = 100;
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kQueued; ++i) {
+    futures.push_back(
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  EXPECT_GE(pool.pending(), static_cast<std::size_t>(kQueued) - 1);
+  gate.set_value();
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), kQueued);
+  blocker.get();
+  for (auto& f : futures) f.get();  // Every accepted future is fulfilled.
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 3; });
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(f.get(), 3);
+}
+
+TEST(ThreadPool, DestructorDrains) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit(
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool: drain-and-join.
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace rnt::service

@@ -1,5 +1,8 @@
 #include "cli_commands.h"
 
+#include <atomic>
+#include <csignal>
+#include <iostream>
 #include <numeric>
 #include <ostream>
 #include <string>
@@ -16,6 +19,8 @@
 #include "learning/baselines.h"
 #include "learning/lsr.h"
 #include "learning/simulator.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "tomo/localization.h"
 #include "util/table.h"
 
@@ -91,7 +96,8 @@ double total_cost(const exp::Workload& w) {
 
 void print_usage(std::ostream& out) {
   out <<
-      "usage: rnt_cli <topology|select|evaluate|learn|localize> [--flags]\n"
+      "usage: rnt_cli "
+      "<topology|select|evaluate|learn|localize|serve|client> [--flags]\n"
       "\n"
       "common workload flags:\n"
       "  --as NAME          AS1755 | AS3257 | AS1239 (calibrated synthetic)\n"
@@ -113,7 +119,19 @@ void print_usage(std::ostream& out) {
       "  --epsilon X        exploration rate for epsilon-greedy (default 0.1)\n"
       "\n"
       "topology flags:\n"
-      "  --output FILE      save the topology as an edge list\n";
+      "  --output FILE      save the topology as an edge list\n"
+      "\n"
+      "serve flags:\n"
+      "  --port N           TCP port on 127.0.0.1 (default 7070)\n"
+      "  --threads N        worker pool size (default: hardware)\n"
+      "  --cache N          resident workloads, LRU-bounded (default 8)\n"
+      "  --timeout S        per-request reply deadline in seconds\n"
+      "\n"
+      "client flags:\n"
+      "  --host H --port N  service address (default 127.0.0.1:7070)\n"
+      "  --request LINE     one protocol line; omit to read lines from "
+      "stdin\n"
+      "  --timeout S        reply wait in seconds\n";
 }
 
 int cmd_topology(Flags& flags, std::ostream& out) {
@@ -293,6 +311,67 @@ int cmd_localize(Flags& flags, std::ostream& out) {
   return 0;
 }
 
+namespace {
+
+/// SIGINT plumbing for `serve`: the handler may only touch the atomic
+/// pointer; TcpServer::stop() is an atomic store, so this is safe.
+std::atomic<service::TcpServer*> g_server{nullptr};
+
+void handle_sigint(int) {
+  if (service::TcpServer* server = g_server.load()) server->stop();
+}
+
+}  // namespace
+
+int cmd_serve(Flags& flags, std::ostream& out) {
+  service::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(flags.get_int("port", 7070));
+  config.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  config.cache_capacity =
+      static_cast<std::size_t>(flags.get_int("cache", 8));
+  config.request_timeout_s = flags.get_double("timeout", 60.0);
+
+  service::TcpServer server(config);
+  g_server.store(&server);
+  struct sigaction action{};
+  action.sa_handler = handle_sigint;
+  struct sigaction previous{};
+  ::sigaction(SIGINT, &action, &previous);
+
+  out << "tomography service listening on 127.0.0.1:" << server.port()
+      << " (" << server.service().pool_size() << " worker threads, cache "
+      << config.cache_capacity << " workloads, request timeout "
+      << config.request_timeout_s << "s)\n"
+      << "protocol: one request per line, e.g. 'select as=AS1755 "
+         "budget-frac=0.1'; 'shutdown' or SIGINT to stop\n";
+  out.flush();
+  server.run();
+
+  ::sigaction(SIGINT, &previous, nullptr);
+  g_server.store(nullptr);
+  out << "\n" << server.service().summary();
+  return 0;
+}
+
+int cmd_client(Flags& flags, std::istream& in, std::ostream& out) {
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_int("port", 7070));
+  const double timeout = flags.get_double("timeout", 60.0);
+  const std::string request = flags.get_string("request", "");
+
+  service::TcpClient client(host, port, timeout);
+  if (!request.empty()) {
+    out << client.call_line(request) << "\n";
+    return 0;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << client.call_line(line) << "\n";
+  }
+  return 0;
+}
+
 int dispatch(int argc, char** argv, std::ostream& out) {
   if (argc < 2) {
     print_usage(out);
@@ -315,6 +394,10 @@ int dispatch(int argc, char** argv, std::ostream& out) {
     rc = cmd_learn(flags, out);
   } else if (command == "localize") {
     rc = cmd_localize(flags, out);
+  } else if (command == "serve") {
+    rc = cmd_serve(flags, out);
+  } else if (command == "client") {
+    rc = cmd_client(flags, std::cin, out);
   } else {
     out << "unknown command: " << command << "\n";
     print_usage(out);

@@ -25,6 +25,14 @@ int cmd_learn(Flags& flags, std::ostream& out);
 /// `rnt_cli localize` — score single-link failure localization.
 int cmd_localize(Flags& flags, std::ostream& out);
 
+/// `rnt_cli serve` — run the concurrent tomography service over TCP until
+/// SIGINT (or a `shutdown` request); dumps metrics on exit.
+int cmd_serve(Flags& flags, std::ostream& out);
+
+/// `rnt_cli client` — send protocol lines (--request or stdin) to a
+/// running service and print the replies.
+int cmd_client(Flags& flags, std::istream& in, std::ostream& out);
+
 /// Prints the usage text.
 void print_usage(std::ostream& out);
 
