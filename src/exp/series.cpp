@@ -31,6 +31,17 @@ void SeriesTable::add_row(double x, const std::vector<double>& values) {
   }
 }
 
+void SeriesTable::add_series(std::string name, std::vector<double> values) {
+  if (name.empty() || name.find(',') != std::string::npos) {
+    throw std::invalid_argument("SeriesTable::add_series: bad series name");
+  }
+  if (values.size() != rows()) {
+    throw std::invalid_argument("SeriesTable::add_series: length mismatch");
+  }
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(values));
+}
+
 double SeriesTable::value(std::size_t row, std::size_t series) const {
   return columns_.at(series).at(row);
 }

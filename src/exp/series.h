@@ -21,6 +21,11 @@ class SeriesTable {
   /// Appends one row: the x value plus one value per series.
   void add_row(double x, const std::vector<double>& values);
 
+  /// Attaches a whole column after the fact (values.size() must equal
+  /// rows()).  Lets drivers compose one comparison table from several
+  /// independently produced runs sharing an x-axis.
+  void add_series(std::string name, std::vector<double> values);
+
   std::size_t rows() const { return x_.size(); }
   std::size_t series_count() const { return names_.size(); }
   const std::string& x_name() const { return x_name_; }

@@ -71,34 +71,95 @@ void FailureTrace::write(std::ostream& out) const {
   }
 }
 
+FailureTrace FailureTrace::concatenate(
+    const std::vector<FailureTrace>& segments) {
+  if (segments.empty()) {
+    throw std::invalid_argument("FailureTrace::concatenate: no segments");
+  }
+  FailureTrace joined(segments.front().link_count());
+  for (const FailureTrace& segment : segments) {
+    if (segment.link_count() != joined.link_count()) {
+      throw std::invalid_argument(
+          "FailureTrace::concatenate: link universe mismatch");
+    }
+    for (const FailureVector& v : segment.epochs_) joined.append(v);
+  }
+  return joined;
+}
+
+namespace {
+
+/// Whitespace-splits one trace line so every token is checked — a partial
+/// `>>` parse would silently drop trailing garbage.
+std::vector<std::string> trace_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Parses one fully numeric token; `what` names it in the error.
+std::size_t trace_number(const std::string& token, const char* what,
+                         std::size_t line_no) {
+  std::size_t used = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size() || token.front() == '-' || token.front() == '+') {
+    throw std::runtime_error("FailureTrace::read: bad " + std::string(what) +
+                             " '" + token + "' at line " +
+                             std::to_string(line_no));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
 FailureTrace FailureTrace::read(std::istream& in) {
   std::string line;
   std::size_t links = 0;
-  // Skip comments; the first data line is the link count.
+  std::size_t line_no = 0;
+  // Skip comments; the first data line is the link count, alone on its
+  // line.
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    if (!(ls >> links)) {
-      throw std::runtime_error("FailureTrace::read: bad link count");
+    const std::vector<std::string> tokens = trace_tokens(line);
+    if (tokens.size() != 1) {
+      throw std::runtime_error(
+          "FailureTrace::read: header must be a single link count, got '" +
+          line + "' at line " + std::to_string(line_no));
     }
+    links = trace_number(tokens.front(), "link count", line_no);
     break;
   }
   if (links == 0) {
-    throw std::runtime_error("FailureTrace::read: missing header");
+    throw std::runtime_error("FailureTrace::read: missing or zero link count");
   }
   FailureTrace trace(links);
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = trace_tokens(line);
+    if (tokens.empty()) continue;  // Whitespace-only, like an empty line.
     FailureVector v(links, false);
-    if (line != "-") {
-      std::istringstream ls(line);
-      std::size_t l;
-      while (ls >> l) {
-        if (l >= links) {
-          throw std::runtime_error("FailureTrace::read: link id out of range");
-        }
-        v[l] = true;
+    if (tokens.size() == 1 && tokens.front() == "-") {
+      trace.append(v);
+      continue;
+    }
+    for (const std::string& token : tokens) {
+      const std::size_t l = trace_number(token, "link id", line_no);
+      if (l >= links) {
+        throw std::runtime_error(
+            "FailureTrace::read: link id " + std::to_string(l) +
+            " out of range (links=" + std::to_string(links) + ") at line " +
+            std::to_string(line_no));
       }
+      v[l] = true;
     }
     trace.append(v);
   }

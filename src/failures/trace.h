@@ -47,6 +47,12 @@ class FailureTrace {
   static FailureTrace record(const FailureModel& model, std::size_t epochs,
                              Rng& rng);
 
+  /// Joins traces end to end over a shared link universe — the way
+  /// non-stationary traces are built (segments recorded from different
+  /// models).  Requires at least one segment; all segments must agree on
+  /// link_count().
+  static FailureTrace concatenate(const std::vector<FailureTrace>& segments);
+
   /// Serialization (format documented in the header comment).
   void write(std::ostream& out) const;
   static FailureTrace read(std::istream& in);

@@ -1,0 +1,79 @@
+#include "online/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::online {
+namespace {
+
+/// Symmetric KL divergence between Bernoulli(p) and Bernoulli(q), with
+/// probabilities clamped away from {0, 1} for finiteness.
+double symmetric_bernoulli_kl(double p, double q) {
+  constexpr double kEps = 1e-9;
+  p = std::clamp(p, kEps, 1.0 - kEps);
+  q = std::clamp(q, kEps, 1.0 - kEps);
+  const double kl_pq =
+      p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+  const double kl_qp =
+      q * std::log(q / p) + (1.0 - q) * std::log((1.0 - q) / (1.0 - p));
+  return kl_pq + kl_qp;
+}
+
+}  // namespace
+
+bool DriftDetector::PageHinkley::update(double x, double delta,
+                                        double lambda) {
+  ++n;
+  mean += (x - mean) / static_cast<double>(n);
+  m_inc += x - mean - delta;
+  m_inc_min = std::min(m_inc_min, m_inc);
+  m_dec += x - mean + delta;
+  m_dec_max = std::max(m_dec_max, m_dec);
+  return (m_inc - m_inc_min > lambda) || (m_dec_max - m_dec > lambda);
+}
+
+DriftDetector::DriftDetector(std::size_t links, DriftDetectorConfig config)
+    : config_(config), ph_(links) {
+  if (config_.ph_lambda <= 0.0 || config_.kl_threshold <= 0.0) {
+    throw std::invalid_argument("DriftDetector: thresholds must be > 0");
+  }
+}
+
+bool DriftDetector::observe(const std::vector<double>& estimate) {
+  if (estimate.size() != ph_.size()) {
+    throw std::invalid_argument("DriftDetector: estimate size mismatch");
+  }
+  if (reference_.empty()) reference_ = estimate;
+  ++epochs_;
+  ++since_alarm_;
+
+  divergence_ = 0.0;
+  bool ph_alarm = false;
+  for (std::size_t l = 0; l < ph_.size(); ++l) {
+    divergence_ += symmetric_bernoulli_kl(reference_[l], estimate[l]);
+    if (ph_[l].update(estimate[l], config_.ph_delta, config_.ph_lambda)) {
+      ph_alarm = true;
+    }
+  }
+
+  if (epochs_ <= config_.warmup || since_alarm_ <= config_.cooldown) {
+    return false;
+  }
+  if (!ph_alarm && divergence_ <= config_.kl_threshold) return false;
+  ++triggers_;
+  since_alarm_ = 0;
+  return true;
+}
+
+void DriftDetector::rearm(const std::vector<double>& reference) {
+  if (reference.size() != ph_.size()) {
+    throw std::invalid_argument("DriftDetector: reference size mismatch");
+  }
+  reference_ = reference;
+  std::fill(ph_.begin(), ph_.end(), PageHinkley{});
+  since_alarm_ = 0;
+  divergence_ = 0.0;
+}
+
+}  // namespace rnt::online

@@ -1,0 +1,82 @@
+// Change detection over the estimated failure distribution — the gate that
+// keeps re-planning rare.
+//
+// Re-selecting the probing basis is the expensive step of the adaptive
+// loop, so it should fire only when the estimated distribution has
+// actually moved, not on every noisy posterior update.  Two complementary
+// tests run per epoch over the estimator's per-link probabilities:
+//
+//  * a two-sided Page–Hinkley test per link (cumulative deviation of the
+//    link's estimate from its running mean, alarmed when the deviation
+//    range exceeds lambda) — catches a single link changing regime;
+//  * an aggregate divergence trigger: the symmetric Bernoulli KL
+//    divergence between the current estimate and the reference estimate
+//    captured at the last re-plan, summed over links — catches broad but
+//    individually small shifts.
+//
+// Warmup suppresses alarms while the estimator is still settling on its
+// first regime, and a cooldown bounds the re-plan rate after a trigger.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rnt::online {
+
+struct DriftDetectorConfig {
+  double ph_delta = 0.002;    ///< Page–Hinkley drift tolerance.
+  double ph_lambda = 0.08;    ///< Page–Hinkley alarm threshold.
+  double kl_threshold = 0.5;  ///< Aggregate symmetric-KL trigger.
+  std::size_t warmup = 8;     ///< Epochs before the first possible alarm.
+  std::size_t cooldown = 8;   ///< Min epochs between alarms.
+};
+
+/// Per-link Page–Hinkley plus an aggregate KL trigger over estimate
+/// snapshots.  observe() once per epoch; rearm() after acting on a trigger.
+class DriftDetector {
+ public:
+  explicit DriftDetector(std::size_t links, DriftDetectorConfig config = {});
+
+  std::size_t link_count() const { return ph_.size(); }
+  std::size_t epochs() const { return epochs_; }
+  std::size_t triggers() const { return triggers_; }
+
+  /// Last aggregate symmetric KL divergence vs the reference.
+  double divergence() const { return divergence_; }
+
+  /// Feeds one epoch's estimated per-link failure probabilities.  Returns
+  /// true when re-planning should happen (and counts a trigger).
+  bool observe(const std::vector<double>& estimate);
+
+  /// Resets the reference distribution and the per-link tests; call after
+  /// re-planning against `reference` so detection restarts from the new
+  /// operating point.
+  void rearm(const std::vector<double>& reference);
+
+ private:
+  struct PageHinkley {
+    std::size_t n = 0;
+    double mean = 0.0;
+    /// Two one-sided cumulative sums: the increase test biases deviations
+    /// by -delta (so a stationary stream sinks and never alarms), the
+    /// decrease test by +delta.  A shared sum would false-alarm on
+    /// stationary input after lambda/delta epochs.
+    double m_inc = 0.0;
+    double m_inc_min = 0.0;  ///< Running min of m_inc.
+    double m_dec = 0.0;
+    double m_dec_max = 0.0;  ///< Running max of m_dec.
+
+    /// Returns true when either one-sided excursion exceeds lambda.
+    bool update(double x, double delta, double lambda);
+  };
+
+  DriftDetectorConfig config_;
+  std::vector<PageHinkley> ph_;
+  std::vector<double> reference_;  ///< Empty until first observe/rearm.
+  double divergence_ = 0.0;
+  std::size_t epochs_ = 0;
+  std::size_t since_alarm_ = 0;  ///< Epochs since last alarm/rearm.
+  std::size_t triggers_ = 0;
+};
+
+}  // namespace rnt::online

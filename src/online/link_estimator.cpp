@@ -1,0 +1,85 @@
+#include "online/link_estimator.h"
+
+#include <stdexcept>
+
+namespace rnt::online {
+
+LinkEstimator::LinkEstimator(std::size_t links, LinkEstimatorConfig config)
+    : config_(config),
+      alpha_(links, config.prior_alpha),
+      beta_(links, config.prior_beta) {
+  if (config_.prior_alpha <= 0.0 || config_.prior_beta <= 0.0) {
+    throw std::invalid_argument("LinkEstimator: prior counts must be > 0");
+  }
+  if (config_.forgetting <= 0.0 || config_.forgetting > 1.0) {
+    throw std::invalid_argument("LinkEstimator: forgetting must be in (0, 1]");
+  }
+}
+
+void LinkEstimator::observe_link(std::size_t link, bool failed, double weight) {
+  if (link >= alpha_.size()) {
+    throw std::out_of_range("LinkEstimator: link out of range");
+  }
+  if (weight < 0.0) {
+    throw std::invalid_argument("LinkEstimator: negative weight");
+  }
+  (failed ? alpha_ : beta_)[link] += weight;
+}
+
+void LinkEstimator::observe_epoch(const tomo::PathSystem& system,
+                                  const std::vector<std::size_t>& subset,
+                                  const std::vector<bool>& delivered) {
+  if (system.link_count() != alpha_.size()) {
+    throw std::invalid_argument("LinkEstimator: link universe mismatch");
+  }
+  if (subset.size() != delivered.size()) {
+    throw std::invalid_argument(
+        "LinkEstimator: subset/delivered size mismatch");
+  }
+  decay();
+  ++epochs_;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const auto& links = system.path(subset[i]).links;
+    if (delivered[i]) {
+      // Every link on a delivered path was up.
+      for (const auto l : links) beta_[l] += 1.0;
+      continue;
+    }
+    // At least one link was down; split one failure observation by the
+    // links' current posterior responsibility for the loss.
+    double total = 0.0;
+    for (const auto l : links) total += probability(l);
+    for (const auto l : links) {
+      const double share =
+          total > 0.0 ? probability(l) / total
+                      : 1.0 / static_cast<double>(links.size());
+      alpha_[l] += share;
+    }
+  }
+}
+
+double LinkEstimator::probability(std::size_t link) const {
+  return alpha_.at(link) / (alpha_.at(link) + beta_.at(link));
+}
+
+std::vector<double> LinkEstimator::probabilities() const {
+  std::vector<double> p(alpha_.size());
+  for (std::size_t l = 0; l < p.size(); ++l) p[l] = probability(l);
+  return p;
+}
+
+failures::FailureModel LinkEstimator::model() const {
+  return failures::FailureModel(probabilities());
+}
+
+void LinkEstimator::decay() {
+  if (config_.forgetting >= 1.0) return;
+  for (std::size_t l = 0; l < alpha_.size(); ++l) {
+    alpha_[l] = config_.prior_alpha +
+                config_.forgetting * (alpha_[l] - config_.prior_alpha);
+    beta_[l] = config_.prior_beta +
+               config_.forgetting * (beta_[l] - config_.prior_beta);
+  }
+}
+
+}  // namespace rnt::online

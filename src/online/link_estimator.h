@@ -1,0 +1,84 @@
+// Online per-link failure-probability estimation — the telemetry-facing
+// half of the adaptive replanning loop.
+//
+// The paper chooses the probing basis against a *known* link-failure
+// distribution p_l; in a running NOC that distribution must be estimated
+// from what the NOC actually sees: end-to-end probe outcomes (a delivered
+// probe proves every link it crossed was up; a lost probe proves at least
+// one was down) and, where available, direct link up/down telemetry from
+// the routers.  The estimator keeps one Beta posterior per link and
+// supports exponential forgetting so the posterior tracks non-stationary
+// failure behaviour instead of averaging over regimes.
+//
+// Path-level loss is attributed through the path matrix: a lost probe adds
+// one fractional failure observation to its links, split proportionally to
+// the links' current failure estimates (the posterior responsibility of
+// each link for the loss under the independence model).  Links that also
+// appear on delivered probes are exonerated by their "up" observations, so
+// failure mass concentrates on the genuinely failing links over epochs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "tomo/path_system.h"
+
+namespace rnt::online {
+
+struct LinkEstimatorConfig {
+  /// Beta prior per link; defaults give a prior failure mean of 0.05 with
+  /// the weight of ~10 pseudo-observations.
+  double prior_alpha = 0.5;
+  double prior_beta = 9.5;
+  /// Per-epoch retention of accumulated evidence: posterior counts decay
+  /// toward the prior by this factor at every observe_epoch, so a regime
+  /// change is forgotten with time constant ~1/(1-forgetting) epochs.
+  /// 1.0 disables forgetting (the stationary MAP estimator).
+  double forgetting = 0.95;
+};
+
+/// Per-link Beta-posterior failure-probability estimates fed by probe
+/// outcomes and link telemetry.
+class LinkEstimator {
+ public:
+  explicit LinkEstimator(std::size_t links, LinkEstimatorConfig config = {});
+
+  std::size_t link_count() const { return alpha_.size(); }
+
+  /// Number of observe_epoch calls so far.
+  std::size_t epochs() const { return epochs_; }
+
+  /// Direct telemetry: link `link` was observed up or down.  `weight`
+  /// scales the observation (e.g. a batch of identical reports).
+  void observe_link(std::size_t link, bool failed, double weight = 1.0);
+
+  /// One epoch of probe outcomes: `delivered[i]` is the fate of the probe
+  /// sent down path `subset[i]`.  Applies forgetting, then credits every
+  /// link of a delivered path with an "up" observation and splits one
+  /// failure observation across each lost path's links by posterior
+  /// responsibility.
+  void observe_epoch(const tomo::PathSystem& system,
+                     const std::vector<std::size_t>& subset,
+                     const std::vector<bool>& delivered);
+
+  /// Posterior mean failure probability of `link`.
+  double probability(std::size_t link) const;
+
+  /// All posterior means, in link order.
+  std::vector<double> probabilities() const;
+
+  /// Snapshot of the estimate as a failure model (for ER engines and
+  /// evaluation).
+  failures::FailureModel model() const;
+
+ private:
+  void decay();
+
+  LinkEstimatorConfig config_;
+  std::vector<double> alpha_;  ///< Failure pseudo-counts.
+  std::vector<double> beta_;   ///< Survival pseudo-counts.
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace rnt::online

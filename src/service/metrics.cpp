@@ -21,6 +21,8 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   if (latency_s_.count() > 0) {
     s.latency_min_ms = 1e3 * latency_s_.min();
     s.latency_mean_ms = 1e3 * latency_s_.mean();
+    s.latency_p50_ms = 1e3 * latency_dist_s_.quantile(0.5);
+    s.latency_p95_ms = 1e3 * latency_dist_s_.quantile(0.95);
     s.latency_p99_ms = 1e3 * latency_dist_s_.quantile(0.99);
   }
   return s;

@@ -1,7 +1,8 @@
 // Service-side observability: request/error counters per verb and the
-// end-to-end handler latency distribution (min / mean / p99 via
-// util/stats).  Queryable through the `stats` request and dumped as a
-// summary on shutdown.
+// end-to-end handler latency distribution (min / mean / p50 / p95 / p99
+// via util/stats).  Queryable through the `stats` request and dumped as
+// a summary on shutdown.  The workload-cache hit rate lives in
+// WorkloadCache::Counters; Service::stats() merges it into the reply.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +26,8 @@ class ServiceMetrics {
     std::map<std::string, std::size_t> by_verb;
     double latency_min_ms = 0.0;
     double latency_mean_ms = 0.0;
+    double latency_p50_ms = 0.0;
+    double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
   };
   Snapshot snapshot() const;

@@ -10,11 +10,14 @@
 namespace rnt::service {
 namespace {
 
-constexpr std::array<std::pair<RequestType, const char*>, 7> kVerbs{{
+constexpr std::array<std::pair<RequestType, const char*>, 10> kVerbs{{
     {RequestType::kSelect, "select"},
     {RequestType::kErEval, "er-eval"},
     {RequestType::kIdentifiability, "identifiability"},
     {RequestType::kLocalize, "localize"},
+    {RequestType::kFeed, "feed"},
+    {RequestType::kReplan, "replan"},
+    {RequestType::kPipelineStats, "pipeline-stats"},
     {RequestType::kStats, "stats"},
     {RequestType::kPing, "ping"},
     {RequestType::kShutdown, "shutdown"},

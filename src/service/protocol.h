@@ -6,6 +6,7 @@
 //
 //   request  = verb *( SP key "=" value )
 //   verb     = "select" | "er-eval" | "identifiability" | "localize"
+//            | "feed" | "replan" | "pipeline-stats"
 //            | "stats" | "ping" | "shutdown"
 //   reply    = "ok" *( SP key "=" value ) | "error" SP message
 //   key      = 1*( ALPHA | DIGIT | "-" | "_" | "." )
@@ -30,6 +31,9 @@ enum class RequestType {
   kErEval,
   kIdentifiability,
   kLocalize,
+  kFeed,           ///< Telemetry into the workload's adaptive session.
+  kReplan,         ///< Warm-start re-selection from the estimated model.
+  kPipelineStats,  ///< Adaptive-session counters and estimates.
   kStats,
   kPing,
   kShutdown,

@@ -85,6 +85,30 @@ std::vector<std::size_t> parse_subset(const std::string& csv,
   return subset;
 }
 
+/// Parses a CSV of 0/1 probe fates; must have exactly `expected` entries.
+std::vector<bool> parse_flags(const std::string& csv, std::size_t expected) {
+  std::vector<bool> flags;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "1") {
+      flags.push_back(true);
+    } else if (token == "0") {
+      flags.push_back(false);
+    } else {
+      throw std::invalid_argument("delivered: bad flag '" + token +
+                                  "' (want 0 or 1)");
+    }
+  }
+  if (flags.size() != expected) {
+    throw std::invalid_argument(
+        "delivered: got " + std::to_string(flags.size()) + " flags for " +
+        std::to_string(expected) + " paths");
+  }
+  return flags;
+}
+
 std::string join_subset(const std::vector<std::size_t>& subset) {
   std::string csv;
   for (std::size_t i = 0; i < subset.size(); ++i) {
@@ -113,10 +137,38 @@ std::vector<std::size_t> resolve_subset(const Request& request,
 
 }  // namespace
 
+PipelineSession::PipelineSession(std::shared_ptr<const CachedWorkload> cw)
+    : workload(std::move(cw)),
+      estimator(workload->workload.system->link_count()),
+      drift(workload->workload.system->link_count()),
+      replanner(*workload->workload.system, workload->workload.costs) {}
+
 Service::Service(ServiceConfig config)
     : config_(config),
       cache_(config.cache_capacity),
       pool_(config.threads) {}
+
+std::size_t Service::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<PipelineSession> Service::session_for(const WorkloadKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(key);
+    if (it != sessions_.end()) return it->second;
+  }
+  // Build (or fetch) the workload outside the sessions lock — a first
+  // build can take seconds and must not stall unrelated sessions.
+  auto cw = cache_.get(key);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto [it, inserted] = sessions_.try_emplace(key, nullptr);
+  if (inserted) {
+    it->second = std::make_shared<PipelineSession>(std::move(cw));
+  }
+  return it->second;
+}
 
 Response Service::handle(const Request& request) {
   const auto start = Clock::now();
@@ -178,12 +230,15 @@ Response Service::dispatch(const Request& request) {
       }
       r.set("latency-min-ms", m.latency_min_ms);
       r.set("latency-mean-ms", m.latency_mean_ms);
+      r.set("latency-p50-ms", m.latency_p50_ms);
+      r.set("latency-p95-ms", m.latency_p95_ms);
       r.set("latency-p99-ms", m.latency_p99_ms);
       r.set("cache-hits", c.hits);
       r.set("cache-misses", c.misses);
       r.set("cache-evictions", c.evictions);
       r.set("cache-size", c.size);
       r.set("cache-hit-rate", c.hit_rate());
+      r.set("sessions", session_count());
       r.set("threads", pool_.size());
       return r;
     }
@@ -246,6 +301,112 @@ Response Service::dispatch(const Request& request) {
       r.set("identifiable-std", eval.identifiability.stats.stddev());
       return r;
     }
+    case RequestType::kFeed: {
+      const auto session = session_for(key_from(request));
+      // `subset=` names the probed paths (the `paths=` key is taken by the
+      // workload's candidate-path count, as in every other verb).
+      const std::string subset_csv = request.get("subset", "");
+      Response r;
+      std::lock_guard<std::mutex> lock(session->mu);
+      const tomo::PathSystem& system = *session->workload->workload.system;
+      bool drifted = false;
+      if (subset_csv.empty()) {
+        // Direct telemetry: one link observed up or down `count` times.
+        if (!request.get("delivered", "").empty()) {
+          throw std::invalid_argument(
+              "feed: delivered= requires a subset= of probed paths");
+        }
+        const std::int64_t link = request.get_int("link", -1);
+        if (link < 0 ||
+            static_cast<std::size_t>(link) >= system.link_count()) {
+          throw std::invalid_argument(
+              "feed: link out of range (links=" +
+              std::to_string(system.link_count()) + "): " +
+              std::to_string(link));
+        }
+        const bool failed = request.get_bool("failed", false);
+        const std::int64_t count = request.get_int("count", 1);
+        if (count <= 0) {
+          throw std::invalid_argument("feed: count must be positive");
+        }
+        session->estimator.observe_link(static_cast<std::size_t>(link),
+                                        failed,
+                                        static_cast<double>(count));
+      } else {
+        // One epoch of probe outcomes down an explicit path subset.  The
+        // two feed forms are exclusive; reject a mix before any state
+        // changes so a failed feed never advances the estimator.
+        if (!request.get("link", "").empty() ||
+            !request.get("failed", "").empty() ||
+            !request.get("count", "").empty()) {
+          throw std::invalid_argument(
+              "feed: give subset=/delivered= or link=/failed=/count=, "
+              "not both");
+        }
+        const std::vector<std::size_t> subset =
+            parse_subset(subset_csv, system.path_count());
+        const std::vector<bool> delivered =
+            parse_flags(request.get("delivered", ""), subset.size());
+        session->estimator.observe_epoch(system, subset, delivered);
+        if (session->drift.observe(session->estimator.probabilities())) {
+          ++session->drift_triggers;
+          drifted = true;
+        }
+      }
+      ++session->feeds;
+      r.set("fed", std::size_t{1});
+      r.set("epochs", session->estimator.epochs());
+      r.set("drift", std::size_t{drifted ? 1u : 0u});
+      r.set("divergence", session->drift.divergence());
+      return r;
+    }
+    case RequestType::kReplan: {
+      const auto session = session_for(key_from(request));
+      const exp::Workload& w = session->workload->workload;
+      const double budget =
+          request.get_double("budget-frac", 0.3) * total_cost(w);
+      std::lock_guard<std::mutex> lock(session->mu);
+      const failures::FailureModel model = session->estimator.model();
+      const core::ProbBoundEr engine(*w.system, model);
+      online::ReplanStats stats;
+      const core::Selection sel =
+          session->replanner.replan(engine, budget, &stats);
+      session->drift.rearm(session->estimator.probabilities());
+      ++session->replans;
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("budget", budget);
+      r.set("selected", sel.size());
+      r.set("cost", sel.cost);
+      r.set("objective", sel.objective);
+      r.set("rank", w.system->rank_of(sel.paths));
+      r.set("paths", join_subset(sel.paths));
+      r.set("warm", std::size_t{stats.warm ? 1u : 0u});
+      r.set("reused", stats.reused);
+      r.set("gain-evals", stats.rome.gain_evaluations);
+      return r;
+    }
+    case RequestType::kPipelineStats: {
+      const auto session = session_for(key_from(request));
+      std::lock_guard<std::mutex> lock(session->mu);
+      const std::vector<double> estimate =
+          session->estimator.probabilities();
+      double mean_estimate = 0.0;
+      for (const double p : estimate) mean_estimate += p;
+      if (!estimate.empty()) {
+        mean_estimate /= static_cast<double>(estimate.size());
+      }
+      Response r;
+      r.set("workload", session->workload->workload.topology_name);
+      r.set("feeds", session->feeds);
+      r.set("epochs", session->estimator.epochs());
+      r.set("replans", session->replans);
+      r.set("drift-triggers", session->drift_triggers);
+      r.set("divergence", session->drift.divergence());
+      r.set("mean-estimate", mean_estimate);
+      r.set("selected", session->replanner.current().size());
+      return r;
+    }
     case RequestType::kLocalize: {
       const auto cw = cache_.get(key_from(request));
       const exp::Workload& w = cw->workload;
@@ -280,10 +441,12 @@ std::string Service::summary() const {
     out << "    " << verb << ": " << count << "\n";
   }
   out << "  latency:   min " << m.latency_min_ms << " ms, mean "
-      << m.latency_mean_ms << " ms, p99 " << m.latency_p99_ms << " ms\n";
+      << m.latency_mean_ms << " ms, p50 " << m.latency_p50_ms << " ms, p95 "
+      << m.latency_p95_ms << " ms, p99 " << m.latency_p99_ms << " ms\n";
   out << "  cache:     " << c.hits << " hits / " << c.misses
       << " misses (hit rate " << c.hit_rate() << "), " << c.size
       << " resident, " << c.evictions << " evictions\n";
+  out << "  sessions:  " << session_count() << " adaptive\n";
   return out.str();
 }
 

@@ -9,17 +9,46 @@
 // `error` replies).  Handlers mirror the rnt_cli commands parameter for
 // parameter, so a service reply is observably identical to the one-shot
 // CLI answer for the same request.
+//
+// The adaptive verbs (`feed`, `replan`, `pipeline-stats`) are stateful:
+// each workload key owns one PipelineSession holding the online estimator,
+// drift detector and warm-start replanner.  Sessions pin their
+// CachedWorkload with a shared_ptr, so LRU eviction from the cache never
+// invalidates a live session's PathSystem or cost model.
 #pragma once
 
 #include <future>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
+#include "online/drift_detector.h"
+#include "online/link_estimator.h"
+#include "online/replanner.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
 #include "service/thread_pool.h"
 #include "service/workload_cache.h"
 
 namespace rnt::service {
+
+/// Adaptive re-planning state for one workload: estimator, drift detector
+/// and replanner fed by `feed`/`replan` requests.  Request threads
+/// serialize on `mu`; the workload shared_ptr keeps the PathSystem and
+/// cost model the replanner references alive across cache evictions.
+struct PipelineSession {
+  explicit PipelineSession(std::shared_ptr<const CachedWorkload> cw);
+
+  std::mutex mu;
+  std::shared_ptr<const CachedWorkload> workload;
+  online::LinkEstimator estimator;
+  online::DriftDetector drift;
+  online::Replanner replanner;
+  std::size_t feeds = 0;
+  std::size_t replans = 0;
+  std::size_t drift_triggers = 0;
+};
 
 struct ServiceConfig {
   std::size_t threads = 0;         ///< Pool size; 0 = hardware concurrency.
@@ -56,6 +85,9 @@ class Service {
   ServiceMetrics::Snapshot metrics() const { return metrics_.snapshot(); }
   std::size_t pool_size() const { return pool_.size(); }
 
+  /// Number of live adaptive pipeline sessions.
+  std::size_t session_count() const;
+
   /// Multi-line human-readable metrics/cache dump (printed on shutdown by
   /// the server front end).
   std::string summary() const;
@@ -63,9 +95,15 @@ class Service {
  private:
   Response dispatch(const Request& request);
 
+  /// The pipeline session for `key`, created on first use (building the
+  /// workload through the cache when needed).
+  std::shared_ptr<PipelineSession> session_for(const WorkloadKey& key);
+
   ServiceConfig config_;
   WorkloadCache cache_;
   ServiceMetrics metrics_;
+  mutable std::mutex sessions_mu_;
+  std::map<WorkloadKey, std::shared_ptr<PipelineSession>> sessions_;
   ThreadPool pool_;
 };
 

@@ -16,6 +16,19 @@ tomo::Measurements EpochTrace::measurements() const {
   return m;
 }
 
+tomo::Measurements EpochTrace::measurements(const tomo::PathSystem& system,
+                                            double per_hop_overhead_ms) const {
+  tomo::Measurements m;
+  for (const ProbeOutcome& o : outcomes) {
+    if (!o.delivered) continue;
+    m.rows.push_back(o.path);
+    m.values.push_back(o.rtt_ms -
+                       per_hop_overhead_ms *
+                           static_cast<double>(system.path(o.path).hops));
+  }
+  return m;
+}
+
 std::vector<bool> EpochTrace::availability(
     const std::vector<std::size_t>& subset) const {
   std::vector<bool> out(subset.size(), false);

@@ -51,6 +51,12 @@ struct EpochTrace {
   /// The surviving measurements in estimation-pipeline form.
   tomo::Measurements measurements() const;
 
+  /// Same, with the router processing overhead subtracted (`overhead_ms`
+  /// per hop of each path), so a measurement is the sum of the path's link
+  /// metrics (plus jitter) and feeds the tomography solver unbiased.
+  tomo::Measurements measurements(const tomo::PathSystem& system,
+                                  double per_hop_overhead_ms) const;
+
   /// Availability vector aligned with the probed subset order.
   std::vector<bool> availability(const std::vector<std::size_t>& subset) const;
 };

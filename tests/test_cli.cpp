@@ -111,6 +111,62 @@ TEST(CliLocalize, ReportsScore) {
   EXPECT_NE(s.find("invisible"), std::string::npos);
 }
 
+TEST(CliPipeline, ReportsAdaptiveRunAndSavesSeries) {
+  const std::string series = "/tmp/rnt_cli_test_pipeline.csv";
+  auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths", "60",
+                           "--segment-epochs", "10", "--segments", "2,8",
+                           "--policy", "adaptive", "--seed", "5",
+                           "--series", series.c_str()});
+  std::ostringstream out;
+  EXPECT_EQ(cmd_pipeline(flags, out), 0);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("epochs"), std::string::npos);
+  EXPECT_NE(s.find("re-plans"), std::string::npos);
+  EXPECT_NE(s.find("cumulative surviving rank"), std::string::npos);
+  std::ifstream in(series);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("rank"), std::string::npos);
+  std::remove(series.c_str());
+}
+
+// The acceptance bar: the same seed replays the same trace through the
+// same pipeline — byte-identical output, twice.
+TEST(CliPipeline, OutputIsDeterministicForASeed) {
+  const auto run = [] {
+    auto flags =
+        make_flags({"--nodes", "30", "--links", "60", "--paths", "60",
+                    "--segment-epochs", "10", "--segments", "2,8",
+                    "--policy", "adaptive", "--seed", "7"});
+    std::ostringstream out;
+    EXPECT_EQ(cmd_pipeline(flags, out), 0);
+    return out.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CliPipeline, RejectsBadPolicyAndSegments) {
+  {
+    auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths",
+                             "40", "--policy", "psychic"});
+    std::ostringstream out;
+    EXPECT_THROW(cmd_pipeline(flags, out), std::invalid_argument);
+  }
+  {
+    auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths",
+                             "40", "--segments", "2,-1"});
+    std::ostringstream out;
+    EXPECT_THROW(cmd_pipeline(flags, out), std::invalid_argument);
+  }
+  {
+    auto flags = make_flags({"--nodes", "30", "--links", "60", "--paths",
+                             "40", "--segment-epochs", "0"});
+    std::ostringstream out;
+    EXPECT_THROW(cmd_pipeline(flags, out), std::invalid_argument);
+  }
+}
+
 TEST(CliDispatch, UsageAndUnknownCommand) {
   {
     std::ostringstream out;

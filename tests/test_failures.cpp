@@ -6,9 +6,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "failures/failure_model.h"
 #include "failures/scenario.h"
+#include "failures/trace.h"
 #include "util/rng.h"
 
 namespace rnt::failures {
@@ -207,6 +209,102 @@ TEST(Scenario, PathSurvives) {
   EXPECT_TRUE(path_survives({0, 2}, v));
   EXPECT_FALSE(path_survives({0, 1}, v));
   EXPECT_TRUE(path_survives({}, v));
+}
+
+// --------------------------------------------------------------------------
+// Failure traces
+// --------------------------------------------------------------------------
+
+TEST(Trace, WriteReadRoundTrip) {
+  const auto m = uniform_model(8, 0.3);
+  Rng rng(11);
+  const FailureTrace trace = FailureTrace::record(m, 25, rng);
+  std::stringstream buffer;
+  trace.write(buffer);
+  EXPECT_EQ(FailureTrace::read(buffer), trace);
+}
+
+TEST(Trace, ReadAcceptsCommentsWhitespaceAndDashRows) {
+  std::istringstream in(
+      "# a comment before the header\n"
+      "\n"
+      "4\n"
+      "# a comment between epochs\n"
+      "0 2\n"
+      "   \t \n"  // Whitespace-only lines are skipped, not epochs.
+      "-\n"
+      "3\n");
+  const FailureTrace trace = FailureTrace::read(in);
+  EXPECT_EQ(trace.link_count(), 4u);
+  ASSERT_EQ(trace.epoch_count(), 3u);
+  EXPECT_EQ(trace.epoch(0), FailureVector({true, false, true, false}));
+  EXPECT_EQ(trace.epoch(1), FailureVector({false, false, false, false}));
+  EXPECT_EQ(trace.epoch(2), FailureVector({false, false, false, true}));
+}
+
+TEST(Trace, ReadRejectsBadHeaders) {
+  {
+    std::istringstream in("");  // No header at all.
+    EXPECT_THROW(FailureTrace::read(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("0\n");  // Zero-link universe.
+    EXPECT_THROW(FailureTrace::read(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("4 5\n0\n");  // Header must be a single count.
+    EXPECT_THROW(FailureTrace::read(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("four\n");  // Non-numeric count.
+    EXPECT_THROW(FailureTrace::read(in), std::runtime_error);
+  }
+}
+
+TEST(Trace, ReadRejectsBadEpochRows) {
+  const auto parse = [](const std::string& rows) {
+    std::istringstream in("4\n" + rows);
+    return FailureTrace::read(in);
+  };
+  EXPECT_THROW(parse("0 x\n"), std::runtime_error);   // Non-numeric id.
+  EXPECT_THROW(parse("1a\n"), std::runtime_error);    // Partial parse.
+  EXPECT_THROW(parse("-3\n"), std::runtime_error);    // Signed id.
+  EXPECT_THROW(parse("+2\n"), std::runtime_error);
+  EXPECT_THROW(parse("0 4\n"), std::runtime_error);   // Out of range.
+  EXPECT_THROW(parse("0 - 1\n"), std::runtime_error); // '-' only stands alone.
+  // Errors name the offending line.
+  try {
+    parse("0\n1 9\n");
+    FAIL() << "expected out-of-range link id to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("9"), std::string::npos);
+  }
+}
+
+TEST(Trace, ConcatenateJoinsSegmentsInOrder) {
+  const auto m1 = uniform_model(6, 0.2);
+  const auto m2 = uniform_model(6, 0.8);
+  Rng rng(13);
+  const FailureTrace a = FailureTrace::record(m1, 10, rng);
+  const FailureTrace b = FailureTrace::record(m2, 15, rng);
+  const FailureTrace joined = FailureTrace::concatenate({a, b});
+  EXPECT_EQ(joined.link_count(), 6u);
+  ASSERT_EQ(joined.epoch_count(), 25u);
+  for (std::size_t i = 0; i < a.epoch_count(); ++i) {
+    EXPECT_EQ(joined.epoch(i), a.epoch(i));
+  }
+  for (std::size_t i = 0; i < b.epoch_count(); ++i) {
+    EXPECT_EQ(joined.epoch(a.epoch_count() + i), b.epoch(i));
+  }
+}
+
+TEST(Trace, ConcatenateRejectsBadSegments) {
+  EXPECT_THROW(FailureTrace::concatenate({}), std::invalid_argument);
+  const FailureTrace six(6);
+  const FailureTrace seven(7);
+  EXPECT_THROW(FailureTrace::concatenate({six, seven}),
+               std::invalid_argument);
 }
 
 }  // namespace

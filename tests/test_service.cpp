@@ -9,6 +9,8 @@
 // identical to the one-shot path, only resident and concurrent.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <string>
@@ -23,6 +25,8 @@
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "online/link_estimator.h"
+#include "online/replanner.h"
 #include "service/workload_cache.h"
 #include "tomo/localization.h"
 
@@ -37,7 +41,9 @@ TEST(Protocol, VerbsRoundTrip) {
   for (RequestType type :
        {RequestType::kSelect, RequestType::kErEval,
         RequestType::kIdentifiability, RequestType::kLocalize,
-        RequestType::kStats, RequestType::kPing, RequestType::kShutdown}) {
+        RequestType::kFeed, RequestType::kReplan,
+        RequestType::kPipelineStats, RequestType::kStats, RequestType::kPing,
+        RequestType::kShutdown}) {
     EXPECT_EQ(parse_verb(to_verb(type)), type);
   }
   EXPECT_THROW(parse_verb("frobnicate"), std::invalid_argument);
@@ -141,6 +147,45 @@ TEST(WorkloadCache, ConcurrentSameKeyBuildsOnce) {
   EXPECT_EQ(c.hits, static_cast<std::size_t>(kThreads) - 1);
 }
 
+// Threads rotate through three keys over a capacity-1 cache, so builds,
+// hits and evictions of the same entries interleave.  Entries pinned by a
+// shared_ptr must outlive their eviction, and the counters must balance:
+// every built entry is either resident or evicted.
+TEST(WorkloadCache, ConcurrentEvictionUnderSameKeyContention) {
+  WorkloadCache cache(1);
+  constexpr int kThreads = 6;
+  constexpr int kIters = 8;
+  std::atomic<int> bad_entries{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &bad_entries, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto entry = cache.get(small_key(1 + (i + t) % 3));
+        if (entry == nullptr || entry->workload.system == nullptr ||
+            entry->workload.system->path_count() == 0) {
+          ++bad_entries;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad_entries, 0);
+
+  // Pin one entry, then force a fully-settled eviction pass with a fresh
+  // key: every ready entry beyond capacity must now be evicted.
+  const auto pinned = cache.get(small_key(1));
+  (void)cache.get(small_key(4));
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses,
+            static_cast<std::size_t>(kThreads) * kIters + 2);
+  EXPECT_EQ(c.size, 1u);  // Only the fresh key survives.
+  EXPECT_EQ(c.evictions, c.misses - c.size);
+  EXPECT_GE(c.evictions, 3u);
+  // Eviction dropped the cache's reference, not the entry itself.
+  EXPECT_GT(pinned->workload.system->path_count(), 0u);
+}
+
 TEST(WorkloadCache, BuildFailureIsRetriable) {
   WorkloadCache cache(4);
   WorkloadKey bad = small_key(3);
@@ -164,6 +209,11 @@ TEST(Service, PingAndStats) {
   EXPECT_EQ(stats.number("requests"), 1.0);  // The ping, not this stats call.
   EXPECT_EQ(stats.number("errors"), 0.0);
   EXPECT_EQ(stats.number("threads"), 2.0);
+  EXPECT_EQ(stats.number("sessions"), 0.0);
+  // Latency quantiles are reported in order.
+  EXPECT_GE(stats.number("latency-p50-ms"), 0.0);
+  EXPECT_LE(stats.number("latency-p50-ms"), stats.number("latency-p95-ms"));
+  EXPECT_LE(stats.number("latency-p95-ms"), stats.number("latency-p99-ms"));
 }
 
 TEST(Service, ErrorsBecomeRepliesAndAreCounted) {
@@ -326,6 +376,107 @@ TEST(Service, SubmitRunsOnPoolAndMatchesHandle) {
 }
 
 // --------------------------------------------------------------------------
+// Adaptive pipeline verbs
+// --------------------------------------------------------------------------
+
+// feed / replan / pipeline-stats replies equal the answers computed
+// straight from the online modules fed with the same observations.
+TEST(Service, AdaptiveVerbsMatchOnlineModules) {
+  const std::string wparams = "nodes=30 links=60 paths=30 seed=3 intensity=5";
+  Service svc(ServiceConfig{.threads = 2, .cache_capacity = 2});
+
+  // Module-side twin of the service's per-workload session.
+  exp::Workload w = exp::make_custom_workload(30, 60, 30, 3, 5.0);
+  online::LinkEstimator est(w.system->link_count());
+
+  est.observe_link(0, true, 30.0);
+  Response fed =
+      svc.handle_line("feed " + wparams + " link=0 failed=1 count=30");
+  ASSERT_TRUE(fed.ok) << fed.error;
+  EXPECT_EQ(fed.at("fed"), "1");
+  EXPECT_EQ(fed.number("epochs"), 0.0);  // Telemetry is not an epoch.
+
+  est.observe_link(1, false, 30.0);
+  fed = svc.handle_line("feed " + wparams + " link=1 failed=0 count=30");
+  ASSERT_TRUE(fed.ok) << fed.error;
+
+  est.observe_epoch(*w.system, {0, 1, 2}, {false, true, true});
+  fed = svc.handle_line("feed " + wparams + " subset=0,1,2 delivered=0,1,1");
+  ASSERT_TRUE(fed.ok) << fed.error;
+  EXPECT_EQ(fed.number("epochs"), 1.0);
+
+  // Re-plans run warm-start RoMe against the estimated model: the first is
+  // cold, the second warm, both equal to the module answer.
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const double budget = 0.3 * w.costs.subset_cost(*w.system, all);
+  const failures::FailureModel model = est.model();  // Outlives the engine.
+  const core::ProbBoundEr engine(*w.system, model);
+  online::Replanner rp(*w.system, w.costs);
+  online::ReplanStats cold_stats;
+  const core::Selection cold = rp.replan(engine, budget, &cold_stats);
+  online::ReplanStats warm_stats;
+  const core::Selection warm = rp.replan(engine, budget, &warm_stats);
+
+  const Response first = svc.handle_line("replan " + wparams);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.number("budget"), budget);
+  EXPECT_EQ(first.number("selected"), static_cast<double>(cold.paths.size()));
+  EXPECT_EQ(first.number("cost"), cold.cost);
+  EXPECT_EQ(first.number("objective"), cold.objective);
+  EXPECT_EQ(first.number("warm"), 0.0);
+  EXPECT_EQ(first.number("gain-evals"),
+            static_cast<double>(cold_stats.rome.gain_evaluations));
+
+  const Response second = svc.handle_line("replan " + wparams);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.number("objective"), warm.objective);
+  EXPECT_EQ(second.number("warm"), 1.0);
+  EXPECT_EQ(second.number("reused"), static_cast<double>(warm_stats.reused));
+  EXPECT_EQ(second.number("gain-evals"),
+            static_cast<double>(warm_stats.rome.gain_evaluations));
+
+  const Response ps = svc.handle_line("pipeline-stats " + wparams);
+  ASSERT_TRUE(ps.ok) << ps.error;
+  EXPECT_EQ(ps.number("feeds"), 3.0);
+  EXPECT_EQ(ps.number("epochs"), 1.0);
+  EXPECT_EQ(ps.number("replans"), 2.0);
+  EXPECT_EQ(ps.number("selected"), static_cast<double>(warm.paths.size()));
+  double mean_estimate = 0.0;
+  for (const double p : est.probabilities()) mean_estimate += p;
+  mean_estimate /= static_cast<double>(w.system->link_count());
+  EXPECT_EQ(ps.number("mean-estimate"), mean_estimate);
+
+  EXPECT_EQ(svc.session_count(), 1u);
+  const Response stats = svc.handle_line("stats");
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.number("sessions"), 1.0);
+}
+
+TEST(Service, FeedRejectsBadTelemetry) {
+  const std::string wparams = "nodes=30 links=60 paths=30 seed=3 intensity=5";
+  Service svc(ServiceConfig{.threads = 1, .cache_capacity = 2});
+  EXPECT_FALSE(svc.handle_line("feed " + wparams + " link=999 failed=1").ok);
+  EXPECT_FALSE(svc.handle_line("feed " + wparams + " link=-1 failed=1").ok);
+  EXPECT_FALSE(
+      svc.handle_line("feed " + wparams + " link=0 failed=1 count=0").ok);
+  // Epoch form: the delivered flags must match the probed subset.
+  EXPECT_FALSE(
+      svc.handle_line("feed " + wparams + " subset=0,1 delivered=1").ok);
+  EXPECT_FALSE(
+      svc.handle_line("feed " + wparams + " subset=0,999 delivered=1,0").ok);
+  // Mixing the two forms leaves unknown parameters behind.
+  EXPECT_FALSE(svc.handle_line("feed " + wparams +
+                               " subset=0,1 delivered=1,0 link=0 failed=1")
+                   .ok);
+  // Failed feeds never advance the session estimator.
+  const Response ps = svc.handle_line("pipeline-stats " + wparams);
+  ASSERT_TRUE(ps.ok) << ps.error;
+  EXPECT_EQ(ps.number("feeds"), 0.0);
+  EXPECT_EQ(ps.number("epochs"), 0.0);
+}
+
+// --------------------------------------------------------------------------
 // TCP front end
 // --------------------------------------------------------------------------
 
@@ -382,6 +533,111 @@ TEST(TcpServer, StopUnblocksRun) {
   std::thread runner([&server] { server.run(); });
   server.stop();  // What the SIGINT handler does.
   runner.join();
+}
+
+// The adaptive verbs over loopback, concurrently with classic compute
+// verbs.  Link telemetry is commutative, so however the client threads
+// interleave, the session posterior — and the replies derived from it —
+// must equal the single-threaded module answer.
+TEST(TcpServer, ConcurrentAdaptiveVerbsMatchModules) {
+  TcpServer server(ServerConfig{.port = 0,
+                                .threads = 4,
+                                .cache_capacity = 2,
+                                .request_timeout_s = 120.0});
+  std::thread runner([&server] { server.run(); });
+  const std::string wparams = "nodes=30 links=60 paths=30 seed=3 intensity=5";
+  constexpr int kClients = 4;
+  constexpr int kFeedsPerClient = 25;
+  std::atomic<int> failed_replies{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &wparams, &failed_replies] {
+      TcpClient client("127.0.0.1", server.port(), 120.0);
+      for (int i = 0; i < kFeedsPerClient; ++i) {
+        const Response r = parse_response(
+            client.call_line("feed " + wparams + " link=0 failed=1"));
+        if (!r.ok) ++failed_replies;
+      }
+      // Mixed in: a classic compute verb and a stats probe on the same
+      // connection must keep working while feeds hammer the session.
+      const Response sel = parse_response(client.call_line(
+          "select " + wparams + " budget-frac=0.3"));
+      if (!sel.ok || sel.number("selected") <= 0.0) ++failed_replies;
+      if (!parse_response(client.call_line("ping")).ok) ++failed_replies;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failed_replies, 0);
+
+  // Module twin: the posterior after 100 unit-weight failure reports on
+  // link 0 in any order equals one weight-100 report.
+  online::LinkEstimator est(60);
+  est.observe_link(0, true,
+                   static_cast<double>(kClients * kFeedsPerClient));
+  double mean_estimate = 0.0;
+  for (const double p : est.probabilities()) mean_estimate += p;
+  mean_estimate /= 60.0;
+
+  TcpClient client("127.0.0.1", server.port(), 120.0);
+  const Response ps =
+      parse_response(client.call_line("pipeline-stats " + wparams));
+  ASSERT_TRUE(ps.ok) << ps.error;
+  EXPECT_EQ(ps.number("feeds"),
+            static_cast<double>(kClients * kFeedsPerClient));
+  EXPECT_EQ(ps.number("epochs"), 0.0);
+  EXPECT_EQ(ps.number("mean-estimate"), mean_estimate);
+
+  const Response replan =
+      parse_response(client.call_line("replan " + wparams));
+  ASSERT_TRUE(replan.ok) << replan.error;
+  EXPECT_GT(replan.number("selected"), 0.0);
+  EXPECT_EQ(replan.number("warm"), 0.0);  // First plan of the session.
+
+  const Response stats = parse_response(client.call_line("stats"));
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.number("sessions"), 1.0);
+  EXPECT_EQ(stats.number("errors"), 0.0);
+
+  const Response down = parse_response(client.call_line("shutdown"));
+  ASSERT_TRUE(down.ok) << down.error;
+  runner.join();
+}
+
+// stop() while requests are in flight: the server must drain without
+// crashing or hanging, and the client sees either a completed reply or a
+// clean connection error — never a stuck call.
+TEST(TcpServer, StopRacesInFlightRequests) {
+  TcpServer server(ServerConfig{.port = 0,
+                                .threads = 2,
+                                .cache_capacity = 2,
+                                .request_timeout_s = 120.0});
+  std::thread runner([&server] { server.run(); });
+  constexpr int kClients = 3;
+  std::atomic<int> finished{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &finished, c] {
+      try {
+        TcpClient client("127.0.0.1", server.port(), 120.0);
+        // Distinct seeds force fresh workload builds, keeping the
+        // requests in flight when stop() lands.
+        (void)client.call_line(
+            "select nodes=40 links=80 paths=60 seed=" +
+            std::to_string(100 + c) + " intensity=5 budget-frac=0.3");
+      } catch (const std::exception&) {
+        // A torn-down connection is an acceptable outcome of stop().
+      }
+      ++finished;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.stop();
+  runner.join();
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(finished, kClients);
+  EXPECT_TRUE(server.stopping());
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <iostream>
 #include <numeric>
 #include <ostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/expected_rank.h"
 #include "core/matrome.h"
@@ -19,6 +21,7 @@
 #include "learning/baselines.h"
 #include "learning/lsr.h"
 #include "learning/simulator.h"
+#include "online/pipeline.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "tomo/localization.h"
@@ -92,12 +95,34 @@ double total_cost(const exp::Workload& w) {
   return w.costs.subset_cost(*w.system, all);
 }
 
+/// Parses a CSV of positive failure intensities ("2,10,5").
+std::vector<double> parse_intensities(const std::string& csv) {
+  std::vector<double> intensities;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size() || value <= 0.0) {
+      throw std::invalid_argument("--segments: bad intensity '" + token +
+                                  "'");
+    }
+    intensities.push_back(value);
+  }
+  if (intensities.empty()) {
+    throw std::invalid_argument("--segments: no intensities given");
+  }
+  return intensities;
+}
+
 }  // namespace
 
 void print_usage(std::ostream& out) {
   out <<
       "usage: rnt_cli "
-      "<topology|select|evaluate|learn|localize|serve|client> [--flags]\n"
+      "<topology|select|evaluate|learn|localize|pipeline|serve|client> "
+      "[--flags]\n"
       "\n"
       "common workload flags:\n"
       "  --as NAME          AS1755 | AS3257 | AS1239 (calibrated synthetic)\n"
@@ -120,6 +145,16 @@ void print_usage(std::ostream& out) {
       "\n"
       "topology flags:\n"
       "  --output FILE      save the topology as an edge list\n"
+      "\n"
+      "pipeline flags:\n"
+      "  --policy P         static | adaptive | periodic | oracle\n"
+      "  --segments CSV     failure intensities, one regime each "
+      "(default 2,10,5)\n"
+      "  --segment-epochs N epochs per regime (default 40)\n"
+      "  --period N         periodic re-plan interval (default 20)\n"
+      "  --budget-frac F    probing budget fraction (default 0.3)\n"
+      "  --trace FILE       replay a saved failure trace instead\n"
+      "  --series FILE      save the per-epoch series as CSV\n"
       "\n"
       "serve flags:\n"
       "  --port N           TCP port on 127.0.0.1 (default 7070)\n"
@@ -311,6 +346,102 @@ int cmd_localize(Flags& flags, std::ostream& out) {
   return 0;
 }
 
+int cmd_pipeline(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::size_t links = w.system->link_count();
+
+  // Non-stationary workload: one markopoulou model per segment, each with
+  // its own forked rng so a regime change moves which links are fragile,
+  // not just how fragile they are.
+  const std::vector<double> intensities =
+      parse_intensities(flags.get_string("segments", "2,10,5"));
+  const auto segment_epochs =
+      static_cast<std::size_t>(flags.get_int("segment-epochs", 40));
+  if (segment_epochs == 0) {
+    throw std::invalid_argument("--segment-epochs must be positive");
+  }
+  Rng model_rng(w.seed * 13);
+  std::vector<failures::FailureModel> models;
+  models.reserve(intensities.size());
+  for (const double intensity : intensities) {
+    Rng seg_rng = model_rng.fork();
+    models.push_back(failures::markopoulou_model(links, seg_rng, intensity));
+  }
+
+  const std::string trace_file = flags.get_string("trace", "");
+  failures::FailureTrace trace(links);
+  if (!trace_file.empty()) {
+    trace = failures::FailureTrace::load(trace_file);
+    if (trace.link_count() != links) {
+      throw std::invalid_argument(
+          "--trace: trace has " + std::to_string(trace.link_count()) +
+          " links, workload has " + std::to_string(links));
+    }
+  } else {
+    Rng record_rng(w.seed * 19);
+    std::vector<failures::FailureTrace> segments;
+    segments.reserve(models.size());
+    for (const failures::FailureModel& model : models) {
+      segments.push_back(
+          failures::FailureTrace::record(model, segment_epochs, record_rng));
+    }
+    trace = failures::FailureTrace::concatenate(segments);
+  }
+
+  online::PipelineConfig config;
+  config.budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  config.policy =
+      online::parse_replan_policy(flags.get_string("policy", "adaptive"));
+  config.period = static_cast<std::size_t>(flags.get_int("period", 20));
+  // Deterministic given the seed, but non-zero so the estimation-error
+  // series actually exercises the least-squares solver.
+  config.probe.jitter_std_ms = flags.get_double("jitter", 0.5);
+  config.oracle = [&models, segment_epochs](std::size_t epoch) {
+    const std::size_t segment =
+        std::min(epoch / segment_epochs, models.size() - 1);
+    return models[segment];
+  };
+
+  Rng truth_rng(w.seed * 23);
+  const tomo::GroundTruth truth = tomo::random_delays(links, truth_rng);
+
+  online::Pipeline pipeline(*w.system, w.costs, truth, config);
+  Rng run_rng(w.seed * 29);
+  const online::PipelineResult result = pipeline.run(trace, run_rng);
+
+  out << "workload: " << w.topology_name << ", " << w.system->path_count()
+      << " candidate paths, budget " << config.budget << ", policy "
+      << online::to_string(config.policy) << "\n";
+  out << "trace: " << trace.epoch_count() << " epochs";
+  if (trace_file.empty()) {
+    out << " (" << intensities.size() << " segments x " << segment_epochs
+        << ")";
+  }
+  out << ", mean concurrent failures "
+      << fmt(trace.mean_concurrent_failures(), 2) << "\n\n";
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"epochs", std::to_string(result.epochs)});
+  table.add_row({"re-plans", std::to_string(result.replans)});
+  table.add_row({"re-plan fraction", fmt(result.replan_fraction(), 3)});
+  table.add_row({"drift triggers", std::to_string(result.drift_triggers)});
+  table.add_row({"cumulative surviving rank", fmt(result.cumulative_rank, 0)});
+  table.add_row({"mean surviving rank", fmt(result.mean_rank, 2)});
+  table.add_row({"mean estimation error", fmt(result.mean_estimation_error, 3)});
+  table.add_row({"localized exactly", std::to_string(result.localized_exact)});
+  table.add_row({"probe bytes", std::to_string(result.probe_bytes)});
+  table.add_row({"gain evaluations", std::to_string(result.gain_evaluations)});
+  table.add_row({"final selection", std::to_string(result.final_selection.size())});
+  table.print(out);
+
+  const std::string series_file = flags.get_string("series", "");
+  if (!series_file.empty()) {
+    result.series.save_csv(series_file);
+    out << "\nwrote " << series_file << "\n";
+  }
+  return 0;
+}
+
 namespace {
 
 /// SIGINT plumbing for `serve`: the handler may only touch the atomic
@@ -394,6 +525,8 @@ int dispatch(int argc, char** argv, std::ostream& out) {
     rc = cmd_learn(flags, out);
   } else if (command == "localize") {
     rc = cmd_localize(flags, out);
+  } else if (command == "pipeline") {
+    rc = cmd_pipeline(flags, out);
   } else if (command == "serve") {
     rc = cmd_serve(flags, out);
   } else if (command == "client") {

@@ -25,6 +25,10 @@ int cmd_learn(Flags& flags, std::ostream& out);
 /// `rnt_cli localize` — score single-link failure localization.
 int cmd_localize(Flags& flags, std::ostream& out);
 
+/// `rnt_cli pipeline` — replay a (possibly non-stationary) failure trace
+/// through the adaptive replanning pipeline and report per-run metrics.
+int cmd_pipeline(Flags& flags, std::ostream& out);
+
 /// `rnt_cli serve` — run the concurrent tomography service over TCP until
 /// SIGINT (or a `shutdown` request); dumps metrics on exit.
 int cmd_serve(Flags& flags, std::ostream& out);

@@ -7,6 +7,8 @@
 //   evaluate  Score a selection algorithm's robustness under failures.
 //   learn     Run an online learner and report its progress.
 //   localize  Score single-link failure localization of a selection.
+//   pipeline  Replay a failure trace through the adaptive replanning
+//             pipeline (online estimation + drift-gated re-selection).
 //   serve     Run the concurrent tomography service on a TCP port.
 //   client    Send protocol lines to a running service.
 //
@@ -18,6 +20,8 @@
 //                    --budget-frac 0.1 --scenarios 200
 //   rnt_cli learn --as AS1755 --paths 100 --epochs 500 --learner lsr
 //   rnt_cli localize --as AS1755 --paths 200 --budget-frac 0.15
+//   rnt_cli pipeline --nodes 40 --links 80 --paths 120 --policy adaptive \
+//                    --segments 2,10,5 --segment-epochs 40
 //   rnt_cli serve --port 7070 --threads 8 --cache 8
 //   rnt_cli client --port 7070 --request "select as=AS1755 budget-frac=0.1"
 //
