@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <random>
 #include <stdexcept>
 
 #include "core/expected_rank.h"
@@ -126,12 +125,7 @@ ThompsonSampling::ThompsonSampling(const tomo::PathSystem& system,
 }
 
 double ThompsonSampling::sample_beta(double alpha, double beta) {
-  std::gamma_distribution<double> ga(alpha, 1.0);
-  std::gamma_distribution<double> gb(beta, 1.0);
-  const double x = ga(rng_.engine());
-  const double y = gb(rng_.engine());
-  if (x + y == 0.0) return 0.5;
-  return x / (x + y);
+  return rng_.beta(alpha, beta);
 }
 
 std::vector<std::size_t> ThompsonSampling::select_action() {

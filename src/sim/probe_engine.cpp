@@ -1,7 +1,6 @@
 #include "sim/probe_engine.h"
 
 #include <algorithm>
-#include <random>
 #include <stdexcept>
 
 namespace rnt::sim {
@@ -61,7 +60,6 @@ EpochTrace ProbeEngine::run_epoch(const std::vector<std::size_t>& subset,
   EpochTrace trace;
   trace.outcomes.resize(subset.size());
   EventQueue queue;
-  std::normal_distribution<double> jitter(0.0, config_.jitter_std_ms);
 
   for (std::size_t i = 0; i < subset.size(); ++i) {
     const std::size_t q = subset[i];
@@ -80,7 +78,7 @@ EpochTrace ProbeEngine::run_epoch(const std::vector<std::size_t>& subset,
       }
       double hop = truth_.link_metrics[l] + config_.per_hop_processing_ms;
       if (config_.jitter_std_ms > 0.0) {
-        hop = std::max(0.0, hop + jitter(rng.engine()));
+        hop = std::max(0.0, hop + rng.normal(0.0, config_.jitter_std_ms));
       }
       arrival += hop;
     }

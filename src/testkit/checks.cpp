@@ -1,0 +1,637 @@
+#include "testkit/checks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "core/expected_rank.h"
+#include "core/matrome.h"
+#include "core/rome.h"
+#include "exp/workload.h"
+#include "failures/trace.h"
+#include "linalg/elimination.h"
+#include "linalg/incremental_basis.h"
+#include "linalg/qr.h"
+#include "linalg/sparse.h"
+#include "online/replanner.h"
+#include "service/workload_cache.h"
+#include "testkit/oracles.h"
+#include "util/rng.h"
+
+namespace rnt::testkit {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Every check derives its internal randomness from the instance seed and
+/// its own name, so adding or reordering checks never shifts another
+/// check's stream.
+Rng check_rng(const TestInstance& inst, std::string_view check_name) {
+  return Rng(mix_seed(inst.check_seed, fnv1a(check_name)));
+}
+
+std::string fmt(double x) {
+  std::ostringstream out;
+  out.precision(17);
+  out << x;
+  return out.str();
+}
+
+/// Non-empty random subset of [0, n), ascending.
+std::vector<std::size_t> random_subset(Rng& rng, std::size_t n) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.5)) out.push_back(i);
+  }
+  if (out.empty()) out.push_back(rng.index(n));
+  return out;
+}
+
+std::vector<std::size_t> all_paths(const TestInstance& inst) {
+  std::vector<std::size_t> out(inst.path_count());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+double total_cost(const TestInstance& inst) {
+  double total = 0.0;
+  for (const double c : inst.path_costs) total += c;
+  return total;
+}
+
+}  // namespace
+
+CheckResult run_check(const Check& check, const TestInstance& instance,
+                      const FaultPlan& fault) {
+  try {
+    return check.fn(instance, fault);
+  } catch (const std::exception& e) {
+    return CheckResult::fail(std::string("unexpected exception: ") +
+                             e.what());
+  }
+}
+
+// --------------------------------------------------------------------------
+// 1. ER is monotone and submodular (the premise of the RoMe guarantee).
+// --------------------------------------------------------------------------
+
+CheckResult check_er_monotone_submodular(const TestInstance& inst,
+                                         const FaultPlan&) {
+  Rng rng = check_rng(inst, "er-monotone-submodular");
+  const ExhaustiveErTable table(inst);
+
+  std::vector<std::size_t> order = all_paths(inst);
+  rng.shuffle(order);
+  const std::size_t x = order.back();
+  order.pop_back();
+
+  // er over the prefix chain S_0 ⊂ S_1 ⊂ ... and the marginal gain of the
+  // held-out path x at each prefix.
+  std::uint64_t prefix = 0;
+  double prev_value = 0.0;
+  double prev_gain = table.er(std::uint64_t{1} << x);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    prefix |= std::uint64_t{1} << order[k];
+    const double value = table.er(prefix);
+    if (value < prev_value - kTol) {
+      return CheckResult::fail("ER not monotone: adding path " +
+                               std::to_string(order[k]) + " dropped ER from " +
+                               fmt(prev_value) + " to " + fmt(value));
+    }
+    const double gain =
+        table.er(prefix | (std::uint64_t{1} << x)) - value;
+    if (gain > prev_gain + kTol) {
+      return CheckResult::fail(
+          "ER not submodular: gain of path " + std::to_string(x) +
+          " grew from " + fmt(prev_gain) + " to " + fmt(gain) +
+          " on a larger prefix");
+    }
+    prev_value = value;
+    prev_gain = gain;
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 2. ProbBound dominates ER (Eq. 6/7) and is tight on independent sets.
+// --------------------------------------------------------------------------
+
+CheckResult check_probbound_dominates_er(const TestInstance& inst,
+                                         const FaultPlan& fault) {
+  Rng rng = check_rng(inst, "probbound-dominates-er");
+  const ExhaustiveErTable table(inst);
+  const core::ProbBoundEr bound_engine(inst.system, inst.model);
+
+  // The fault hook deflates the bound per selected path, simulating a
+  // ProbBound implementation that drops a term of Eq. 6.
+  const auto bound = [&](const std::vector<std::size_t>& subset) {
+    return bound_engine.evaluate(subset) -
+           fault.probbound_deflate * static_cast<double>(subset.size());
+  };
+
+  std::vector<std::vector<std::size_t>> subsets = {all_paths(inst)};
+  for (int i = 0; i < 4; ++i) {
+    subsets.push_back(random_subset(rng, inst.path_count()));
+  }
+  for (const auto& subset : subsets) {
+    const double b = bound(subset);
+    const double er = table.er(subset);
+    if (b < er - kTol) {
+      return CheckResult::fail("ProbBound " + fmt(b) +
+                               " below exhaustive ER " + fmt(er) +
+                               " on a subset of " +
+                               std::to_string(subset.size()) + " paths");
+    }
+  }
+
+  // Tightness: on a linearly independent set every surviving subset has
+  // full rank, so ER collapses to sum of EA and the bound is exact.
+  const std::vector<std::size_t> ind =
+      linalg::independent_row_subset(inst.system.matrix());
+  if (!ind.empty()) {
+    const double b = bound(ind);
+    const double er = table.er(ind);
+    if (std::abs(b - er) > kTol) {
+      return CheckResult::fail("ProbBound not tight on an independent set: " +
+                               fmt(b) + " vs exhaustive ER " + fmt(er));
+    }
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 3. MatRoMe equals the exhaustive matroid optimum (Theorem 9).
+// --------------------------------------------------------------------------
+
+CheckResult check_matrome_optimal(const TestInstance& inst,
+                                  const FaultPlan&) {
+  Rng rng = check_rng(inst, "matrome-optimal");
+  const std::size_t full_rank = inst.system.full_rank();
+  std::vector<std::size_t> budgets = {full_rank};
+  if (full_rank > 1) budgets.push_back(1 + rng.index(full_rank - 1));
+
+  for (const std::size_t k : budgets) {
+    const core::Selection sel = core::matrome(inst.system, inst.model, k);
+    if (sel.paths.size() > k) {
+      return CheckResult::fail("MatRoMe exceeded the path budget " +
+                               std::to_string(k));
+    }
+    if (naive_rank(dense_rows(inst, sel.paths)) != sel.paths.size()) {
+      return CheckResult::fail("MatRoMe selection is linearly dependent");
+    }
+    double sum_ea = 0.0;
+    for (const std::size_t q : sel.paths) sum_ea += path_ea(inst, q);
+    if (std::abs(sum_ea - sel.objective) > kTol) {
+      return CheckResult::fail("MatRoMe objective " + fmt(sel.objective) +
+                               " is not the selection's EA sum " +
+                               fmt(sum_ea));
+    }
+    const OracleSelection opt = exhaustive_best_independent_ea(inst, k);
+    if (sum_ea < opt.objective - kTol) {
+      return CheckResult::fail(
+          "MatRoMe suboptimal at budget " + std::to_string(k) + ": " +
+          fmt(sum_ea) + " vs exhaustive optimum " + fmt(opt.objective));
+    }
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 4. evaluate_parallel is bitwise identical to serial evaluate.
+// --------------------------------------------------------------------------
+
+CheckResult check_parallel_matches_serial(const TestInstance& inst,
+                                          const FaultPlan&) {
+  Rng rng = check_rng(inst, "parallel-matches-serial");
+  Rng mc_rng = rng.fork();
+  // Odd scenario count so chunking never divides evenly.
+  const core::MonteCarloEr mc(inst.system, inst.model, 33, mc_rng);
+  const core::ExactEr exact(inst.system, inst.model);
+  const std::vector<std::size_t> subset =
+      random_subset(rng, inst.path_count());
+
+  for (const core::ScenarioErEngine* engine :
+       {static_cast<const core::ScenarioErEngine*>(&mc),
+        static_cast<const core::ScenarioErEngine*>(&exact)}) {
+    const double serial = engine->evaluate(subset);
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                      std::size_t{3}, std::size_t{5}}) {
+      const double parallel = engine->evaluate_parallel(subset, threads);
+      if (parallel != serial) {
+        return CheckResult::fail(
+            engine->name() + " evaluate_parallel(threads=" +
+            std::to_string(threads) + ") = " + fmt(parallel) +
+            " differs bitwise from serial " + fmt(serial));
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 5. core::ExactEr matches the independent exhaustive oracle.
+// --------------------------------------------------------------------------
+
+CheckResult check_exact_engine_matches_oracle(const TestInstance& inst,
+                                              const FaultPlan&) {
+  Rng rng = check_rng(inst, "exact-engine-matches-oracle");
+  const ExhaustiveErTable table(inst);
+  const core::ExactEr exact(inst.system, inst.model);
+
+  std::vector<std::vector<std::size_t>> subsets = {all_paths(inst)};
+  for (int i = 0; i < 4; ++i) {
+    subsets.push_back(random_subset(rng, inst.path_count()));
+  }
+  for (const auto& subset : subsets) {
+    const double engine = exact.evaluate(subset);
+    const double oracle = table.er(subset);
+    if (std::abs(engine - oracle) > kTol) {
+      return CheckResult::fail("ExactEr " + fmt(engine) +
+                               " differs from the exhaustive oracle " +
+                               fmt(oracle));
+    }
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 6. RoMe achieves the (1 - 1/sqrt(e)) guarantee against the exhaustive
+//    budgeted optimum (Theorem 6 on exact ER).
+// --------------------------------------------------------------------------
+
+CheckResult check_rome_approximation(const TestInstance& inst,
+                                     const FaultPlan&) {
+  Rng rng = check_rng(inst, "rome-approximation");
+  const double budget = rng.uniform(0.3, 0.8) * total_cost(inst);
+  const core::ExactEr exact(inst.system, inst.model);
+  const core::Selection sel =
+      core::rome(inst.system, inst.costs, budget, exact);
+  if (sel.cost > budget + kTol) {
+    return CheckResult::fail("RoMe exceeded the budget: cost " +
+                             fmt(sel.cost) + " vs " + fmt(budget));
+  }
+  const OracleSelection opt = exhaustive_best_selection(inst, budget);
+  const double achieved = exact.evaluate(sel.paths);
+  const double factor = 1.0 - 1.0 / std::sqrt(std::numbers::e);
+  if (achieved < factor * opt.objective - kTol) {
+    return CheckResult::fail("RoMe broke its guarantee: achieved " +
+                             fmt(achieved) + " vs " + fmt(factor) + " * " +
+                             fmt(opt.objective) + " optimum at budget " +
+                             fmt(budget));
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 7. Every rank oracle in linalg agrees with naive elimination.
+// --------------------------------------------------------------------------
+
+CheckResult check_rank_oracles_agree(const TestInstance& inst,
+                                     const FaultPlan&) {
+  Rng rng = check_rng(inst, "rank-oracles-agree");
+  std::vector<std::vector<std::size_t>> subsets = {all_paths(inst)};
+  subsets.push_back(random_subset(rng, inst.path_count()));
+
+  for (const auto& subset : subsets) {
+    const std::size_t expected = naive_rank(dense_rows(inst, subset));
+    const linalg::Matrix sub = inst.system.matrix().select_rows(subset);
+
+    const auto mismatch = [&](const std::string& who, std::size_t got) {
+      return CheckResult::fail(who + " rank " + std::to_string(got) +
+                               " differs from naive elimination " +
+                               std::to_string(expected) + " on " +
+                               std::to_string(subset.size()) + " paths");
+    };
+    if (linalg::rank(sub) != expected) {
+      return mismatch("linalg::rank", linalg::rank(sub));
+    }
+    if (linalg::rank_of_rows(inst.system.matrix(), subset) != expected) {
+      return mismatch("linalg::rank_of_rows",
+                      linalg::rank_of_rows(inst.system.matrix(), subset));
+    }
+    if (linalg::qr_rank(sub) != expected) {
+      return mismatch("linalg::qr_rank", linalg::qr_rank(sub));
+    }
+    const std::size_t sparse =
+        linalg::SparseMatrix::from_dense(sub).rank_via_dense();
+    if (sparse != expected) return mismatch("SparseMatrix", sparse);
+    if (linalg::independent_row_subset(sub).size() != expected) {
+      return mismatch("independent_row_subset",
+                      linalg::independent_row_subset(sub).size());
+    }
+    if (linalg::qr_row_basis(sub).size() != expected) {
+      return mismatch("qr_row_basis", linalg::qr_row_basis(sub).size());
+    }
+    if (inst.system.rank_of(subset) != expected) {
+      return mismatch("PathSystem::rank_of", inst.system.rank_of(subset));
+    }
+
+    // Incremental basis, rows inserted in a random order.
+    std::vector<std::size_t> order = subset;
+    rng.shuffle(order);
+    linalg::IncrementalBasis basis(inst.link_count());
+    for (const std::size_t i : order) basis.try_add(inst.system.row(i));
+    if (basis.rank() != expected) {
+      return mismatch("IncrementalBasis", basis.rank());
+    }
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 8. IncrementalBasis dependency tracking reconstructs dependent rows.
+// --------------------------------------------------------------------------
+
+CheckResult check_incremental_basis_reduction(const TestInstance& inst,
+                                              const FaultPlan&) {
+  Rng rng = check_rng(inst, "incremental-basis-reduction");
+  std::vector<std::size_t> order = all_paths(inst);
+  rng.shuffle(order);
+
+  linalg::IncrementalBasis basis(inst.link_count());
+  std::vector<std::vector<double>> independent_rows;
+  for (const std::size_t i : order) {
+    const auto row = inst.system.row(i);
+    const linalg::Reduction red = basis.add_with_reduction(row);
+    if (red.independent) {
+      independent_rows.emplace_back(row.begin(), row.end());
+      continue;
+    }
+    if (red.support.size() != red.coefficients.size()) {
+      return CheckResult::fail(
+          "Reduction support/coefficients size mismatch on path " +
+          std::to_string(i));
+    }
+    // A dependent row must equal its reported combination of the
+    // previously inserted independent rows (Eq. 6's support set R_q).
+    std::vector<double> recon(inst.link_count(), 0.0);
+    for (std::size_t k = 0; k < red.support.size(); ++k) {
+      if (red.support[k] >= independent_rows.size()) {
+        return CheckResult::fail("Reduction support index " +
+                                 std::to_string(red.support[k]) +
+                                 " out of range on path " +
+                                 std::to_string(i));
+      }
+      const auto& base = independent_rows[red.support[k]];
+      for (std::size_t c = 0; c < recon.size(); ++c) {
+        recon[c] += red.coefficients[k] * base[c];
+      }
+    }
+    for (std::size_t c = 0; c < recon.size(); ++c) {
+      if (std::abs(recon[c] - row[c]) > 1e-6) {
+        return CheckResult::fail(
+            "Reduction coefficients do not reconstruct path " +
+            std::to_string(i) + ": column " + std::to_string(c) +
+            " off by " + fmt(recon[c] - row[c]));
+      }
+    }
+  }
+  const std::size_t expected = naive_rank(dense_rows(inst, all_paths(inst)));
+  if (basis.rank() != expected) {
+    return CheckResult::fail("IncrementalBasis final rank " +
+                             std::to_string(basis.rank()) + " vs naive " +
+                             std::to_string(expected));
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 9. Cold replanning equals core::rome; warm replanning on an unchanged
+//    distribution loses nothing.
+// --------------------------------------------------------------------------
+
+CheckResult check_warm_equals_cold_replan(const TestInstance& inst,
+                                          const FaultPlan&) {
+  Rng rng = check_rng(inst, "warm-equals-cold-replan");
+  const double budget = rng.uniform(0.3, 0.9) * total_cost(inst);
+  const core::ProbBoundEr engine(inst.system, inst.model);
+
+  online::Replanner planner(inst.system, inst.costs);
+  const core::Selection cold = planner.replan(engine, budget);
+  const core::Selection reference =
+      core::rome(inst.system, inst.costs, budget, engine);
+  if (cold.paths != reference.paths) {
+    return CheckResult::fail(
+        "cold replan selected a different set than core::rome (" +
+        std::to_string(cold.paths.size()) + " vs " +
+        std::to_string(reference.paths.size()) + " paths)");
+  }
+  if (std::abs(cold.objective - reference.objective) > kTol) {
+    return CheckResult::fail("cold replan objective " + fmt(cold.objective) +
+                             " differs from core::rome " +
+                             fmt(reference.objective));
+  }
+
+  const core::Selection warm = planner.replan(engine, budget);
+  if (warm.cost > budget + kTol) {
+    return CheckResult::fail("warm replan exceeded the budget");
+  }
+  const double warm_value = engine.evaluate(warm.paths);
+  const double cold_value = engine.evaluate(cold.paths);
+  if (warm_value < cold_value - kTol) {
+    return CheckResult::fail(
+        "warm replan on an unchanged distribution lost objective: " +
+        fmt(warm_value) + " vs cold " + fmt(cold_value));
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 10. The ProbBound accumulator tracks evaluate() exactly.
+// --------------------------------------------------------------------------
+
+CheckResult check_probbound_accumulator_consistent(const TestInstance& inst,
+                                                   const FaultPlan&) {
+  Rng rng = check_rng(inst, "probbound-accumulator-consistent");
+  const core::ProbBoundEr engine(inst.system, inst.model);
+  std::vector<std::size_t> order = all_paths(inst);
+  rng.shuffle(order);
+
+  const auto acc = engine.make_accumulator();
+  std::vector<std::size_t> prefix;
+  for (const std::size_t q : order) {
+    const double before = engine.evaluate(prefix);
+    prefix.push_back(q);
+    const double after = engine.evaluate(prefix);
+    const double gain = acc->gain(q);
+    if (std::abs(gain - (after - before)) > kTol) {
+      return CheckResult::fail("accumulator gain(" + std::to_string(q) +
+                               ") = " + fmt(gain) + " vs evaluate delta " +
+                               fmt(after - before));
+    }
+    acc->add(q);
+    if (std::abs(acc->value() - after) > kTol) {
+      return CheckResult::fail("accumulator value " + fmt(acc->value()) +
+                               " diverged from evaluate() " + fmt(after) +
+                               " after " + std::to_string(prefix.size()) +
+                               " adds");
+    }
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 11. FailureTrace round-trips through write/read/concatenate.
+// --------------------------------------------------------------------------
+
+CheckResult check_trace_roundtrip(const TestInstance& inst,
+                                  const FaultPlan&) {
+  Rng rng = check_rng(inst, "trace-roundtrip");
+  Rng sample_rng = rng.fork();
+  const std::size_t epochs = 5 + rng.index(20);
+  const failures::FailureTrace first =
+      failures::FailureTrace::record(inst.model, epochs, sample_rng);
+  const failures::FailureTrace second =
+      failures::FailureTrace::record(inst.model, 3, sample_rng);
+
+  std::stringstream stream;
+  first.write(stream);
+  const failures::FailureTrace reread = failures::FailureTrace::read(stream);
+  if (!(reread == first)) {
+    return CheckResult::fail("trace changed across write/read");
+  }
+
+  const failures::FailureTrace joined =
+      failures::FailureTrace::concatenate({first, second});
+  if (joined.epoch_count() != first.epoch_count() + second.epoch_count()) {
+    return CheckResult::fail("concatenate lost epochs");
+  }
+  for (std::size_t i = 0; i < joined.epoch_count(); ++i) {
+    const failures::FailureVector& expected =
+        i < first.epoch_count() ? first.epoch(i)
+                                : second.epoch(i - first.epoch_count());
+    if (joined.epoch(i) != expected) {
+      return CheckResult::fail("concatenate scrambled epoch " +
+                               std::to_string(i));
+    }
+  }
+  std::stringstream joined_stream;
+  joined.write(joined_stream);
+  if (!(failures::FailureTrace::read(joined_stream) == joined)) {
+    return CheckResult::fail("concatenated trace changed across write/read");
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// 12. Workload-cache eviction and re-admission keep ProbBound bitwise
+//     stable (the service's er-eval memoization).
+// --------------------------------------------------------------------------
+
+CheckResult check_workload_cache_eviction(const TestInstance& inst,
+                                          const FaultPlan&) {
+  Rng rng = check_rng(inst, "workload-cache-eviction");
+  service::WorkloadKey key;
+  key.topology = "";  // custom build path
+  key.nodes = 20;
+  key.links = 40;
+  key.candidate_paths = 12;
+  key.seed = 1 + rng.index(1000);
+  key.intensity = 5.0;
+  key.unit_costs = false;
+  service::WorkloadKey other = key;
+  other.seed = key.seed + 1;
+
+  service::WorkloadCache cache(1);
+  const auto first = cache.get(key);
+  const std::vector<std::size_t> subset =
+      random_subset(rng, first->workload.system->path_count());
+  const double cached = first->prob_bound.evaluate(subset);
+
+  cache.get(other);  // capacity 1: evicts `key`
+  const auto readmitted = cache.get(key);
+  if (readmitted == first) {
+    return CheckResult::fail("cache returned the evicted entry");
+  }
+  const double rebuilt = readmitted->prob_bound.evaluate(subset);
+  if (rebuilt != cached) {
+    return CheckResult::fail("ProbBound changed across eviction: " +
+                             fmt(cached) + " vs rebuilt " + fmt(rebuilt));
+  }
+
+  // And against a build that never touched the cache.
+  const exp::Workload fresh = exp::make_custom_workload(
+      key.nodes, key.links, key.candidate_paths, key.seed, key.intensity,
+      key.unit_costs);
+  const core::ProbBoundEr fresh_engine(*fresh.system, *fresh.failures);
+  const double uncached = fresh_engine.evaluate(subset);
+  if (uncached != cached) {
+    return CheckResult::fail("cached ProbBound " + fmt(cached) +
+                             " differs bitwise from a fresh build " +
+                             fmt(uncached));
+  }
+  if (cache.counters().evictions == 0) {
+    return CheckResult::fail("cache reported no evictions at capacity 1");
+  }
+  return CheckResult::ok();
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+const std::vector<Check>& all_checks() {
+  static const std::vector<Check> checks = {
+      {"er-monotone-submodular",
+       "exhaustive ER is monotone with non-increasing marginal gains", 1,
+       true, check_er_monotone_submodular},
+      {"probbound-dominates-er",
+       "ProbBound >= exhaustive ER, tight on independent sets", 1, true,
+       check_probbound_dominates_er},
+      {"matrome-optimal",
+       "MatRoMe equals the exhaustive unit-cost matroid optimum", 1, true,
+       check_matrome_optimal},
+      {"parallel-matches-serial",
+       "evaluate_parallel is bitwise identical to serial for any thread "
+       "count",
+       1, true, check_parallel_matches_serial},
+      {"exact-engine-matches-oracle",
+       "core::ExactEr matches independent failure-vector enumeration", 2,
+       true, check_exact_engine_matches_oracle},
+      {"rome-approximation",
+       "RoMe achieves (1 - 1/sqrt(e)) of the exhaustive budgeted optimum",
+       4, true, check_rome_approximation},
+      {"rank-oracles-agree",
+       "elimination, QR, sparse, incremental and naive ranks agree", 1,
+       true, check_rank_oracles_agree},
+      {"incremental-basis-reduction",
+       "dependency tracking reconstructs dependent rows exactly", 1, true,
+       check_incremental_basis_reduction},
+      {"warm-equals-cold-replan",
+       "cold replan == core::rome; warm replan loses nothing when the "
+       "distribution is unchanged",
+       2, true, check_warm_equals_cold_replan},
+      {"probbound-accumulator-consistent",
+       "ProbBound accumulator gains/value track evaluate()", 1, true,
+       check_probbound_accumulator_consistent},
+      {"trace-roundtrip",
+       "FailureTrace write/read/concatenate round-trips exactly", 1, true,
+       check_trace_roundtrip},
+      {"workload-cache-eviction",
+       "service ProbBound bitwise stable across cache eviction and "
+       "re-admission",
+       32, false, check_workload_cache_eviction},
+  };
+  return checks;
+}
+
+const Check* find_check(const std::string& name) {
+  for (const Check& c : all_checks()) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace rnt::testkit

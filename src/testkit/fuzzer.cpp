@@ -1,0 +1,111 @@
+#include "testkit/fuzzer.h"
+
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+
+#include "testkit/shrink.h"
+
+namespace rnt::testkit {
+
+namespace {
+
+std::vector<const Check*> select_checks(const FuzzConfig& config) {
+  std::vector<const Check*> selected;
+  if (config.checks.empty()) {
+    for (const Check& c : all_checks()) selected.push_back(&c);
+    return selected;
+  }
+  for (const std::string& name : config.checks) {
+    const Check* c = find_check(name);
+    if (c == nullptr) {
+      throw std::invalid_argument("unknown check: " + name);
+    }
+    selected.push_back(c);
+  }
+  return selected;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* progress) {
+  const std::vector<const Check*> checks = select_checks(config);
+  FuzzReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_seconds = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  for (std::size_t i = 0; i < config.cases; ++i) {
+    if (config.minutes > 0.0 && elapsed_seconds() > config.minutes * 60.0) {
+      report.timed_out = true;
+      break;
+    }
+    const std::uint64_t case_seed = mix_seed(config.seed, i);
+    const TestInstance instance =
+        generate_instance(case_seed, config.bounds);
+    ++report.cases_run;
+
+    for (const Check* check : checks) {
+      if (i % check->stride != 0) continue;
+      ++report.checks_run;
+      ++report.per_check[check->name];
+      const CheckResult result = run_check(*check, instance, config.fault);
+      if (result.passed) continue;
+
+      FuzzFailure failure;
+      failure.check = check->name;
+      failure.case_seed = case_seed;
+      if (config.shrink_failures && check->shrinkable) {
+        ShrinkResult s = shrink(*check, instance, config.fault);
+        failure.instance = std::move(s.instance);
+        failure.result = std::move(s.failure);
+        failure.shrink_attempts = s.attempts;
+      } else {
+        failure.instance = instance;
+        failure.result = result;
+      }
+      if (!config.out_dir.empty()) {
+        failure.repro_path = config.out_dir + "/repro-" + check->name + "-" +
+                             std::to_string(case_seed) + ".txt";
+        save_repro(failure.repro_path, check->name, failure.instance,
+                   failure.result.message);
+      }
+      if (progress != nullptr) {
+        *progress << "FAIL " << check->name << " case " << i << " seed "
+                  << case_seed << ": " << failure.result.message;
+        if (!failure.repro_path.empty()) {
+          *progress << " (repro: " << failure.repro_path << ")";
+        }
+        *progress << "\n";
+      }
+      report.failures.push_back(std::move(failure));
+      if (config.max_failures != 0 &&
+          report.failures.size() >= config.max_failures) {
+        report.seconds = elapsed_seconds();
+        return report;
+      }
+    }
+    if (progress != nullptr && (i + 1) % 1000 == 0) {
+      *progress << "... " << (i + 1) << "/" << config.cases << " cases, "
+                << report.checks_run << " checks, "
+                << report.failures.size() << " failures, "
+                << elapsed_seconds() << "s\n";
+    }
+  }
+  report.seconds = elapsed_seconds();
+  return report;
+}
+
+CheckResult replay_repro(const Repro& repro, const FaultPlan& fault) {
+  const Check* check = find_check(repro.check);
+  if (check == nullptr) {
+    throw std::runtime_error("replay: repro names unknown check '" +
+                             repro.check + "'");
+  }
+  return run_check(*check, repro.instance, fault);
+}
+
+}  // namespace rnt::testkit

@@ -1,0 +1,66 @@
+// The deterministic fuzz loop behind `rnt_cli fuzz`.
+//
+// One 64-bit seed drives the whole run: case i draws its instance from
+// mix_seed(seed, i), and each check derives its internal stream from the
+// instance seed and its own name, so any failure replays bit-for-bit from
+// the recorded case seed — or from the minimized repro file the shrinker
+// writes next to it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testkit/checks.h"
+#include "testkit/instance.h"
+
+namespace rnt::testkit {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t cases = 1000;
+  /// Wall-clock cap in minutes; 0 disables the cap.  The loop stops at
+  /// whichever of `cases` / `minutes` is reached first.
+  double minutes = 0.0;
+  /// Check names to run; empty means every registered check.
+  std::vector<std::string> checks;
+  /// Directory for minimized repro files; empty disables writing.
+  std::string out_dir;
+  /// Stop after this many distinct failures (0 = never stop early).
+  std::size_t max_failures = 1;
+  bool shrink_failures = true;
+  FaultPlan fault;
+  SpecBounds bounds;
+};
+
+struct FuzzFailure {
+  std::string check;
+  std::uint64_t case_seed = 0;   ///< Seed of the case that first failed.
+  CheckResult result;            ///< Diagnosis on the minimized instance.
+  TestInstance instance;         ///< Minimized (or original) instance.
+  std::size_t shrink_attempts = 0;
+  std::string repro_path;        ///< Written repro file; empty if none.
+};
+
+struct FuzzReport {
+  std::size_t cases_run = 0;
+  std::size_t checks_run = 0;
+  std::map<std::string, std::size_t> per_check;  ///< Executions per check.
+  std::vector<FuzzFailure> failures;
+  double seconds = 0.0;
+  bool timed_out = false;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the fuzz loop.  `progress` (optional) receives one line per
+/// failure and a periodic heartbeat; pass nullptr for silence.
+FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* progress);
+
+/// Replays a repro: runs the named check on the embedded instance.
+/// Throws std::runtime_error when the repro names an unknown check.
+CheckResult replay_repro(const Repro& repro, const FaultPlan& fault = {});
+
+}  // namespace rnt::testkit

@@ -1,0 +1,108 @@
+// Seeded random instances for the correctness harness.
+//
+// The fuzz harness needs two properties the experiment workloads in exp/
+// do not provide: instances small enough for the brute-force oracles
+// (exhaustive ER enumerates 2^|links| failure vectors), and an *explicit*
+// normal form the shrinker can minimize structurally (drop a path, drop a
+// link) and replay from a repro file.
+//
+// Generation is two-phase: a generative spec drawn from a single 64-bit
+// case seed (graph family, failure family, cost family, sizes) is
+// materialized through the production generators (graph/generators,
+// tomo/monitors, failures/failure_model), then flattened into the normal
+// form below — per-path link lists, per-link failure probabilities,
+// per-path probing costs.  Checks only ever see the normal form, so a
+// shrunk or replayed instance is indistinguishable from a generated one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "tomo/cost_model.h"
+#include "tomo/path_system.h"
+
+namespace rnt::exp {
+struct Workload;
+}
+
+namespace rnt::testkit {
+
+/// Size bounds for generated instances.  The link cap bounds the
+/// brute-force oracles (exhaustive ER is O(2^links)); the defaults keep a
+/// full check pass per case in the low milliseconds.
+struct SpecBounds {
+  std::size_t min_nodes = 5;
+  std::size_t max_nodes = 9;
+  std::size_t max_links = 12;
+  std::size_t min_paths = 3;
+  std::size_t max_paths = 10;
+};
+
+/// One fuzz instance in normal form.  `system`, `model` and `costs` are
+/// materialized views of `path_links` / `link_probs` / `path_costs`; the
+/// vectors are the serialized truth the shrinker edits.
+struct TestInstance {
+  std::vector<std::vector<std::uint32_t>> path_links;  ///< Links per path.
+  std::vector<double> link_probs;   ///< Per-link failure probability.
+  std::vector<double> path_costs;   ///< Probing cost PC(q) per path.
+  std::uint64_t check_seed = 0;     ///< Seeds check-internal randomness.
+  std::string origin;               ///< Human note: spec or repro source.
+
+  tomo::PathSystem system{0, {}};
+  failures::FailureModel model{std::vector<double>{}};
+  tomo::CostModel costs = tomo::CostModel::unit();
+
+  std::size_t link_count() const { return link_probs.size(); }
+  std::size_t path_count() const { return path_links.size(); }
+};
+
+/// Builds the materialized views (`system`, `model`, `costs`) from the
+/// normal-form vectors.  Per-path costs are encoded exactly through the
+/// CostModel by giving path i a private monitor pair (2i, 2i+1) whose
+/// access cost is the desired PC(q).
+TestInstance make_instance(std::vector<std::vector<std::uint32_t>> path_links,
+                           std::vector<double> link_probs,
+                           std::vector<double> path_costs,
+                           std::uint64_t check_seed,
+                           std::string origin = "manual");
+
+/// Generates the instance for one fuzz case.  Fully deterministic from
+/// `case_seed`: the spec (graph family among connected Erdős–Rényi,
+/// Barabási–Albert and ring-with-chords; failure family among uniform,
+/// per-link, Markopoulou, Gilbert–Elliott-stationary and SRLG-marginal;
+/// unit or paper-style heterogeneous costs) and every draw inside it come
+/// from one stream.  Retries degenerate draws (too many links, fewer than
+/// two usable paths) with forked sub-streams, still deterministically.
+TestInstance generate_instance(std::uint64_t case_seed,
+                               const SpecBounds& bounds = {});
+
+/// Flattens a materialized experiment workload into the normal form, so
+/// the polynomial-time harness checks (rank oracles, incremental basis,
+/// accumulator, trace round-trip) can run on full-size calibrated
+/// topologies too.  The brute-force-oracle checks stay out of reach: their
+/// guards reject instances beyond the SpecBounds scale.
+TestInstance from_workload(const exp::Workload& workload,
+                           std::uint64_t check_seed);
+
+/// Serializes an instance (with the failing check's name) as a replayable
+/// repro file, and reads one back.
+void write_repro(std::ostream& out, const std::string& check,
+                 const TestInstance& instance, const std::string& message);
+struct Repro {
+  std::string check;
+  std::string message;
+  TestInstance instance;
+};
+Repro read_repro(std::istream& in);
+Repro load_repro(const std::string& path);
+void save_repro(const std::string& path, const std::string& check,
+                const TestInstance& instance, const std::string& message);
+
+/// SplitMix64 step — the harness's seed derivation for per-case and
+/// per-check streams (stable across platforms and check-list changes).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt);
+
+}  // namespace rnt::testkit

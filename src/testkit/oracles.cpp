@@ -1,0 +1,213 @@
+#include "testkit/oracles.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::testkit {
+
+std::size_t naive_rank(std::vector<std::vector<double>> rows, double tol) {
+  if (rows.empty()) return 0;
+  const std::size_t cols = rows[0].size();
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows.size(); ++col) {
+    // Partial pivoting: largest |entry| in this column at or below `rank`.
+    std::size_t pivot = rank;
+    for (std::size_t r = rank + 1; r < rows.size(); ++r) {
+      if (std::abs(rows[r][col]) > std::abs(rows[pivot][col])) pivot = r;
+    }
+    if (std::abs(rows[pivot][col]) <= tol) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = rank + 1; r < rows.size(); ++r) {
+      const double factor = rows[r][col] / rows[rank][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < cols; ++c) {
+        rows[r][c] -= factor * rows[rank][c];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::vector<double>> dense_rows(
+    const TestInstance& instance, const std::vector<std::size_t>& subset) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(subset.size());
+  for (std::size_t i : subset) {
+    std::vector<double> row(instance.link_count(), 0.0);
+    for (std::uint32_t l : instance.path_links.at(i)) row[l] = 1.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double path_ea(const TestInstance& instance, std::size_t path) {
+  double ea = 1.0;
+  for (std::uint32_t l : instance.path_links.at(path)) {
+    ea *= 1.0 - instance.link_probs[l];
+  }
+  return ea;
+}
+
+ExhaustiveErTable::ExhaustiveErTable(const TestInstance& instance) {
+  const std::size_t links = instance.link_count();
+  const std::size_t paths = instance.path_count();
+  if (links > 20) {
+    throw std::invalid_argument("ExhaustiveErTable: more than 20 links");
+  }
+  if (paths > 63) {
+    throw std::invalid_argument("ExhaustiveErTable: more than 63 paths");
+  }
+  std::vector<std::size_t> all(paths);
+  for (std::size_t i = 0; i < paths; ++i) all[i] = i;
+  rows_ = dense_rows(instance, all);
+
+  std::vector<std::uint64_t> path_mask(paths, 0);
+  for (std::size_t i = 0; i < paths; ++i) {
+    for (std::uint32_t l : instance.path_links[i]) {
+      path_mask[i] |= std::uint64_t{1} << l;
+    }
+  }
+
+  const std::uint64_t scenarios = std::uint64_t{1} << links;
+  alive_.resize(scenarios);
+  prob_.resize(scenarios);
+  for (std::uint64_t fail = 0; fail < scenarios; ++fail) {
+    double p = 1.0;
+    for (std::size_t l = 0; l < links; ++l) {
+      const double pl = instance.link_probs[l];
+      p *= ((fail >> l) & 1) ? pl : 1.0 - pl;
+    }
+    prob_[fail] = p;
+    std::uint64_t alive = 0;
+    for (std::size_t i = 0; i < paths; ++i) {
+      if ((path_mask[i] & fail) == 0) alive |= std::uint64_t{1} << i;
+    }
+    alive_[fail] = alive;
+  }
+}
+
+std::size_t ExhaustiveErTable::rank_of_mask(std::uint64_t rows_mask) const {
+  const auto it = rank_memo_.find(rows_mask);
+  if (it != rank_memo_.end()) return it->second;
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if ((rows_mask >> i) & 1) rows.push_back(rows_[i]);
+  }
+  const std::size_t r = naive_rank(std::move(rows));
+  rank_memo_.emplace(rows_mask, r);
+  return r;
+}
+
+double ExhaustiveErTable::er(std::uint64_t subset_mask) const {
+  double total = 0.0;
+  for (std::size_t fail = 0; fail < alive_.size(); ++fail) {
+    const std::uint64_t surviving = alive_[fail] & subset_mask;
+    if (surviving == 0) continue;
+    total += prob_[fail] * static_cast<double>(rank_of_mask(surviving));
+  }
+  return total;
+}
+
+double ExhaustiveErTable::er(const std::vector<std::size_t>& subset) const {
+  std::uint64_t mask = 0;
+  for (std::size_t i : subset) {
+    if (i >= rows_.size()) {
+      throw std::out_of_range("ExhaustiveErTable: path index out of range");
+    }
+    mask |= std::uint64_t{1} << i;
+  }
+  return er(mask);
+}
+
+double exhaustive_er(const TestInstance& instance,
+                     const std::vector<std::size_t>& subset) {
+  return ExhaustiveErTable(instance).er(subset);
+}
+
+namespace {
+
+std::vector<std::size_t> mask_to_paths(std::uint64_t mask,
+                                       std::size_t paths) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < paths; ++i) {
+    if ((mask >> i) & 1) out.push_back(i);
+  }
+  return out;
+}
+
+/// Tie order of core::exhaustive_optimum: larger objective wins; equal
+/// objectives break toward fewer paths, then the lexicographically
+/// smaller index list (== smaller mask for ascending-index subsets).
+bool better(double objective, std::uint64_t mask, double best_objective,
+            std::uint64_t best_mask) {
+  if (objective > best_objective + 1e-12) return true;
+  if (objective < best_objective - 1e-12) return false;
+  const int size = std::popcount(mask);
+  const int best_size = std::popcount(best_mask);
+  if (size != best_size) return size < best_size;
+  return mask < best_mask;
+}
+
+}  // namespace
+
+OracleSelection exhaustive_best_selection(const TestInstance& instance,
+                                          double budget) {
+  const std::size_t paths = instance.path_count();
+  if (paths > 16) {
+    throw std::invalid_argument("exhaustive_best_selection: too many paths");
+  }
+  const ExhaustiveErTable table(instance);
+  double best_objective = 0.0;
+  double best_cost = 0.0;
+  std::uint64_t best_mask = 0;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << paths); ++mask) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < paths; ++i) {
+      if ((mask >> i) & 1) cost += instance.path_costs[i];
+    }
+    if (cost > budget + 1e-9) continue;
+    const double objective = table.er(mask);
+    if (better(objective, mask, best_objective, best_mask)) {
+      best_objective = objective;
+      best_cost = cost;
+      best_mask = mask;
+    }
+  }
+  return {mask_to_paths(best_mask, paths), best_objective, best_cost};
+}
+
+OracleSelection exhaustive_best_independent_ea(const TestInstance& instance,
+                                               std::size_t max_paths) {
+  const std::size_t paths = instance.path_count();
+  if (paths > 16) {
+    throw std::invalid_argument(
+        "exhaustive_best_independent_ea: too many paths");
+  }
+  std::vector<double> ea(paths);
+  for (std::size_t i = 0; i < paths; ++i) ea[i] = path_ea(instance, i);
+
+  double best_objective = 0.0;
+  std::uint64_t best_mask = 0;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << paths); ++mask) {
+    const std::size_t size = static_cast<std::size_t>(std::popcount(mask));
+    if (size > max_paths) continue;
+    const std::vector<std::size_t> subset = mask_to_paths(mask, paths);
+    if (naive_rank(dense_rows(instance, subset)) != size) continue;
+    double objective = 0.0;
+    for (std::size_t i : subset) objective += ea[i];
+    if (better(objective, mask, best_objective, best_mask)) {
+      best_objective = objective;
+      best_mask = mask;
+    }
+  }
+  OracleSelection out;
+  out.paths = mask_to_paths(best_mask, paths);
+  out.objective = best_objective;
+  out.cost = static_cast<double>(out.paths.size());
+  return out;
+}
+
+}  // namespace rnt::testkit

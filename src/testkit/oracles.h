@@ -1,0 +1,79 @@
+// Brute-force reference oracles for the correctness harness.
+//
+// Everything here is deliberately naive: exhaustive enumeration and
+// self-contained textbook elimination, sharing no code with the production
+// engines in core/ and linalg/ so a bug cannot hide on both sides of a
+// differential comparison.  All oracles are exponential and guarded — they
+// exist only for the small instances testkit generates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "testkit/instance.h"
+
+namespace rnt::testkit {
+
+/// Rank over the reals by plain Gaussian elimination with partial
+/// pivoting.  Self-contained (no linalg/) so it can referee the linalg
+/// rank oracles.  Consumes its argument.
+std::size_t naive_rank(std::vector<std::vector<double>> rows,
+                       double tol = 1e-9);
+
+/// Dense 0/1 rows of the given paths (row i of the result is subset[i]).
+std::vector<std::vector<double>> dense_rows(
+    const TestInstance& instance, const std::vector<std::size_t>& subset);
+
+/// Expected availability EA(q) = prod over q's links of (1 - p_l).
+double path_ea(const TestInstance& instance, std::size_t path);
+
+/// Exhaustive ER evaluator: enumerates all 2^links failure vectors once
+/// (Eq. 4 verbatim) and answers ER queries for arbitrary path subsets
+/// encoded as bitmasks.  Ranks of surviving-row sets are memoized, so a
+/// sweep over many subsets of one instance computes each distinct row-set
+/// rank once.  Requires links <= 20 and paths <= 63.
+class ExhaustiveErTable {
+ public:
+  explicit ExhaustiveErTable(const TestInstance& instance);
+
+  double er(std::uint64_t subset_mask) const;
+  double er(const std::vector<std::size_t>& subset) const;
+
+  std::size_t path_count() const { return rows_.size(); }
+
+ private:
+  std::size_t rank_of_mask(std::uint64_t rows_mask) const;
+
+  std::vector<std::vector<double>> rows_;  ///< Dense 0/1 path rows.
+  std::vector<std::uint64_t> alive_;  ///< Per scenario: surviving-path mask.
+  std::vector<double> prob_;          ///< Per scenario: P(v).
+  mutable std::unordered_map<std::uint64_t, std::size_t> rank_memo_;
+};
+
+/// One-shot exhaustive ER of a subset (builds a table per call; use
+/// ExhaustiveErTable directly when evaluating many subsets).
+double exhaustive_er(const TestInstance& instance,
+                     const std::vector<std::size_t>& subset);
+
+/// An oracle-optimal selection.
+struct OracleSelection {
+  std::vector<std::size_t> paths;
+  double objective = 0.0;
+  double cost = 0.0;
+};
+
+/// Exhaustive optimal budgeted selection under exhaustive ER: enumerates
+/// all 2^paths subsets with total cost within `budget` and returns a
+/// maximizer (ties toward smaller subsets, then lexicographic, matching
+/// core::exhaustive_optimum).  Requires paths <= 16.
+OracleSelection exhaustive_best_selection(const TestInstance& instance,
+                                          double budget);
+
+/// Exhaustive optimum of the unit-cost matroid problem (Section IV-B):
+/// among all linearly independent subsets of at most `max_paths` paths,
+/// maximizes the modular objective sum of EA(q).  Requires paths <= 16.
+OracleSelection exhaustive_best_independent_ea(const TestInstance& instance,
+                                               std::size_t max_paths);
+
+}  // namespace rnt::testkit

@@ -1,0 +1,128 @@
+#include "testkit/shrink.h"
+
+#include <stdexcept>
+
+namespace rnt::testkit {
+
+TestInstance drop_path(const TestInstance& instance, std::size_t path) {
+  if (path >= instance.path_count()) {
+    throw std::out_of_range("drop_path: no such path");
+  }
+  std::vector<std::vector<std::uint32_t>> paths = instance.path_links;
+  std::vector<double> costs = instance.path_costs;
+  paths.erase(paths.begin() + static_cast<std::ptrdiff_t>(path));
+  costs.erase(costs.begin() + static_cast<std::ptrdiff_t>(path));
+  return make_instance(std::move(paths), instance.link_probs,
+                       std::move(costs), instance.check_seed, "shrunk");
+}
+
+TestInstance drop_link(const TestInstance& instance, std::uint32_t link) {
+  if (link >= instance.link_count()) {
+    throw std::out_of_range("drop_link: no such link");
+  }
+  std::vector<double> probs = instance.link_probs;
+  probs.erase(probs.begin() + link);
+  std::vector<std::vector<std::uint32_t>> paths;
+  std::vector<double> costs;
+  for (std::size_t i = 0; i < instance.path_count(); ++i) {
+    std::vector<std::uint32_t> ls;
+    for (const std::uint32_t l : instance.path_links[i]) {
+      if (l == link) continue;
+      ls.push_back(l > link ? l - 1 : l);
+    }
+    if (ls.empty()) continue;  // The path lost its last link.
+    paths.push_back(std::move(ls));
+    costs.push_back(instance.path_costs[i]);
+  }
+  if (paths.empty()) {
+    throw std::invalid_argument("drop_link: no paths would remain");
+  }
+  return make_instance(std::move(paths), std::move(probs), std::move(costs),
+                       instance.check_seed, "shrunk");
+}
+
+namespace {
+
+/// True when dropping `link` leaves at least one non-empty path.
+bool droppable_link(const TestInstance& instance, std::uint32_t link) {
+  if (instance.link_count() <= 1) return false;
+  for (std::size_t i = 0; i < instance.path_count(); ++i) {
+    const auto& ls = instance.path_links[i];
+    if (ls.size() > 1 || (ls.size() == 1 && ls[0] != link)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Check& check, const TestInstance& start,
+                    const FaultPlan& fault, std::size_t max_attempts) {
+  ShrinkResult result{start, run_check(check, start, fault), 1};
+  if (result.failure.passed) {
+    throw std::invalid_argument("shrink: the check passes on the input");
+  }
+
+  // Outer rounds allow the re-seed phase to unlock further structural
+  // reduction; each structural phase itself runs to a fixpoint.
+  for (int round = 0; round < 3; ++round) {
+    bool shrunk_this_round = false;
+    bool progress = true;
+    while (progress && result.attempts < max_attempts) {
+      progress = false;
+      // Paths first: each drop removes a whole row (and its cost).
+      for (std::size_t i = 0;
+           result.instance.path_count() > 1 &&
+           i < result.instance.path_count() &&
+           result.attempts < max_attempts;) {
+        const TestInstance candidate = drop_path(result.instance, i);
+        const CheckResult r = run_check(check, candidate, fault);
+        ++result.attempts;
+        if (!r.passed) {
+          result.instance = candidate;
+          result.failure = r;
+          progress = shrunk_this_round = true;
+          // Do not advance: the next path shifted into slot i.
+        } else {
+          ++i;
+        }
+      }
+      // Then links: narrower, but reaches failures that need few columns.
+      for (std::uint32_t l = 0;
+           l < result.instance.link_count() &&
+           result.attempts < max_attempts;) {
+        if (!droppable_link(result.instance, l)) {
+          ++l;
+          continue;
+        }
+        const TestInstance candidate = drop_link(result.instance, l);
+        const CheckResult r = run_check(check, candidate, fault);
+        ++result.attempts;
+        if (!r.passed) {
+          result.instance = candidate;
+          result.failure = r;
+          progress = shrunk_this_round = true;
+        } else {
+          ++l;
+        }
+      }
+    }
+    if (round > 0 && !shrunk_this_round) break;
+    // Re-seed: a different check-internal randomization may expose the
+    // same failure on an instance the structural phase could not reduce.
+    for (std::uint64_t salt = 1;
+         salt <= 4 && result.attempts < max_attempts; ++salt) {
+      TestInstance candidate = result.instance;
+      candidate.check_seed = mix_seed(result.instance.check_seed, salt);
+      const CheckResult r = run_check(check, candidate, fault);
+      ++result.attempts;
+      if (!r.passed) {
+        result.instance = candidate;
+        result.failure = r;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rnt::testkit

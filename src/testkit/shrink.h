@@ -1,0 +1,39 @@
+// Greedy minimization of failing fuzz instances.
+//
+// A fresh failure from the generator typically has ~10 paths over ~12
+// links; the bug is usually visible on a fraction of that.  The shrinker
+// repeatedly tries structural reductions — drop a path, then drop a link
+// (remapping ids and discarding emptied paths) — keeping any variant on
+// which the check still fails, then re-derives the check seed a few times
+// in case a different internal randomization unlocks further reduction.
+// The result is what lands in the repro file.
+#pragma once
+
+#include <cstddef>
+
+#include "testkit/checks.h"
+#include "testkit/instance.h"
+
+namespace rnt::testkit {
+
+struct ShrinkResult {
+  TestInstance instance;    ///< The minimized failing instance.
+  CheckResult failure;      ///< The check's result on that instance.
+  std::size_t attempts = 0; ///< Check executions spent shrinking.
+};
+
+/// Minimizes `start`, on which `check` must fail.  Runs at most
+/// `max_attempts` check executions; always returns a failing instance
+/// (worst case `start` itself).
+ShrinkResult shrink(const Check& check, const TestInstance& start,
+                    const FaultPlan& fault = {},
+                    std::size_t max_attempts = 2000);
+
+/// Structural reductions, exposed for unit tests.  Both return the reduced
+/// instance via make_instance; drop_link discards paths that lose their
+/// last link.  Preconditions: the result keeps at least one path (and one
+/// link for drop_link) — callers check viability first.
+TestInstance drop_path(const TestInstance& instance, std::size_t path);
+TestInstance drop_link(const TestInstance& instance, std::uint32_t link);
+
+}  // namespace rnt::testkit

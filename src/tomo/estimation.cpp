@@ -1,7 +1,6 @@
 #include "tomo/estimation.h"
 
 #include <cmath>
-#include <random>
 #include <stdexcept>
 
 #include "linalg/cgls.h"
@@ -26,14 +25,13 @@ Measurements simulate_measurements(const PathSystem& system,
     throw std::invalid_argument("simulate_measurements: truth size mismatch");
   }
   Measurements out;
-  std::normal_distribution<double> noise(0.0, noise_std);
   for (std::size_t q : subset) {
     if (!system.path_survives(q, v)) continue;
     double y = 0.0;
     for (graph::EdgeId l : system.path(q).links) {
       y += truth.link_metrics[l];
     }
-    if (noise_std > 0.0) y += noise(rng.engine());
+    if (noise_std > 0.0) y += rng.normal(0.0, noise_std);
     out.rows.push_back(q);
     out.values.push_back(y);
   }

@@ -1,8 +1,56 @@
 #include "util/rng.h"
 
+#include <cmath>
+#include <numbers>
 #include <numeric>
 
 namespace rnt {
+
+double Rng::normal() {
+  // Box-Muller; u1 is kept away from zero so the log is finite.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) {
+    throw std::invalid_argument("Rng::gamma: shape must be positive");
+  }
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = std::max(uniform(), 0x1.0p-53);
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000) squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::beta(double alpha, double beta) {
+  const double x = gamma(alpha);
+  const double y = gamma(beta);
+  if (x + y == 0.0) return 0.5;
+  return x / (x + y);
+}
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {

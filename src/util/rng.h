@@ -5,8 +5,18 @@
 // draws from an explicitly seeded Rng instance that is threaded through the
 // call graph.  Nothing in the library touches global RNG state, so any
 // experiment can be replayed bit-for-bit from its seed.
+//
+// Portability: the raw std::mt19937_64 output sequence is pinned by the
+// C++ standard, but the std::uniform_*/normal/gamma *distributions* are
+// implementation-defined — the same seed gives different draws on
+// libstdc++ vs libc++ vs MSVC.  All sampling here is therefore built from
+// the raw engine words with fully specified arithmetic (shift-and-scale
+// for [0,1), masked rejection for bounded integers, Box-Muller /
+// Marsaglia-Tsang for the shaped distributions), so every stream is
+// reproducible across platforms.  test_util pins a golden sequence.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <random>
 #include <stdexcept>
@@ -22,24 +32,49 @@ class Rng {
   /// Constructs a generator from an explicit 64-bit seed.
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
 
-  /// Returns a uniformly distributed double in [0, 1).
-  double uniform() { return unit_(engine_); }
+  /// Returns the next raw 64-bit engine word.
+  std::uint64_t next_word() { return engine_(); }
+
+  /// Returns a uniformly distributed double in [0, 1): the top 53 engine
+  /// bits scaled by 2^-53, so every value is exactly representable and
+  /// 1.0 is never produced.
+  double uniform() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
 
   /// Returns a uniformly distributed double in [lo, hi).
   double uniform(double lo, double hi) {
     return lo + (hi - lo) * uniform();
   }
 
+  /// Returns a uniformly distributed integer in [0, n) by masked rejection
+  /// sampling on raw engine words (exactly uniform, platform-independent).
+  /// Requires n > 0.
+  std::uint64_t bounded(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::bounded: n must be > 0");
+    const std::uint64_t mask =
+        n == 1 ? 0 : (~std::uint64_t{0} >> (64 - std::bit_width(n - 1)));
+    std::uint64_t draw;
+    do {
+      draw = engine_() & mask;
+    } while (draw >= n);
+    return draw;
+  }
+
   /// Returns a uniformly distributed integer in [0, n).  Requires n > 0.
   std::size_t index(std::size_t n) {
     if (n == 0) throw std::invalid_argument("Rng::index: n must be > 0");
-    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+    return static_cast<std::size_t>(bounded(n));
   }
 
   /// Returns a uniformly distributed integer in [lo, hi] inclusive.
   std::int64_t integer(std::int64_t lo, std::int64_t hi) {
     if (lo > hi) throw std::invalid_argument("Rng::integer: empty range");
-    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                               static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range: any engine word is uniform.
+    const std::uint64_t draw = span == 0 ? engine_() : bounded(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
   }
 
   /// Returns true with probability p (clamped to [0, 1]).
@@ -48,6 +83,23 @@ class Rng {
     if (p >= 1.0) return true;
     return uniform() < p;
   }
+
+  /// Standard normal draw via Box-Muller (no state carried between calls:
+  /// each draw consumes exactly two uniforms and the sine partner is
+  /// discarded, keeping copies/forks of the Rng stream-aligned).
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Gamma(shape, 1) draw via Marsaglia-Tsang squeeze (shape >= 1) with
+  /// the standard U^(1/shape) boost for shape < 1.  Requires shape > 0.
+  double gamma(double shape);
+
+  /// Beta(alpha, beta) draw as gamma(a) / (gamma(a) + gamma(b)).
+  double beta(double alpha, double beta);
 
   /// Fisher-Yates shuffles the given vector in place.
   template <typename T>
@@ -69,12 +121,8 @@ class Rng {
   /// Forks an independent sub-stream; deterministic given the parent state.
   Rng fork() { return Rng(engine_()); }
 
-  /// Access to the raw engine for std <random> distributions.
-  std::mt19937_64& engine() { return engine_; }
-
  private:
   std::mt19937_64 engine_;
-  std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };
 
 }  // namespace rnt

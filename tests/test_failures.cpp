@@ -282,6 +282,56 @@ TEST(Trace, ReadRejectsBadEpochRows) {
   }
 }
 
+TEST(Trace, WriteReadConcatenateReadChain) {
+  // The full persistence chain: record two segments, round-trip each
+  // through text, concatenate the round-tripped copies, then round-trip
+  // the joined trace again.  Every epoch must survive both hops.
+  const auto m = uniform_model(5, 0.4);
+  Rng rng(17);
+  const FailureTrace first = FailureTrace::record(m, 12, rng);
+  const FailureTrace second = FailureTrace::record(m, 7, rng);
+
+  const auto roundtrip = [](const FailureTrace& t) {
+    std::stringstream buffer;
+    t.write(buffer);
+    return FailureTrace::read(buffer);
+  };
+  const FailureTrace joined =
+      FailureTrace::concatenate({roundtrip(first), roundtrip(second)});
+  ASSERT_EQ(joined.epoch_count(), 19u);
+  const FailureTrace reread = roundtrip(joined);
+  EXPECT_EQ(reread, joined);
+  for (std::size_t i = 0; i < first.epoch_count(); ++i) {
+    EXPECT_EQ(reread.epoch(i), first.epoch(i));
+  }
+  for (std::size_t i = 0; i < second.epoch_count(); ++i) {
+    EXPECT_EQ(reread.epoch(first.epoch_count() + i), second.epoch(i));
+  }
+}
+
+TEST(Trace, ReadErrorsNameTheOffendingToken) {
+  const auto message_of = [](const std::string& text) {
+    std::istringstream in(text);
+    try {
+      FailureTrace::read(in);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("4 5\n").find("header must be a single link count"),
+            std::string::npos);
+  EXPECT_NE(message_of("four\n").find("bad link count 'four' at line 1"),
+            std::string::npos);
+  EXPECT_NE(message_of("4\n0 x\n").find("bad link id 'x' at line 2"),
+            std::string::npos);
+  EXPECT_NE(
+      message_of("4\n0 7\n").find("link id 7 out of range (links=4) at line 2"),
+      std::string::npos);
+  EXPECT_NE(message_of("# only comments\n").find("missing or zero link count"),
+            std::string::npos);
+}
+
 TEST(Trace, ConcatenateJoinsSegmentsInOrder) {
   const auto m1 = uniform_model(6, 0.2);
   const auto m2 = uniform_model(6, 0.8);

@@ -1,0 +1,79 @@
+// Slow-tier fuzz sweeps (ctest label: slow).  These run the real fuzz
+// loop at a depth the tier-1 suite cannot afford: a multi-thousand-case
+// sweep over every registered check, seed diversity, the wall-clock cap,
+// and the end-to-end fault-injection acceptance gate (inject a ProbBound
+// defect, catch it, shrink it to a <= 6-link repro, replay it).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "testkit/checks.h"
+#include "testkit/fuzzer.h"
+#include "testkit/instance.h"
+
+namespace rnt::testkit {
+namespace {
+
+TEST(FuzzSlow, DeepSweepAllChecksPasses) {
+  FuzzConfig config;
+  config.seed = 1;
+  config.cases = 2000;
+  config.minutes = 4.0;  // Safety net; the sweep takes a few seconds.
+  std::ostringstream progress;
+  const FuzzReport report = run_fuzz(config, &progress);
+  EXPECT_TRUE(report.ok()) << (report.failures.empty()
+                                   ? ""
+                                   : report.failures.front().result.message);
+  EXPECT_GE(report.cases_run, 100u);
+  // Every registered check must have executed at least once.
+  for (const Check& c : all_checks()) {
+    EXPECT_GT(report.per_check.at(c.name), 0u) << c.name;
+  }
+}
+
+TEST(FuzzSlow, SweepIsCleanAcrossSeeds) {
+  for (const std::uint64_t seed : {2026u, 806u, 424242u}) {
+    FuzzConfig config;
+    config.seed = seed;
+    config.cases = 300;
+    const FuzzReport report = run_fuzz(config, nullptr);
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ": "
+        << (report.failures.empty() ? ""
+                                    : report.failures.front().result.message);
+  }
+}
+
+TEST(FuzzSlow, WallClockCapStopsTheLoop) {
+  FuzzConfig config;
+  config.cases = 100000000;       // Effectively unbounded by count.
+  config.minutes = 1.0 / 600.0;   // 100 ms.
+  const FuzzReport report = run_fuzz(config, nullptr);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_LT(report.cases_run, config.cases);
+}
+
+TEST(FuzzSlow, InjectedFaultCaughtAcrossSeeds) {
+  // The injected defect must not slip past the harness for any run seed.
+  for (const std::uint64_t seed : {1u, 7u, 99u}) {
+    FuzzConfig config;
+    config.seed = seed;
+    config.cases = 200;
+    config.checks = {"probbound-dominates-er"};
+    config.fault.probbound_deflate = 1e-3;
+    config.out_dir = ::testing::TempDir();
+    const FuzzReport report = run_fuzz(config, nullptr);
+    ASSERT_FALSE(report.failures.empty()) << "seed " << seed;
+    const FuzzFailure& failure = report.failures.front();
+    EXPECT_LE(failure.instance.link_count(), 6u) << "seed " << seed;
+    ASSERT_FALSE(failure.repro_path.empty());
+    const Repro repro = load_repro(failure.repro_path);
+    EXPECT_FALSE(replay_repro(repro, config.fault).passed);
+    EXPECT_TRUE(replay_repro(repro).passed);
+    std::remove(failure.repro_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rnt::testkit

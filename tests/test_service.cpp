@@ -186,6 +186,45 @@ TEST(WorkloadCache, ConcurrentEvictionUnderSameKeyContention) {
   EXPECT_GT(pinned->workload.system->path_count(), 0u);
 }
 
+// Differential: the memoized ProbBound of a cached workload must stay
+// bitwise identical to a fresh, never-cached build of the same key, across
+// repeated evictions and re-admissions.  Any drift here would make service
+// er-eval answers depend on cache history.
+TEST(WorkloadCache, ErEvalBitwiseStableAcrossEvictionCycles) {
+  const WorkloadKey key = small_key(5);
+  WorkloadKey other = key;
+  other.seed = key.seed + 1;
+
+  // Reference: a build that never touches the cache.
+  const exp::Workload fresh = exp::make_custom_workload(
+      key.nodes, key.links, key.candidate_paths, key.seed, key.intensity,
+      key.unit_costs);
+  const core::ProbBoundEr fresh_engine(*fresh.system, *fresh.failures);
+  const std::size_t paths = fresh.system->path_count();
+  std::vector<std::vector<std::size_t>> subsets;
+  subsets.emplace_back(paths);
+  std::iota(subsets.back().begin(), subsets.back().end(), std::size_t{0});
+  subsets.push_back({0});
+  subsets.push_back({paths - 1, paths / 2, 0});
+  std::vector<double> reference;
+  reference.reserve(subsets.size());
+  for (const auto& s : subsets) reference.push_back(fresh_engine.evaluate(s));
+
+  WorkloadCache cache(1);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const auto entry = cache.get(key);
+    ASSERT_EQ(entry->workload.system->path_count(), paths);
+    for (std::size_t i = 0; i < subsets.size(); ++i) {
+      EXPECT_EQ(entry->prob_bound.evaluate(subsets[i]), reference[i])
+          << "cycle " << cycle << ", subset " << i;
+    }
+    (void)cache.get(other);  // Capacity 1: evicts `key` for the next cycle.
+  }
+  const auto c = cache.counters();
+  EXPECT_GE(c.evictions, 5u);  // Every cycle evicted both entries in turn.
+  EXPECT_EQ(c.hits, 0u);       // Each get after an eviction was a rebuild.
+}
+
 TEST(WorkloadCache, BuildFailureIsRetriable) {
   WorkloadCache cache(4);
   WorkloadKey bad = small_key(3);

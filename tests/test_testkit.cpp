@@ -1,0 +1,311 @@
+// The correctness harness itself: instance generation, brute-force
+// oracles, repro serialization, the shrinker, and the fuzz loop — plus the
+// harness's acceptance gate: a deliberately injected ProbBound defect must
+// be caught and shrunk to a tiny replayable repro.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/expected_rank.h"
+#include "testkit/checks.h"
+#include "testkit/fuzzer.h"
+#include "testkit/instance.h"
+#include "testkit/oracles.h"
+#include "testkit/shrink.h"
+
+namespace rnt::testkit {
+namespace {
+
+TestInstance tiny_instance() {
+  // Three links; paths {0}, {1}, {0,1} — the dependent-triple gadget.
+  return make_instance({{0}, {1}, {0, 1}}, {0.1, 0.2, 0.3},
+                       {1.0, 2.0, 3.0}, 42);
+}
+
+// --------------------------------------------------------------------------
+// Instances
+// --------------------------------------------------------------------------
+
+TEST(Instance, GenerationIsDeterministic) {
+  const TestInstance a = generate_instance(123);
+  const TestInstance b = generate_instance(123);
+  EXPECT_EQ(a.path_links, b.path_links);
+  EXPECT_EQ(a.link_probs, b.link_probs);
+  EXPECT_EQ(a.path_costs, b.path_costs);
+  EXPECT_EQ(a.check_seed, b.check_seed);
+  const TestInstance c = generate_instance(124);
+  EXPECT_NE(a.path_links, c.path_links);
+}
+
+TEST(Instance, GenerationRespectsBounds) {
+  const SpecBounds bounds;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const TestInstance inst = generate_instance(seed, bounds);
+    EXPECT_GE(inst.path_count(), 2u) << "seed " << seed;
+    EXPECT_LE(inst.path_count(), bounds.max_paths) << "seed " << seed;
+    EXPECT_GE(inst.link_count(), 2u) << "seed " << seed;
+    EXPECT_LE(inst.link_count(), bounds.max_links) << "seed " << seed;
+    for (const double p : inst.link_probs) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 0.95);
+    }
+  }
+}
+
+TEST(Instance, MakeInstanceEncodesPathCostsExactly) {
+  const TestInstance inst = tiny_instance();
+  for (std::size_t i = 0; i < inst.path_count(); ++i) {
+    EXPECT_DOUBLE_EQ(inst.costs.path_cost(inst.system.path(i)),
+                     inst.path_costs[i]);
+  }
+  EXPECT_EQ(inst.system.link_count(), 3u);
+  EXPECT_EQ(inst.model.link_count(), 3u);
+}
+
+TEST(Instance, MakeInstanceValidates) {
+  EXPECT_THROW(make_instance({{0}}, {0.1}, {1.0, 2.0}, 1),
+               std::invalid_argument);  // paths/costs mismatch
+  EXPECT_THROW(make_instance({{5}}, {0.1}, {1.0}, 1),
+               std::invalid_argument);  // link id out of range
+  EXPECT_THROW(make_instance({{}}, {0.1}, {1.0}, 1),
+               std::invalid_argument);  // empty path
+}
+
+TEST(Instance, MixSeedSeparatesSalts) {
+  EXPECT_EQ(mix_seed(1, 2), mix_seed(1, 2));
+  EXPECT_NE(mix_seed(1, 2), mix_seed(1, 3));
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 2));
+}
+
+// --------------------------------------------------------------------------
+// Oracles
+// --------------------------------------------------------------------------
+
+TEST(Oracles, NaiveRankOnKnownMatrices) {
+  EXPECT_EQ(naive_rank({}), 0u);
+  EXPECT_EQ(naive_rank({{1, 0}, {0, 1}}), 2u);
+  EXPECT_EQ(naive_rank({{1, 0}, {2, 0}}), 1u);
+  EXPECT_EQ(naive_rank({{1, 1}, {1, 0}, {0, 1}}), 2u);
+  EXPECT_EQ(naive_rank({{0, 0, 0}}), 0u);
+}
+
+TEST(Oracles, ExhaustiveErOnSinglePath) {
+  // One path over one link: ER = P(survive) * 1 = 1 - p.
+  const TestInstance inst = make_instance({{0}}, {0.25}, {1.0}, 1);
+  EXPECT_NEAR(exhaustive_er(inst, {0}), 0.75, 1e-12);
+}
+
+TEST(Oracles, ExhaustiveErMatchesExactEngine) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const TestInstance inst = generate_instance(seed);
+    const ExhaustiveErTable table(inst);
+    const core::ExactEr exact(inst.system, inst.model);
+    std::vector<std::size_t> all(inst.path_count());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    EXPECT_NEAR(table.er(all), exact.evaluate(all), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Oracles, ExhaustiveIndependentEaOnGadget) {
+  // Paths {0}, {1}, {0,1}: any two are independent, all three are not.
+  // EA: 0.9, 0.8, 0.72 — best pair is {0, 1} with 1.7.
+  const TestInstance inst = tiny_instance();
+  const OracleSelection best = exhaustive_best_independent_ea(inst, 2);
+  EXPECT_EQ(best.paths, (std::vector<std::size_t>{0, 1}));
+  EXPECT_NEAR(best.objective, 0.9 + 0.8, 1e-12);
+  const OracleSelection single = exhaustive_best_independent_ea(inst, 1);
+  EXPECT_EQ(single.paths, (std::vector<std::size_t>{0}));
+}
+
+TEST(Oracles, ExhaustiveBestSelectionRespectsBudget) {
+  const TestInstance inst = tiny_instance();
+  const OracleSelection best = exhaustive_best_selection(inst, 3.0);
+  EXPECT_LE(best.cost, 3.0 + 1e-9);
+  // Budget 3 affords {0,1} (ER 1.7) but not {0,1,2}; single path 2 has
+  // lower ER than the pair.
+  EXPECT_EQ(best.paths, (std::vector<std::size_t>{0, 1}));
+}
+
+// --------------------------------------------------------------------------
+// Repro files
+// --------------------------------------------------------------------------
+
+TEST(Repro, RoundTripsNormalForm) {
+  const TestInstance inst = generate_instance(77);
+  std::stringstream stream;
+  write_repro(stream, "rank-oracles-agree", inst, "two\nline note");
+  const Repro repro = read_repro(stream);
+  EXPECT_EQ(repro.check, "rank-oracles-agree");
+  EXPECT_EQ(repro.instance.path_links, inst.path_links);
+  EXPECT_EQ(repro.instance.link_probs, inst.link_probs);
+  EXPECT_EQ(repro.instance.path_costs, inst.path_costs);
+  EXPECT_EQ(repro.instance.check_seed, inst.check_seed);
+}
+
+TEST(Repro, ReadRejectsMalformedInput) {
+  const auto read = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_repro(in);
+  };
+  EXPECT_THROW(read("bogus-key 1\n"), std::runtime_error);
+  EXPECT_THROW(read("check c\nseed 1\nlinks 2\nprobs 0.1\npath 1 0\n"),
+               std::runtime_error);  // probs/links mismatch
+  EXPECT_THROW(read("check c\nseed 1\nlinks 1\nprobs 0.1\n"),
+               std::runtime_error);  // no paths
+  EXPECT_THROW(read("seed 1\nlinks 1\nprobs 0.1\npath 1 0\n"),
+               std::runtime_error);  // missing check name
+  EXPECT_THROW(read("check c\nseed 1\nlinks 1\nprobs 0.1\npath 1\n"),
+               std::runtime_error);  // path with no links
+  EXPECT_THROW(load_repro("/nonexistent/repro.txt"), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Checks and the registry
+// --------------------------------------------------------------------------
+
+TEST(Checks, RegistryIsConsistent) {
+  ASSERT_FALSE(all_checks().empty());
+  for (const Check& c : all_checks()) {
+    EXPECT_NE(c.fn, nullptr) << c.name;
+    EXPECT_GE(c.stride, 1u) << c.name;
+    EXPECT_EQ(find_check(c.name), &c);
+  }
+  EXPECT_EQ(find_check("no-such-check"), nullptr);
+}
+
+TEST(Checks, AllPassOnGeneratedInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TestInstance inst = generate_instance(seed);
+    for (const Check& c : all_checks()) {
+      if (!c.shrinkable) continue;  // Workload-cache check is slow.
+      const CheckResult r = run_check(c, inst);
+      EXPECT_TRUE(r.passed) << c.name << " on seed " << seed << ": "
+                            << r.message;
+    }
+  }
+}
+
+TEST(Checks, RunCheckConvertsExceptionsToFailures) {
+  // 21 links breaks the exhaustive oracle's guard; the harness must turn
+  // the throw into a diagnosable failure rather than crash the fuzz loop.
+  std::vector<std::vector<std::uint32_t>> paths = {{20}};
+  const TestInstance big =
+      make_instance(std::move(paths), std::vector<double>(21, 0.1), {1.0}, 1);
+  const CheckResult r =
+      run_check(*find_check("er-monotone-submodular"), big);
+  EXPECT_FALSE(r.passed);
+  EXPECT_NE(r.message.find("exception"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Shrinker
+// --------------------------------------------------------------------------
+
+TEST(Shrink, DropLinkRemapsIdsAndDiscardsEmptyPaths) {
+  const TestInstance inst = tiny_instance();
+  const TestInstance reduced = drop_link(inst, 0);
+  // Path {0} lost its only link and is gone; {1} and {0,1} lose link 0 and
+  // remap link 1 -> 0.
+  EXPECT_EQ(reduced.link_count(), 2u);
+  EXPECT_EQ(reduced.path_links,
+            (std::vector<std::vector<std::uint32_t>>{{0}, {0}}));
+  EXPECT_EQ(reduced.path_costs, (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ(reduced.link_probs, (std::vector<double>{0.2, 0.3}));
+}
+
+TEST(Shrink, DropPathKeepsTheRest) {
+  const TestInstance inst = tiny_instance();
+  const TestInstance reduced = drop_path(inst, 1);
+  EXPECT_EQ(reduced.path_links,
+            (std::vector<std::vector<std::uint32_t>>{{0}, {0, 1}}));
+  EXPECT_EQ(reduced.path_costs, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Shrink, RejectsPassingInput) {
+  const TestInstance inst = generate_instance(5);
+  EXPECT_THROW(shrink(*find_check("rank-oracles-agree"), inst),
+               std::invalid_argument);
+}
+
+TEST(Shrink, InjectedProbBoundFaultShrinksToTinyRepro) {
+  // The acceptance gate: a ProbBound implementation that drops a term must
+  // be caught and minimized to a repro of at most 6 links.
+  const Check& check = *find_check("probbound-dominates-er");
+  FaultPlan fault;
+  fault.probbound_deflate = 1e-3;
+  const TestInstance inst = generate_instance(1);
+  ASSERT_FALSE(run_check(check, inst, fault).passed);
+
+  const ShrinkResult result = shrink(check, inst, fault);
+  EXPECT_FALSE(result.failure.passed);
+  EXPECT_LE(result.instance.link_count(), 6u);
+  EXPECT_LE(result.instance.path_count(), 3u);
+  // The shrunk instance still fails with the fault and passes without.
+  EXPECT_FALSE(run_check(check, result.instance, fault).passed);
+  EXPECT_TRUE(run_check(check, result.instance).passed);
+}
+
+// --------------------------------------------------------------------------
+// Fuzz loop
+// --------------------------------------------------------------------------
+
+TEST(Fuzz, MiniSweepPassesAndIsDeterministic) {
+  FuzzConfig config;
+  config.seed = 99;
+  config.cases = 100;
+  const FuzzReport first = run_fuzz(config, nullptr);
+  EXPECT_TRUE(first.ok()) << (first.failures.empty()
+                                  ? ""
+                                  : first.failures.front().result.message);
+  EXPECT_EQ(first.cases_run, 100u);
+  const FuzzReport second = run_fuzz(config, nullptr);
+  EXPECT_EQ(first.checks_run, second.checks_run);
+  EXPECT_EQ(first.per_check, second.per_check);
+}
+
+TEST(Fuzz, HonorsCheckFilterAndRejectsUnknownNames) {
+  FuzzConfig config;
+  config.cases = 10;
+  config.checks = {"rank-oracles-agree"};
+  const FuzzReport report = run_fuzz(config, nullptr);
+  EXPECT_EQ(report.per_check.size(), 1u);
+  EXPECT_EQ(report.per_check.at("rank-oracles-agree"), 10u);
+
+  config.checks = {"no-such-check"};
+  EXPECT_THROW(run_fuzz(config, nullptr), std::invalid_argument);
+}
+
+TEST(Fuzz, InjectedFaultIsCaughtShrunkAndWritten) {
+  FuzzConfig config;
+  config.seed = 1;
+  config.cases = 50;
+  config.checks = {"probbound-dominates-er"};
+  config.fault.probbound_deflate = 1e-3;
+  config.out_dir = ::testing::TempDir();
+  std::ostringstream progress;
+  const FuzzReport report = run_fuzz(config, &progress);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.check, "probbound-dominates-er");
+  EXPECT_LE(failure.instance.link_count(), 6u);
+  ASSERT_FALSE(failure.repro_path.empty());
+
+  // The written repro replays: fails with the fault, passes without.
+  const Repro repro = load_repro(failure.repro_path);
+  EXPECT_EQ(repro.check, "probbound-dominates-er");
+  EXPECT_FALSE(replay_repro(repro, config.fault).passed);
+  EXPECT_TRUE(replay_repro(repro).passed);
+  std::remove(failure.repro_path.c_str());
+}
+
+TEST(Fuzz, ReplayRejectsUnknownCheck) {
+  Repro repro;
+  repro.check = "no-such-check";
+  repro.instance = generate_instance(1);
+  EXPECT_THROW(replay_repro(repro), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rnt::testkit

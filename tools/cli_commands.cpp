@@ -24,6 +24,9 @@
 #include "online/pipeline.h"
 #include "service/client.h"
 #include "service/server.h"
+#include "testkit/checks.h"
+#include "testkit/fuzzer.h"
+#include "testkit/instance.h"
 #include "tomo/localization.h"
 #include "util/table.h"
 
@@ -121,7 +124,7 @@ std::vector<double> parse_intensities(const std::string& csv) {
 void print_usage(std::ostream& out) {
   out <<
       "usage: rnt_cli "
-      "<topology|select|evaluate|learn|localize|pipeline|serve|client> "
+      "<topology|select|evaluate|learn|localize|pipeline|serve|client|fuzz> "
       "[--flags]\n"
       "\n"
       "common workload flags:\n"
@@ -166,7 +169,20 @@ void print_usage(std::ostream& out) {
       "  --host H --port N  service address (default 127.0.0.1:7070)\n"
       "  --request LINE     one protocol line; omit to read lines from "
       "stdin\n"
-      "  --timeout S        reply wait in seconds\n";
+      "  --timeout S        reply wait in seconds\n"
+      "\n"
+      "fuzz flags:\n"
+      "  --seed S           master seed; every case derives from it\n"
+      "  --cases N          fuzz cases to run (default 1000)\n"
+      "  --minutes M        wall-clock cap; 0 = none (default 0)\n"
+      "  --checks CSV       run only the named checks (default: all)\n"
+      "  --out DIR          write minimized repro files here\n"
+      "  --replay FILE      re-run the check recorded in a repro file\n"
+      "  --max-failures N   stop after N failures; 0 = never (default 1)\n"
+      "  --no-shrink        keep failing instances unminimized\n"
+      "  --inject-probbound X  deliberately deflate ProbBound by X per "
+      "path (harness self-test)\n"
+      "  --list             list registered checks and exit\n";
 }
 
 int cmd_topology(Flags& flags, std::ostream& out) {
@@ -503,6 +519,80 @@ int cmd_client(Flags& flags, std::istream& in, std::ostream& out) {
   return 0;
 }
 
+int cmd_fuzz(Flags& flags, std::ostream& out) {
+  testkit::FaultPlan fault;
+  fault.probbound_deflate = flags.get_double("inject-probbound", 0.0);
+
+  if (flags.get_bool("list", false)) {
+    flags.finish();
+    for (const testkit::Check& c : testkit::all_checks()) {
+      out << c.name << " (stride " << c.stride << "): " << c.summary
+          << "\n";
+    }
+    return 0;
+  }
+
+  const std::string replay = flags.get_string("replay", "");
+  if (!replay.empty()) {
+    flags.finish();
+    const testkit::Repro repro = testkit::load_repro(replay);
+    out << "replaying " << repro.check << " on " << repro.instance.origin
+        << " (" << repro.instance.path_count() << " paths, "
+        << repro.instance.link_count() << " links, seed "
+        << repro.instance.check_seed << ")\n";
+    const testkit::CheckResult result =
+        testkit::replay_repro(repro, fault);
+    if (result.passed) {
+      out << "PASS: the check no longer fails on this instance\n";
+      return 0;
+    }
+    out << "FAIL: " << result.message << "\n";
+    return 1;
+  }
+
+  testkit::FuzzConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.cases = static_cast<std::size_t>(flags.get_int("cases", 1000));
+  config.minutes = flags.get_double("minutes", 0.0);
+  config.out_dir = flags.get_string("out", "");
+  config.max_failures =
+      static_cast<std::size_t>(flags.get_int("max-failures", 1));
+  config.shrink_failures = !flags.get_bool("no-shrink", false);
+  config.fault = fault;
+  const std::string checks_csv = flags.get_string("checks", "");
+  {
+    std::istringstream in(checks_csv);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+      if (!token.empty()) config.checks.push_back(token);
+    }
+  }
+  flags.finish();
+
+  const testkit::FuzzReport report = testkit::run_fuzz(config, &out);
+
+  TablePrinter table({"check", "runs"});
+  for (const auto& [name, runs] : report.per_check) {
+    table.add_row({name, std::to_string(runs)});
+  }
+  table.print(out);
+  out << report.cases_run << " cases, " << report.checks_run
+      << " check executions in " << report.seconds << "s";
+  if (report.timed_out) out << " (stopped at the --minutes cap)";
+  out << "\n";
+  if (report.ok()) {
+    out << "OK: no invariant violations\n";
+    return 0;
+  }
+  for (const testkit::FuzzFailure& f : report.failures) {
+    out << "FAILURE " << f.check << " (case seed " << f.case_seed
+        << ", shrunk to " << f.instance.path_count() << " paths / "
+        << f.instance.link_count() << " links in " << f.shrink_attempts
+        << " attempts): " << f.result.message << "\n";
+  }
+  return 1;
+}
+
 int dispatch(int argc, char** argv, std::ostream& out) {
   if (argc < 2) {
     print_usage(out);
@@ -531,6 +621,8 @@ int dispatch(int argc, char** argv, std::ostream& out) {
     rc = cmd_serve(flags, out);
   } else if (command == "client") {
     rc = cmd_client(flags, std::cin, out);
+  } else if (command == "fuzz") {
+    rc = cmd_fuzz(flags, out);
   } else {
     out << "unknown command: " << command << "\n";
     print_usage(out);

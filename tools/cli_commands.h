@@ -37,6 +37,11 @@ int cmd_serve(Flags& flags, std::ostream& out);
 /// running service and print the replies.
 int cmd_client(Flags& flags, std::istream& in, std::ostream& out);
 
+/// `rnt_cli fuzz` — run the deterministic correctness harness: seeded
+/// random instances checked against brute-force oracles and differential
+/// twins, with failing cases shrunk to replayable repro files.
+int cmd_fuzz(Flags& flags, std::ostream& out);
+
 /// Prints the usage text.
 void print_usage(std::ostream& out);
 
