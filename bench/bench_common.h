@@ -9,8 +9,12 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "core/expected_rank.h"
+#include "core/kernel_er.h"
 #include "exp/metrics.h"
 #include "exp/workload.h"
 #include "util/flags.h"
@@ -23,8 +27,14 @@ namespace rnt::bench {
 struct CommonOptions {
   bool full = false;
   bool csv = false;
+  bool golden = false;      ///< Deterministic output only: drivers drop
+                            ///< wall-clock columns/lines so runs diff
+                            ///< bitwise (tests/golden).
   std::uint64_t seed = 1;
   std::string topology;     ///< Empty = driver default.
+  std::string engine = "mc";  ///< Scenario ER engine: "mc" (float
+                              ///< elimination) or "kernel" (bit-packed
+                              ///< ranks) — same sampler, bitwise-equal ER.
   std::size_t threads = 0;  ///< Workers for parallel ER evaluation;
                             ///< 0 = hardware concurrency.
 };
@@ -33,10 +43,30 @@ inline CommonOptions parse_common(Flags& flags) {
   CommonOptions opts;
   opts.full = flags.get_bool("full", false);
   opts.csv = flags.get_bool("csv", false);
+  opts.golden = flags.get_bool("golden", false);
   opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   opts.topology = flags.get_string("topology", "");
+  opts.engine = flags.get_string("engine", "mc");
   opts.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   return opts;
+}
+
+/// Monte-Carlo-style scenario engine for --engine: both choices draw the
+/// identical scenario set from `rng` (same sampler, same order), so their
+/// evaluate()/gain() results are bitwise-equal — the kernel engine is just
+/// faster.  Throws on unknown names so typos fail loudly.
+inline std::unique_ptr<core::ScenarioErEngine> make_scenario_engine(
+    const std::string& engine, const tomo::PathSystem& system,
+    const failures::FailureModel& model, std::size_t runs, Rng& rng) {
+  if (engine == "mc") {
+    return std::make_unique<core::MonteCarloEr>(system, model, runs, rng);
+  }
+  if (engine == "kernel") {
+    return std::make_unique<core::KernelErEngine>(
+        core::KernelErEngine::monte_carlo(system, model, runs, rng));
+  }
+  throw std::invalid_argument("unknown --engine '" + engine +
+                              "' (expected mc or kernel)");
 }
 
 inline void print_header(const std::string& title, const CommonOptions& opts) {

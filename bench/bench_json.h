@@ -1,0 +1,125 @@
+// Machine-readable benchmark reports (BENCH_*.json).
+//
+// A report separates two kinds of numbers:
+//
+//  * "metrics" — absolute latency samples (ops/sec, p50/p95 microseconds
+//    per call) of one named operation.  Machine-dependent; recorded for
+//    humans and trend dashboards, not gated by default.
+//  * "ratios" — dimensionless comparisons between two metrics measured in
+//    the same process on the same machine (e.g. kernel evaluate ops/sec
+//    over scenario evaluate ops/sec).  Machine-independent up to noise;
+//    tools/bench_compare gates CI on these against a committed baseline.
+//
+// docs/BENCHMARKS.md describes how to run, read and re-baseline reports.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace rnt::bench {
+
+/// One measured operation: throughput plus per-call latency quantiles.
+struct LatencySample {
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Times repeated calls of `fn` until both floors are met, then reports
+/// throughput and per-call quantiles.  A few untimed warmup calls absorb
+/// first-touch effects (page faults, lazy caches).
+template <typename Fn>
+LatencySample measure(Fn&& fn, std::size_t min_iterations = 20,
+                      double min_seconds = 0.2,
+                      std::size_t max_iterations = 200000) {
+  using clock = std::chrono::steady_clock;
+  for (int warm = 0; warm < 3; ++warm) fn();
+  std::vector<double> us;
+  us.reserve(min_iterations);
+  double total = 0.0;
+  while ((us.size() < min_iterations || total < min_seconds) &&
+         us.size() < max_iterations) {
+    const auto begin = clock::now();
+    fn();
+    const auto end = clock::now();
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(end - begin)
+            .count();
+    us.push_back(seconds * 1e6);
+    total += seconds;
+  }
+  std::sort(us.begin(), us.end());
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(us.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, us.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return us[lo] + frac * (us[hi] - us[lo]);
+  };
+  LatencySample sample;
+  sample.iterations = us.size();
+  sample.ops_per_sec = total > 0.0 ? static_cast<double>(us.size()) / total : 0.0;
+  sample.p50_us = quantile(0.50);
+  sample.p95_us = quantile(0.95);
+  return sample;
+}
+
+/// Accumulates config, metrics and ratios; serializes to the BENCH_*.json
+/// schema.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string suite) : suite_(std::move(suite)) {
+    config_ = util::Json::object();
+    metrics_ = util::Json::object();
+    ratios_ = util::Json::object();
+  }
+
+  void set_config(const std::string& key, double value) {
+    config_.set(key, util::Json::number(value));
+  }
+  void set_config(const std::string& key, const std::string& value) {
+    config_.set(key, util::Json::string(value));
+  }
+
+  void add_metric(const std::string& name, const LatencySample& sample) {
+    util::Json entry = util::Json::object();
+    entry.set("ops_per_sec", util::Json::number(sample.ops_per_sec));
+    entry.set("p50_us", util::Json::number(sample.p50_us));
+    entry.set("p95_us", util::Json::number(sample.p95_us));
+    entry.set("iterations",
+              util::Json::number(static_cast<double>(sample.iterations)));
+    metrics_.set(name, std::move(entry));
+  }
+
+  void add_ratio(const std::string& name, double value) {
+    ratios_.set(name, util::Json::number(value));
+  }
+
+  util::Json to_json() const {
+    util::Json report = util::Json::object();
+    report.set("suite", util::Json::string(suite_));
+    report.set("schema_version", util::Json::number(1));
+    report.set("config", config_);
+    report.set("metrics", metrics_);
+    report.set("ratios", ratios_);
+    return report;
+  }
+
+  void write(const std::string& path) const {
+    util::write_file(path, to_json().dump());
+  }
+
+ private:
+  std::string suite_;
+  util::Json config_;
+  util::Json metrics_;
+  util::Json ratios_;
+};
+
+}  // namespace rnt::bench

@@ -75,11 +75,17 @@ int main_body(Flags& flags) {
   const tomo::GroundTruth truth =
       tomo::random_delays(links, truth_rng);
 
+  // Re-plan ER engine: prob (default) | kernel; the pipeline validates.
+  // Re-read with default "prob" — parse_common's "mc" default is for the
+  // figure drivers' scenario engines, not the re-planner.
+  const std::string er_engine = flags.get_string("engine", "prob");
+
   const auto run_policy = [&](online::ReplanPolicy policy) {
     online::PipelineConfig config;
     config.budget = budget;
     config.policy = policy;
     config.period = segment_epochs / 2;
+    config.er_engine = er_engine;
     config.probe.jitter_std_ms = 0.5;
     config.oracle = [&](std::size_t epoch) {
       return models[std::min(epoch / segment_epochs, models.size() - 1)];

@@ -25,6 +25,12 @@ int main_body(Flags& flags) {
   const auto paths = static_cast<std::size_t>(
       flags.get_int("paths", opts.full ? 400 : 200));
   const double epsilon = flags.get_double("epsilon", 0.1);
+  // This driver's historical default is the ProbBound surrogate, so it
+  // re-reads --engine with default "prob" (parse_common defaults to "mc"
+  // for the figure drivers); "mc" / "kernel" stream over a sampled
+  // scenario mixture instead.
+  const std::string engine_name = flags.get_string("engine", "prob");
+  const auto mc_runs = static_cast<std::size_t>(flags.get_int("mc-runs", 50));
   print_header("Extension: sieve-streaming vs offline greedy (" + topology +
                    ")",
                opts);
@@ -35,7 +41,15 @@ int main_body(Flags& flags) {
   spec.seed = opts.seed;
   spec.failure_intensity = 5.0;
   const exp::Workload w = exp::make_workload(spec);
-  core::ProbBoundEr engine(*w.system, *w.failures);
+  core::ProbBoundEr prob(*w.system, *w.failures);
+  std::unique_ptr<core::ScenarioErEngine> sampled;
+  if (engine_name != "prob") {
+    Rng mc_rng = w.eval_rng();
+    sampled = make_scenario_engine(engine_name, *w.system, *w.failures,
+                                   mc_runs, mc_rng);
+  }
+  const core::ErEngine& engine =
+      sampled ? static_cast<const core::ErEngine&>(*sampled) : prob;
 
   // Random arrival order (adversarial for streaming).
   Rng order_rng(opts.seed * 3);

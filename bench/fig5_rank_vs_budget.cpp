@@ -13,6 +13,7 @@
 #include <numeric>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/expected_rank.h"
 #include "core/rome.h"
 #include "core/select_path.h"
@@ -41,6 +42,7 @@ int main_body(Flags& flags) {
       flags.get_int("scenarios", opts.full ? 500 : 80));
   const auto mc_runs = static_cast<std::size_t>(flags.get_int("mc-runs", 50));
   const double intensity = flags.get_double("intensity", 5.0);
+  const std::string json_path = flags.get_string("json", "");
 
   std::vector<std::string> topologies;
   if (!opts.topology.empty()) {
@@ -80,7 +82,9 @@ int main_body(Flags& flags) {
 
       core::ProbBoundEr prob_engine(*w.system, *w.failures);
       Rng mc_rng = w.eval_rng();
-      core::MonteCarloEr mc_engine(*w.system, *w.failures, mc_runs, mc_rng);
+      const auto mc_engine_ptr = make_scenario_engine(
+          opts.engine, *w.system, *w.failures, mc_runs, mc_rng);
+      const core::ScenarioErEngine& mc_engine = *mc_engine_ptr;
 
       for (double frac : budget_fractions) {
         const double budget = frac * total_cost;
@@ -125,19 +129,75 @@ int main_body(Flags& flags) {
                 << monitor_sets << " monitor sets x " << scenarios
                 << " scenarios) ---\n";
     }
-    TablePrinter table({"topology", "budget-frac", "algorithm", "rank mean",
-                        "rank std", "MC ER", "select sec", "er sec"});
+    // --golden drops the wall-clock columns: everything left is a pure
+    // function of (seed, engine, parameters), so two runs — at any thread
+    // count — diff bitwise (tests/golden pins this).
+    std::vector<std::string> header = {"topology",  "budget-frac", "algorithm",
+                                       "rank mean", "rank std",    "MC ER"};
+    if (!opts.golden) {
+      header.push_back("select sec");
+      header.push_back("er sec");
+    }
+    TablePrinter table(header);
     for (const auto& [name, by_budget] : results) {
       for (const auto& [frac, series] : by_budget) {
-        table.add_row({topology, fmt(frac, 2), name,
-                       fmt(series.rank.mean(), 2), fmt(series.rank.stddev(), 2),
-                       fmt(series.mc_er.mean(), 2),
-                       fmt(series.runtime.mean(), 3),
-                       fmt(series.er_runtime.mean(), 4)});
+        std::vector<std::string> row = {
+            topology,
+            fmt(frac, 2),
+            name,
+            fmt(series.rank.mean(), 2),
+            fmt(series.rank.stddev(), 2),
+            fmt(series.mc_er.mean(), 2)};
+        if (!opts.golden) {
+          row.push_back(fmt(series.runtime.mean(), 3));
+          row.push_back(fmt(series.er_runtime.mean(), 4));
+        }
+        table.add_row(row);
       }
     }
     table.print(std::cout, opts.csv);
     if (!opts.csv) std::cout << "\n";
+  }
+
+  // --json: a BENCH_ER-style latency report for the selected engine on the
+  // first topology (evaluate / parallel evaluate / one RoMe selection).
+  if (!json_path.empty()) {
+    exp::WorkloadSpec spec;
+    spec.topology = graph::parse_isp_topology(topologies.front());
+    spec.candidate_paths = static_cast<std::size_t>(flags.get_int(
+        "paths", static_cast<std::int64_t>(topologies.front() == "AS1755" ? 400
+                                           : topologies.front() == "AS3257"
+                                               ? 1600
+                                               : 2500)));
+    spec.seed = opts.seed;
+    spec.failure_intensity = intensity;
+    const exp::Workload w = exp::make_workload(spec);
+    Rng mc_rng = w.eval_rng();
+    const auto engine_ptr = make_scenario_engine(opts.engine, *w.system,
+                                                 *w.failures, mc_runs, mc_rng);
+    std::vector<std::size_t> all(w.system->path_count());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    const double budget = 0.08 * w.costs.subset_cost(*w.system, all);
+
+    BenchReport report("fig5_rank_vs_budget");
+    report.set_config("topology", topologies.front());
+    report.set_config("paths", static_cast<double>(w.system->path_count()));
+    report.set_config("engine", opts.engine);
+    report.set_config("threads", static_cast<double>(opts.threads));
+    report.add_metric("evaluate", measure([&] {
+                        (void)engine_ptr->evaluate(all);
+                      }));
+    report.add_metric("evaluate_mt", measure([&] {
+                        (void)engine_ptr->evaluate_parallel(all, opts.threads);
+                      }));
+    report.add_metric("rome_select", measure(
+                                         [&] {
+                                           (void)core::rome(*w.system, w.costs,
+                                                            budget, *engine_ptr);
+                                         },
+                                         /*min_iterations=*/5));
+    report.write(json_path);
+    if (!opts.csv) std::cout << "wrote " << json_path << "\n";
   }
   return 0;
 }

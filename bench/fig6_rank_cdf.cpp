@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/expected_rank.h"
 #include "core/rome.h"
 #include "core/select_path.h"
@@ -28,6 +29,7 @@ int main_body(Flags& flags) {
   const double budget_frac = flags.get_double("budget-frac", 0.08);
   const auto cdf_points =
       static_cast<std::size_t>(flags.get_int("cdf-points", 12));
+  const std::string json_path = flags.get_string("json", "");
   print_header("Fig 6: CDF of rank at fixed budget (" + topology + ")", opts);
 
   exp::WorkloadSpec spec;
@@ -42,7 +44,9 @@ int main_body(Flags& flags) {
 
   core::ProbBoundEr prob_engine(*w.system, *w.failures);
   Rng mc_rng = w.eval_rng();
-  core::MonteCarloEr mc_engine(*w.system, *w.failures, mc_runs, mc_rng);
+  const auto mc_engine_ptr =
+      make_scenario_engine(opts.engine, *w.system, *w.failures, mc_runs, mc_rng);
+  const core::ScenarioErEngine& mc_engine = *mc_engine_ptr;
 
   const auto prob_sel = core::rome(*w.system, w.costs, budget, prob_engine);
   const auto mc_sel = core::rome(*w.system, w.costs, budget, mc_engine);
@@ -94,10 +98,37 @@ int main_body(Flags& flags) {
   const double er_sec = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t_er)
                             .count();
-  if (!opts.csv) {
+  if (opts.golden) {
+    // Deterministic ER table for the golden diff: pure function of (seed,
+    // engine, parameters) — identical bytes at every --threads value.
+    TablePrinter er_table({"algorithm", "MC ER"});
+    er_table.add_row({"ProbRoMe", fmt(prob_er, 6)});
+    er_table.add_row({"MonteRoMe", fmt(mc_er, 6)});
+    er_table.add_row({"SelectPath", fmt(sp_er, 6)});
+    er_table.print(std::cout, opts.csv);
+  } else if (!opts.csv) {
     std::cout << "MC ER: ProbRoMe " << fmt(prob_er, 2) << ", MonteRoMe "
               << fmt(mc_er, 2) << ", SelectPath " << fmt(sp_er, 2) << " ("
               << fmt(er_sec, 3) << "s parallel eval)\n";
+  }
+
+  // --json: latency report for the selected engine on this figure's
+  // workload (serial + parallel evaluate of the winning selection).
+  if (!json_path.empty()) {
+    BenchReport report("fig6_rank_cdf");
+    report.set_config("topology", topology);
+    report.set_config("paths", static_cast<double>(w.system->path_count()));
+    report.set_config("engine", opts.engine);
+    report.set_config("threads", static_cast<double>(opts.threads));
+    report.add_metric("evaluate", measure([&] {
+                        (void)mc_engine.evaluate(prob_sel.paths);
+                      }));
+    report.add_metric("evaluate_mt", measure([&] {
+                        (void)mc_engine.evaluate_parallel(prob_sel.paths,
+                                                          opts.threads);
+                      }));
+    report.write(json_path);
+    if (!opts.csv) std::cout << "wrote " << json_path << "\n";
   }
   return 0;
 }

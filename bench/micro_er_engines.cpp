@@ -1,110 +1,181 @@
-// Micro-benchmarks for the Expected Rank machinery: per-gain cost of the
-// ProbBound vs. Monte Carlo accumulators (the paper's "ProbRoMe is ~5x
-// faster than MonteRoMe" claim reduces to this gap), full RoMe runs with
-// each engine, and the lazy vs. eager greedy.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the Expected Rank engines — the repo's hottest
+// path — with a machine-readable BENCH_ER.json report.
+//
+// Measures the scenario (floating-point elimination), kernel (bit-packed
+// exact integer rank) and ProbBound engines on the same workload:
+// per-call evaluate() latency, a greedy gain sweep (fresh accumulator,
+// half the candidates committed, gains over the rest — the memo makes a
+// bare repeated gain() a cache hit, so the sweep is the honest unit), and
+// a full RoMe selection.  Cross-engine ratios are recorded alongside the
+// absolute numbers; tools/bench_compare gates CI on the ratios against
+// bench/baselines/BENCH_ER.json (see docs/BENCHMARKS.md).
+//
+// The kernel/scenario evaluate results are also asserted bitwise equal
+// here, so a perf run that silently diverges fails loudly.
+#include <cstdint>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
 
-#include <memory>
-
+#include "bench_common.h"
+#include "bench_json.h"
 #include "core/expected_rank.h"
+#include "core/kernel_er.h"
 #include "core/rome.h"
 #include "exp/workload.h"
+#include "util/table.h"
 
 namespace rnt {
 namespace {
 
-struct Fixture {
-  exp::Workload w;
-  explicit Fixture(std::size_t paths)
-      : w(exp::make_custom_workload(87, 161, paths, /*seed=*/5,
-                                    /*failure_intensity=*/5.0)) {}
-};
+int run(Flags& flags) {
+  const std::size_t paths =
+      static_cast<std::size_t>(flags.get_int("paths", 64));
+  const std::size_t runs = static_cast<std::size_t>(flags.get_int("runs", 50));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.get_int("threads", 4));
+  const double min_seconds = flags.get_double("min-seconds", 0.2);
+  const std::string json_path = flags.get_string("json", "");
+  const bool csv = flags.get_bool("csv", false);
 
-void BM_GainProbBound(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
-  auto acc = engine.make_accumulator();
-  // Fill half the selection so gains run against a realistic basis.
-  for (std::size_t q = 0; q < f.w.system->path_count() / 2; ++q) acc->add(q);
-  std::size_t probe = f.w.system->path_count() / 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(acc->gain(probe));
-  }
-}
-BENCHMARK(BM_GainProbBound)->Arg(100)->Arg(200);
+  const exp::Workload w =
+      exp::make_custom_workload(87, 161, paths, seed, /*intensity=*/5.0);
+  Rng rng = w.eval_rng();
+  const core::MonteCarloEr scenario(*w.system, *w.failures, runs, rng);
+  const core::KernelErEngine kernel(*w.system, scenario.scenarios(),
+                                    scenario.weights(), scenario.name());
+  const core::ProbBoundEr probbound(*w.system, *w.failures);
 
-void BM_GainMonteCarlo(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  Rng rng = f.w.eval_rng();
-  core::MonteCarloEr engine(*f.w.system, *f.w.failures, 50, rng);
-  auto acc = engine.make_accumulator();
-  for (std::size_t q = 0; q < f.w.system->path_count() / 2; ++q) acc->add(q);
-  std::size_t probe = f.w.system->path_count() / 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(acc->gain(probe));
-  }
-}
-BENCHMARK(BM_GainMonteCarlo)->Arg(100)->Arg(200);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
 
-void BM_RomeProbBound(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::rome(*f.w.system, f.w.costs, 5000.0, engine));
+  // The perf claim is only meaningful if both engines agree.
+  const double scenario_er = scenario.evaluate(all);
+  const double kernel_er = kernel.evaluate(all);
+  if (scenario_er != kernel_er) {
+    std::cerr << "FATAL: kernel evaluate " << kernel_er
+              << " differs from scenario evaluate " << scenario_er << "\n";
+    return 1;
   }
-}
-BENCHMARK(BM_RomeProbBound)->Arg(100)->Arg(200);
 
-void BM_RomeMonteCarlo(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  Rng rng = f.w.eval_rng();
-  core::MonteCarloEr engine(*f.w.system, *f.w.failures, 50, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::rome(*f.w.system, f.w.costs, 5000.0, engine));
-  }
-}
-BENCHMARK(BM_RomeMonteCarlo)->Arg(100);
+  bench::BenchReport report("micro_er_engines");
+  report.set_config("topology", "custom-87n-161l");
+  report.set_config("paths", static_cast<double>(paths));
+  report.set_config("scenarios", static_cast<double>(runs));
+  report.set_config("seed", static_cast<double>(seed));
+  report.set_config("threads", static_cast<double>(threads));
+  report.set_config("gain_sweep",
+                    "fresh accumulator + paths/2 adds + paths/2 gains");
 
-void BM_RomeLazy(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
-  std::size_t evals = 0;
-  for (auto _ : state) {
-    core::RomeStats stats;
-    benchmark::DoNotOptimize(
-        core::rome(*f.w.system, f.w.costs, 1e9, engine, &stats));
-    evals = stats.gain_evaluations;
-  }
-  state.counters["gain_evals"] = static_cast<double>(evals);
-}
-BENCHMARK(BM_RomeLazy)->Arg(100)->Arg(200);
+  auto time_evaluate = [&](const core::ErEngine& engine) {
+    return bench::measure([&] { (void)engine.evaluate(all); },
+                          /*min_iterations=*/20, min_seconds);
+  };
+  // One sweep = the greedy inner loop at half selection: build, commit the
+  // first half, then one fresh gain per remaining candidate.
+  auto time_gain_sweep = [&](const core::ErEngine& engine) {
+    return bench::measure(
+        [&] {
+          auto acc = engine.make_accumulator();
+          const std::size_t half = all.size() / 2;
+          for (std::size_t q = 0; q < half; ++q) acc->add(q);
+          double sink = 0.0;
+          for (std::size_t q = half; q < all.size(); ++q) sink += acc->gain(q);
+          if (sink < 0.0) std::cerr << "";  // Defeat dead-code elimination.
+        },
+        /*min_iterations=*/20, min_seconds);
+  };
+  auto time_rome = [&](const core::ErEngine& engine) {
+    return bench::measure(
+        [&] { (void)core::rome(*w.system, w.costs, 5000.0, engine); },
+        /*min_iterations=*/10, min_seconds);
+  };
 
-void BM_RomeEager(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
-  std::size_t evals = 0;
-  for (auto _ : state) {
-    core::RomeStats stats;
-    benchmark::DoNotOptimize(
-        core::rome_eager(*f.w.system, f.w.costs, 1e9, engine, &stats));
-    evals = stats.gain_evaluations;
-  }
-  state.counters["gain_evals"] = static_cast<double>(evals);
-}
-BENCHMARK(BM_RomeEager)->Arg(100);
+  const bench::LatencySample scenario_eval = time_evaluate(scenario);
+  const bench::LatencySample kernel_eval = time_evaluate(kernel);
+  // Fresh engine per call: no warm rank memo, so this times packing +
+  // dedup + elimination — the service's first-touch cost for a workload.
+  const bench::LatencySample kernel_eval_cold = bench::measure(
+      [&] {
+        const core::KernelErEngine cold(*w.system, scenario.scenarios(),
+                                        scenario.weights(), scenario.name());
+        (void)cold.evaluate(all);
+      },
+      /*min_iterations=*/20, min_seconds);
+  const bench::LatencySample kernel_eval_mt = bench::measure(
+      [&] { (void)kernel.evaluate_parallel(all, threads); },
+      /*min_iterations=*/20, min_seconds);
+  const bench::LatencySample probbound_eval = time_evaluate(probbound);
+  const bench::LatencySample scenario_gain = time_gain_sweep(scenario);
+  const bench::LatencySample kernel_gain = time_gain_sweep(kernel);
+  const bench::LatencySample probbound_gain = time_gain_sweep(probbound);
+  const bench::LatencySample scenario_rome = time_rome(scenario);
+  const bench::LatencySample kernel_rome = time_rome(kernel);
 
-void BM_ProbBoundEvaluate(benchmark::State& state) {
-  Fixture f(static_cast<std::size_t>(state.range(0)));
-  core::ProbBoundEr engine(*f.w.system, *f.w.failures);
-  std::vector<std::size_t> all(f.w.system->path_count());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.evaluate(all));
+  report.add_metric("scenario_evaluate", scenario_eval);
+  report.add_metric("kernel_evaluate", kernel_eval);
+  report.add_metric("kernel_evaluate_cold", kernel_eval_cold);
+  report.add_metric("kernel_evaluate_mt", kernel_eval_mt);
+  report.add_metric("probbound_evaluate", probbound_eval);
+  report.add_metric("scenario_gain_sweep", scenario_gain);
+  report.add_metric("kernel_gain_sweep", kernel_gain);
+  report.add_metric("probbound_gain_sweep", probbound_gain);
+  report.add_metric("scenario_rome", scenario_rome);
+  report.add_metric("kernel_rome", kernel_rome);
+
+  report.add_ratio("kernel_vs_scenario_evaluate",
+                   kernel_eval.ops_per_sec / scenario_eval.ops_per_sec);
+  report.add_ratio("kernel_vs_scenario_gain",
+                   kernel_gain.ops_per_sec / scenario_gain.ops_per_sec);
+  report.add_ratio("kernel_vs_scenario_rome",
+                   kernel_rome.ops_per_sec / scenario_rome.ops_per_sec);
+  report.add_ratio("kernel_mt_vs_scenario_evaluate",
+                   kernel_eval_mt.ops_per_sec / scenario_eval.ops_per_sec);
+  report.add_ratio("kernel_cold_vs_scenario_evaluate",
+                   kernel_eval_cold.ops_per_sec / scenario_eval.ops_per_sec);
+
+  TablePrinter table({"metric", "ops/sec", "p50 us", "p95 us"});
+  const std::vector<std::pair<std::string, bench::LatencySample>> rows = {
+      {"scenario_evaluate", scenario_eval},
+      {"kernel_evaluate", kernel_eval},
+      {"kernel_evaluate_cold", kernel_eval_cold},
+      {"kernel_evaluate_mt", kernel_eval_mt},
+      {"probbound_evaluate", probbound_eval},
+      {"scenario_gain_sweep", scenario_gain},
+      {"kernel_gain_sweep", kernel_gain},
+      {"probbound_gain_sweep", probbound_gain},
+      {"scenario_rome", scenario_rome},
+      {"kernel_rome", kernel_rome},
+  };
+  for (const auto& [name, sample] : rows) {
+    table.add_row({name, fmt(sample.ops_per_sec, 1), fmt(sample.p50_us, 2),
+                   fmt(sample.p95_us, 2)});
   }
+  table.print(std::cout, csv);
+  if (!csv) {
+    std::cout << "\nkernel vs scenario: evaluate "
+              << fmt(kernel_eval.ops_per_sec / scenario_eval.ops_per_sec, 2)
+              << "x, gain sweep "
+              << fmt(kernel_gain.ops_per_sec / scenario_gain.ops_per_sec, 2)
+              << "x, rome "
+              << fmt(kernel_rome.ops_per_sec / scenario_rome.ops_per_sec, 2)
+              << "x (ER = " << fmt(kernel_er, 6) << ", bitwise equal)\n";
+  }
+
+  if (!json_path.empty()) {
+    report.write(json_path);
+    if (!csv) std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
 }
-BENCHMARK(BM_ProbBoundEvaluate)->Arg(100)->Arg(200);
 
 }  // namespace
 }  // namespace rnt
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv,
+                                [](rnt::Flags& flags) { return rnt::run(flags); });
+}

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/gain_memo.h"
+
 namespace rnt::core {
 
 namespace {
@@ -18,7 +20,10 @@ class ScenarioAccumulator : public ErAccumulator {
   ScenarioAccumulator(const tomo::PathSystem& system,
                       const std::vector<failures::FailureVector>& scenarios,
                       const std::vector<double>& weights)
-      : system_(system), scenarios_(scenarios), weights_(weights) {
+      : system_(system),
+        scenarios_(scenarios),
+        weights_(weights),
+        memo_(system.path_count()) {
     bases_.reserve(scenarios_.size());
     for (std::size_t s = 0; s < scenarios_.size(); ++s) {
       // Rank-only bases: no dependency tracking needed per scenario.
@@ -28,13 +33,15 @@ class ScenarioAccumulator : public ErAccumulator {
   }
 
   double gain(std::size_t path) const override {
-    double g = 0.0;
-    const auto row = system_.row(path);
-    for (std::size_t s = 0; s < scenarios_.size(); ++s) {
-      if (!system_.path_survives(path, scenarios_[s])) continue;
-      if (bases_[s].is_independent(row)) g += weights_[s];
-    }
-    return g;
+    return memo_.get(path, [&] {
+      double g = 0.0;
+      const auto row = system_.row(path);
+      for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+        if (!system_.path_survives(path, scenarios_[s])) continue;
+        if (bases_[s].is_independent(row)) g += weights_[s];
+      }
+      return g;
+    });
   }
 
   void add(std::size_t path) override {
@@ -43,15 +50,20 @@ class ScenarioAccumulator : public ErAccumulator {
       if (!system_.path_survives(path, scenarios_[s])) continue;
       if (bases_[s].try_add(row)) value_ += weights_[s];
     }
+    memo_.invalidate();
   }
 
   double value() const override { return value_; }
+  std::size_t gain_computations() const override {
+    return memo_.computations();
+  }
 
  private:
   const tomo::PathSystem& system_;
   const std::vector<failures::FailureVector>& scenarios_;
   const std::vector<double>& weights_;
   std::vector<linalg::IncrementalBasis> bases_;
+  GainMemo memo_;
   double value_ = 0.0;
 };
 
@@ -74,16 +86,6 @@ ScenarioErEngine::ScenarioErEngine(
     }
   }
 }
-
-namespace {
-
-/// Scenario chunk width shared by the serial and parallel evaluate paths.
-/// Both reduce per-chunk partial sums in chunk order, so the summation tree
-/// — and therefore the floating-point result — is identical no matter how
-/// many workers computed the chunks.
-constexpr std::size_t kEvalChunk = 64;
-
-}  // namespace
 
 double ScenarioErEngine::chunk_sum(const std::vector<std::size_t>& subset,
                                    std::size_t begin, std::size_t end) const {

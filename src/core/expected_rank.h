@@ -48,6 +48,12 @@ class ErAccumulator {
 
   /// Current ER(R) estimate.
   virtual double value() const = 0;
+
+  /// Number of gains actually computed (cache misses), for accumulators
+  /// that memoize gain() per selection state.  Lazy-greedy re-heapify asks
+  /// for the same path's gain repeatedly between add()s; memoizing
+  /// accumulators answer repeats from cache and report the true work here.
+  virtual std::size_t gain_computations() const { return 0; }
 };
 
 /// An evaluation strategy for the Expected Rank of path subsets.
@@ -79,16 +85,31 @@ class ScenarioErEngine : public ErEngine {
 
   std::size_t scenario_count() const { return scenarios_.size(); }
 
+  /// The scenario mixture, in evaluation order.  Exposed so differential
+  /// twins (e.g. KernelErEngine) can be built over the identical mixture.
+  const std::vector<failures::FailureVector>& scenarios() const {
+    return scenarios_;
+  }
+  const std::vector<double>& weights() const { return weights_; }
+
   /// Multithreaded evaluate(): scenarios are partitioned into fixed-width
   /// chunks (independent of the worker count), workers compute per-chunk
   /// partial sums, and the partials are reduced in chunk order — the same
   /// summation tree the serial evaluate() uses, so the result is bitwise
   /// identical to evaluate() for every thread count.  threads = 0 picks
-  /// the hardware concurrency.
-  double evaluate_parallel(const std::vector<std::size_t>& subset,
-                           std::size_t threads = 0) const;
+  /// the hardware concurrency.  Virtual so subclasses with a faster rank
+  /// kernel keep the same call sites (fig5/fig6 --threads, the service).
+  virtual double evaluate_parallel(const std::vector<std::size_t>& subset,
+                                   std::size_t threads = 0) const;
 
  protected:
+  /// Scenario chunk width shared by every evaluate path (serial, parallel,
+  /// and the kernel subclass's rank-table reduction).  All of them reduce
+  /// per-chunk partial sums in chunk order, so the summation tree — and
+  /// therefore the floating-point result — is identical no matter how many
+  /// workers computed the chunks.
+  static constexpr std::size_t kEvalChunk = 64;
+
   /// Ordered partial sum of scenarios [begin, end) — the shared kernel of
   /// evaluate() and evaluate_parallel().
   double chunk_sum(const std::vector<std::size_t>& subset, std::size_t begin,

@@ -1,0 +1,43 @@
+// Per-path gain memo keyed by a selection version.
+//
+// Lazy-greedy re-heapify asks for the same path's gain several times
+// between add()s (once when pushed, again on every pop), and without a
+// memo each ask re-reduces the path against every per-scenario basis from
+// scratch.  The memo answers repeats for the current selection from
+// cache; add() invalidates by bumping the version.  Shared by the
+// scenario and kernel accumulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rnt::core {
+
+class GainMemo {
+ public:
+  explicit GainMemo(std::size_t paths)
+      : cached_gain_(paths, 0.0), cached_at_(paths, 0) {}
+
+  /// Returns the memoized gain, computing (and counting) via `compute` on
+  /// a version mismatch.
+  template <typename Fn>
+  double get(std::size_t path, Fn&& compute) const {
+    if (cached_at_[path] == version_) return cached_gain_[path];
+    cached_gain_[path] = compute();
+    cached_at_[path] = version_;
+    ++computations_;
+    return cached_gain_[path];
+  }
+
+  void invalidate() { ++version_; }
+  std::size_t computations() const { return computations_; }
+
+ private:
+  mutable std::vector<double> cached_gain_;
+  mutable std::vector<std::uint64_t> cached_at_;  ///< 0 = never cached.
+  std::uint64_t version_ = 1;
+  mutable std::size_t computations_ = 0;
+};
+
+}  // namespace rnt::core

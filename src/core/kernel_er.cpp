@@ -1,0 +1,387 @@
+#include "core/kernel_er.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/gain_memo.h"
+#include "failures/scenario.h"
+#include "linalg/elimination.h"
+
+namespace rnt::core {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+std::string mask_key(const std::vector<std::uint64_t>& mask) {
+  return std::string(reinterpret_cast<const char*>(mask.data()),
+                     mask.size() * sizeof(std::uint64_t));
+}
+
+/// Rank of the masked subset rows by greedy independent-row collection:
+/// word-packed GF(2) reduction answers the common case (a GF(2)-
+/// independent row is rationally independent while every kept row was
+/// GF(2)-independent — the odd-minor certificate in linalg/bitrank.h),
+/// and only GF(2)-ambiguous rows touch a lazily materialized floating-
+/// point basis.  Any maximal independent subset has size rank, so this
+/// equals the full elimination PathSystem::surviving_rank runs — without
+/// the O(rows * cols * rank) float sweep when the certificate holds.
+std::size_t hybrid_rank(const tomo::PathSystem& system,
+                        const std::vector<std::size_t>& subset,
+                        const linalg::BitRows& sub,
+                        const std::vector<std::uint64_t>& keep) {
+  linalg::Gf2Basis gf2(system.link_count());
+  std::unique_ptr<linalg::IncrementalBasis> exact;
+  std::vector<std::size_t> kept;  // Subset positions committed so far.
+  bool synced = true;
+  std::size_t rank = 0;
+  auto materialize = [&] {
+    if (!exact) {
+      exact = std::make_unique<linalg::IncrementalBasis>(
+          system.link_count(), linalg::kDefaultTolerance,
+          /*track_combinations=*/false);
+      for (std::size_t k : kept) exact->try_add(system.row(subset[k]));
+    }
+  };
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (((keep[i / 64] >> (i % 64)) & 1u) == 0) continue;
+    if (synced && gf2.try_add(sub.row(i))) {
+      ++rank;
+      kept.push_back(i);
+      if (exact) exact->try_add(system.row(subset[i]));
+      continue;
+    }
+    materialize();
+    if (exact->try_add(system.row(subset[i]))) {
+      ++rank;
+      kept.push_back(i);
+      synced = false;  // The GF(2) basis lost a dimension.
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+KernelErEngine::KernelErEngine(const tomo::PathSystem& system,
+                               std::vector<failures::FailureVector> scenarios,
+                               std::vector<double> weights, std::string name)
+    : ScenarioErEngine(system, std::move(scenarios), std::move(weights),
+                       std::move(name)),
+      path_bits_(system.link_count()),
+      failed_bits_(system.link_count()) {
+  path_bits_.reserve(system.path_count());
+  for (std::size_t p = 0; p < system.path_count(); ++p) {
+    path_bits_.append_indices(system.path(p).links);
+  }
+  failed_bits_.reserve(scenario_count());
+  for (const failures::FailureVector& v : this->scenarios()) {
+    failed_bits_.append_flags(v);
+  }
+}
+
+KernelErEngine::KernelErEngine(KernelErEngine&& other) noexcept
+    : ScenarioErEngine(std::move(other)),
+      path_bits_(std::move(other.path_bits_)),
+      failed_bits_(std::move(other.failed_bits_)),
+      rank_memo_(std::move(other.rank_memo_)) {}
+
+KernelErEngine KernelErEngine::monte_carlo(const tomo::PathSystem& system,
+                                           const failures::FailureModel& model,
+                                           std::size_t runs, Rng& rng) {
+  if (runs == 0) {
+    throw std::invalid_argument("KernelErEngine: need at least one run");
+  }
+  if (model.link_count() != system.link_count()) {
+    throw std::invalid_argument("KernelErEngine: link count mismatch");
+  }
+  return KernelErEngine(
+      system, failures::sample_scenarios(model, runs, rng),
+      std::vector<double>(runs, 1.0 / static_cast<double>(runs)),
+      "MC-" + std::to_string(runs));
+}
+
+KernelErEngine KernelErEngine::exact(const tomo::PathSystem& system,
+                                     const failures::FailureModel& model,
+                                     std::size_t max_links) {
+  if (model.link_count() != system.link_count()) {
+    throw std::invalid_argument("KernelErEngine: link count mismatch");
+  }
+  std::vector<failures::FailureVector> scenarios;
+  std::vector<double> weights;
+  failures::enumerate_scenarios(
+      model,
+      [&](const failures::FailureVector& v, double p) {
+        scenarios.push_back(v);
+        weights.push_back(p);
+      },
+      max_links);
+  return KernelErEngine(system, std::move(scenarios), std::move(weights),
+                        "ExactER");
+}
+
+std::vector<std::size_t> KernelErEngine::ranks_by_scenario(
+    const std::vector<std::size_t>& subset, std::size_t threads) const {
+  const std::size_t n = scenario_count();
+  std::vector<std::size_t> ranks(n, 0);
+  if (n == 0) return ranks;
+
+  // Pack the subset rows once; bit i of a keep mask is subset position i.
+  linalg::BitRows sub(system_.link_count());
+  sub.reserve(subset.size());
+  for (std::size_t q : subset) sub.append_words(path_bits_.row(q));
+  const std::size_t mask_words =
+      subset.empty() ? 1 : (subset.size() + 63) / 64;
+  const std::size_t paths = system_.path_count();
+  const std::size_t key_words = paths == 0 ? 1 : (paths + 63) / 64;
+
+  // Surviving-row bitmask per scenario, deduplicated on the surviving
+  // path-id set: scenarios that keep the same rows alive share one rank
+  // computation, and the same key indexes the cross-call memo — the rank
+  // of a surviving set does not depend on which subset it came from.
+  struct Distinct {
+    std::string key;                 ///< Global path-id key, for the memo.
+    std::vector<std::uint64_t> keep; ///< Subset-position mask, for ranking.
+  };
+  std::vector<std::uint32_t> mask_id(n, 0);
+  std::vector<Distinct> distinct;
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::vector<std::uint64_t> keep(mask_words);
+  std::vector<std::uint64_t> key(key_words);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::fill(keep.begin(), keep.end(), 0);
+    std::fill(key.begin(), key.end(), 0);
+    const auto failed = failed_bits_.row(s);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      if (linalg::disjoint(path_bits_.row(subset[i]), failed)) {
+        keep[i / 64] |= std::uint64_t{1} << (i % 64);
+        key[subset[i] / 64] |= std::uint64_t{1} << (subset[i] % 64);
+      }
+    }
+    const auto [it, inserted] =
+        ids.emplace(mask_key(key), static_cast<std::uint32_t>(distinct.size()));
+    if (inserted) distinct.push_back({it->first, keep});
+    mask_id[s] = it->second;
+  }
+
+  // Consult the memo first, then rank only the misses — integer work on
+  // disjoint slots, so the parallel split cannot change any result.
+  std::vector<std::size_t> rank_of(distinct.size(), 0);
+  std::vector<std::size_t> missing;
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+      const auto it = rank_memo_.find(distinct[d].key);
+      if (it != rank_memo_.end()) {
+        rank_of[d] = it->second;
+      } else {
+        missing.push_back(d);
+      }
+    }
+  }
+  const std::size_t workers = std::min(resolve_threads(threads), missing.size());
+  if (workers <= 1) {
+    for (std::size_t d : missing) {
+      rank_of[d] = hybrid_rank(system_, subset, sub, distinct[d].keep);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (;;) {
+        const std::size_t m = next.fetch_add(1, std::memory_order_relaxed);
+        if (m >= missing.size()) return;
+        const std::size_t d = missing[m];
+        rank_of[d] = hybrid_rank(system_, subset, sub, distinct[d].keep);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(work);
+    work();
+    for (std::thread& w : pool) w.join();
+  }
+  if (!missing.empty()) {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    for (std::size_t d : missing) {
+      rank_memo_.emplace(distinct[d].key, rank_of[d]);
+    }
+  }
+
+  for (std::size_t s = 0; s < n; ++s) ranks[s] = rank_of[mask_id[s]];
+  return ranks;
+}
+
+double KernelErEngine::weighted_sum(
+    const std::vector<std::size_t>& ranks) const {
+  const std::size_t n = scenario_count();
+  const std::vector<double>& w = weights();
+  double er = 0.0;
+  for (std::size_t begin = 0; begin < n; begin += kEvalChunk) {
+    const std::size_t end = std::min(begin + kEvalChunk, n);
+    double acc = 0.0;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (w[s] == 0.0) continue;
+      acc += w[s] * static_cast<double>(ranks[s]);
+    }
+    er += acc;
+  }
+  return er;
+}
+
+double KernelErEngine::evaluate(const std::vector<std::size_t>& subset) const {
+  return weighted_sum(ranks_by_scenario(subset, 1));
+}
+
+double KernelErEngine::evaluate_parallel(const std::vector<std::size_t>& subset,
+                                         std::size_t threads) const {
+  return weighted_sum(ranks_by_scenario(subset, resolve_threads(threads)));
+}
+
+std::vector<std::size_t> KernelErEngine::scenario_ranks(
+    const std::vector<std::size_t>& subset) const {
+  return ranks_by_scenario(subset, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator
+// ---------------------------------------------------------------------------
+
+/// Scenario classes keyed by the full-candidate surviving-path mask: two
+/// scenarios with the same mask keep the same rows of every subset alive,
+/// so their per-scenario bases walk the identical trajectory through the
+/// whole greedy run — one basis with the summed weight stands in for all
+/// of them.  Independence queries run on the word-packed GF(2) basis while
+/// it is exact (every committed row GF(2)-independent: "synced"), and fall
+/// back to the floating-point basis on the rare ambiguous row.
+class KernelAccumulator : public ErAccumulator {
+ public:
+  explicit KernelAccumulator(const KernelErEngine& engine)
+      : engine_(engine),
+        system_(engine.system_),
+        memo_(engine.system_.path_count()) {
+    const std::size_t paths = system_.path_count();
+    const std::size_t path_words = paths == 0 ? 1 : (paths + 63) / 64;
+    std::unordered_map<std::string, std::size_t> ids;
+    std::vector<std::uint64_t> mask(path_words);
+    const std::vector<double>& w = engine_.weights();
+    for (std::size_t s = 0; s < engine_.scenario_count(); ++s) {
+      std::fill(mask.begin(), mask.end(), 0);
+      const auto failed = engine_.failed_bits_.row(s);
+      for (std::size_t p = 0; p < paths; ++p) {
+        if (linalg::disjoint(engine_.path_bits_.row(p), failed)) {
+          mask[p / 64] |= std::uint64_t{1} << (p % 64);
+        }
+      }
+      const auto [it, inserted] = ids.emplace(mask_key(mask), classes_.size());
+      if (inserted) classes_.emplace_back(mask, system_.link_count());
+      classes_[it->second].weight += w[s];
+    }
+  }
+
+  double gain(std::size_t path) const override {
+    return memo_.get(path, [&] {
+      const auto bits = engine_.path_bits_.row(path);
+      const auto row = system_.row(path);
+      double g = 0.0;
+      for (ClassState& c : classes_) {
+        if (!c.survives(path)) continue;
+        if (independent_in(c, bits, row)) g += c.weight;
+      }
+      return g;
+    });
+  }
+
+  void add(std::size_t path) override {
+    const auto bits = engine_.path_bits_.row(path);
+    const auto row = system_.row(path);
+    for (ClassState& c : classes_) {
+      if (!c.survives(path)) continue;
+      bool independent = false;
+      if (c.synced) {
+        if (c.gf2.try_add(bits)) {
+          independent = true;
+          if (c.exact) c.exact->try_add(row);
+        } else {
+          independent = ensure_exact(c).try_add(row);
+          // A GF(2)-dependent but rationally independent row: the GF(2)
+          // basis lost a dimension and stops being authoritative.
+          if (independent) c.synced = false;
+        }
+      } else {
+        independent = ensure_exact(c).try_add(row);
+      }
+      if (independent) {
+        c.added.push_back(path);
+        value_ += c.weight;
+      }
+    }
+    memo_.invalidate();
+  }
+
+  double value() const override { return value_; }
+  std::size_t gain_computations() const override {
+    return memo_.computations();
+  }
+
+ private:
+  struct ClassState {
+    ClassState(std::vector<std::uint64_t> mask, std::size_t links)
+        : survive_mask(std::move(mask)), gf2(links) {}
+
+    bool survives(std::size_t path) const {
+      return ((survive_mask[path / 64] >> (path % 64)) & 1u) != 0;
+    }
+
+    std::vector<std::uint64_t> survive_mask;  ///< Over candidate paths.
+    double weight = 0.0;
+    linalg::Gf2Basis gf2;
+    bool synced = true;
+    std::vector<std::size_t> added;  ///< Committed independent paths.
+    std::unique_ptr<linalg::IncrementalBasis> exact;
+  };
+
+  /// Materializes the floating-point basis from the committed rows on the
+  /// first ambiguous query (identical state to a ScenarioAccumulator basis
+  /// for this class: dependent rows never entered either).
+  linalg::IncrementalBasis& ensure_exact(ClassState& c) const {
+    if (!c.exact) {
+      c.exact = std::make_unique<linalg::IncrementalBasis>(
+          system_.link_count(), linalg::kDefaultTolerance,
+          /*track_combinations=*/false);
+      for (std::size_t p : c.added) c.exact->try_add(system_.row(p));
+    }
+    return *c.exact;
+  }
+
+  bool independent_in(ClassState& c, std::span<const std::uint64_t> bits,
+                      std::span<const double> row) const {
+    // While synced, GF(2)-independence certifies rational independence
+    // (odd-minor argument, linalg/bitrank.h); GF(2)-dependence — and any
+    // query after a desync — defers to the exact basis.
+    if (c.synced && c.gf2.is_independent(bits)) return true;
+    return ensure_exact(c).is_independent(row);
+  }
+
+  const KernelErEngine& engine_;
+  const tomo::PathSystem& system_;
+  /// gain() is logically const but materializes exact bases lazily.
+  mutable std::vector<ClassState> classes_;
+  GainMemo memo_;
+  double value_ = 0.0;
+};
+
+std::unique_ptr<ErAccumulator> KernelErEngine::make_accumulator() const {
+  return std::make_unique<KernelAccumulator>(*this);
+}
+
+}  // namespace rnt::core

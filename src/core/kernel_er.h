@@ -1,0 +1,108 @@
+// Bit-packed scenario-rank kernel behind the ErEngine interface.
+//
+// KernelErEngine evaluates the same weighted scenario mixture as its
+// ScenarioErEngine base, but replaces the per-scenario floating-point
+// elimination with the linalg/bitrank machinery:
+//
+//  (a) every candidate path and every scenario's failed-link set are
+//      packed once into 64-bit word masks, so "does path q survive
+//      scenario v" is a handful of ANDs;
+//  (b) per evaluate() the surviving-row bitmask of each scenario is
+//      deduplicated — scenarios that kill the same subset rows share one
+//      rank computation — and ranks are memoized by surviving-path mask
+//      across calls (mutex-guarded; the service shares engines between
+//      worker threads), so re-evaluating a cached workload skips
+//      elimination entirely;
+//  (c) distinct masks are ranked by greedy independent-row collection on
+//      the word-packed GF(2) basis, deferring to the floating-point basis
+//      only for GF(2)-ambiguous rows (the odd-minor certificate in
+//      linalg/bitrank.h makes the common case exact integer work),
+//      optionally in parallel — rank work lands in disjoint slots, and
+//      the final weighted sum reuses the deterministic chunked reduction
+//      of the base class, so results are bitwise identical to
+//      ScenarioErEngine::evaluate() and stable across thread counts.
+//      (linalg::exact_rank stays available as the all-integer oracle the
+//      tests compare against.)
+//
+// The accumulator groups scenarios into equivalence classes by their
+// full-candidate surviving-path mask (same mask => identical rank
+// trajectory for the whole greedy run) and answers independence queries
+// with an incremental GF(2) basis while it is exact — falling back to the
+// floating-point basis only on the rare GF(2)-ambiguous row (see
+// linalg/bitrank.h for why GF(2)-independence certifies rational
+// independence exactly while the basis stays "synced").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/expected_rank.h"
+#include "linalg/bitrank.h"
+
+namespace rnt::core {
+
+class KernelErEngine : public ScenarioErEngine {
+ public:
+  /// Same contract as ScenarioErEngine: an explicit weighted scenario list.
+  KernelErEngine(const tomo::PathSystem& system,
+                 std::vector<failures::FailureVector> scenarios,
+                 std::vector<double> weights, std::string name);
+
+  /// Monte Carlo factory mirroring MonteCarloEr: identical sampler and
+  /// name ("MC-<runs>"), so a kernel engine seeded the same way evaluates
+  /// the exact same mixture scenario-for-scenario.
+  static KernelErEngine monte_carlo(const tomo::PathSystem& system,
+                                    const failures::FailureModel& model,
+                                    std::size_t runs, Rng& rng);
+
+  /// Exhaustive factory mirroring ExactEr (guarded by max_links).
+  static KernelErEngine exact(const tomo::PathSystem& system,
+                              const failures::FailureModel& model,
+                              std::size_t max_links = 20);
+
+  /// Movable so factory results can be wrapped (e.g. make_unique); the
+  /// rank memo moves along, the mutex is freshly constructed.  Moving is
+  /// a construction-time affair — never move an engine other threads see.
+  KernelErEngine(KernelErEngine&& other) noexcept;
+
+  double evaluate(const std::vector<std::size_t>& subset) const override;
+  double evaluate_parallel(const std::vector<std::size_t>& subset,
+                           std::size_t threads = 0) const override;
+  std::unique_ptr<ErAccumulator> make_accumulator() const override;
+
+  /// Integer surviving rank per scenario, in scenario order — the hook the
+  /// kernel≡scenario differential check compares against
+  /// PathSystem::surviving_rank.
+  std::vector<std::size_t> scenario_ranks(
+      const std::vector<std::size_t>& subset) const;
+
+ private:
+  friend class KernelAccumulator;
+
+  /// Shared core of the evaluate paths: packs the subset rows, dedups the
+  /// per-scenario surviving masks, ranks each distinct mask (in parallel
+  /// when threads > 1) and expands back to a per-scenario rank table.
+  std::vector<std::size_t> ranks_by_scenario(
+      const std::vector<std::size_t>& subset, std::size_t threads) const;
+
+  /// The base class's chunked reduction over a precomputed rank table —
+  /// bitwise identical to ScenarioErEngine::evaluate() when the ranks are.
+  double weighted_sum(const std::vector<std::size_t>& ranks) const;
+
+  linalg::BitRows path_bits_;    ///< All candidate paths, packed by link.
+  linalg::BitRows failed_bits_;  ///< All scenarios' failed links, packed.
+
+  /// Cross-call rank memo keyed by the surviving path-id set (a bitmask
+  /// over all candidate paths, serialized to bytes).  The rank of a
+  /// surviving row set depends only on which paths survive, so the memo
+  /// is valid across different subsets and calls.  Guarded by a mutex:
+  /// the engine is shared const across service worker threads.
+  mutable std::mutex memo_mutex_;
+  mutable std::unordered_map<std::string, std::size_t> rank_memo_;
+};
+
+}  // namespace rnt::core

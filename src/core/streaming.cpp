@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -77,6 +78,16 @@ bool StreamingSelector::offer(std::size_t path) {
     }
   }
   return kept_anywhere;
+}
+
+std::vector<std::size_t> StreamingSelector::kept_paths() const {
+  std::vector<std::size_t> all;
+  for (const Sieve& sieve : sieves_) {
+    all.insert(all.end(), sieve.kept.begin(), sieve.kept.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
 }
 
 Selection StreamingSelector::selection() const {

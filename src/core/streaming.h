@@ -48,6 +48,12 @@ class StreamingSelector {
   /// Number of active sieves (memory diagnostic).
   std::size_t sieve_count() const { return sieves_.size(); }
 
+  /// Union of paths currently kept by any sieve (sorted, deduplicated) —
+  /// the selector's committed memory.  A streaming algorithm may not
+  /// revisit discarded items, so a path in this set must never leave it:
+  /// sieve refreshes only retire sieves whose kept list is empty.
+  std::vector<std::size_t> kept_paths() const;
+
  private:
   struct Sieve {
     double threshold = 0.0;

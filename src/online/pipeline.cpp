@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/expected_rank.h"
+#include "core/kernel_er.h"
 #include "tomo/localization.h"
 
 namespace rnt::online {
@@ -47,13 +48,25 @@ Pipeline::Pipeline(const tomo::PathSystem& system,
   if (config_.policy == ReplanPolicy::kOracle && !config_.oracle) {
     throw std::invalid_argument("Pipeline: oracle policy needs oracle models");
   }
+  if (config_.er_engine != "prob" && config_.er_engine != "kernel") {
+    throw std::invalid_argument("Pipeline: er_engine must be prob or kernel");
+  }
 }
 
 void Pipeline::plan(const failures::FailureModel& model,
                     PipelineResult& result) {
-  const core::ProbBoundEr engine(system_, model);
   ReplanStats stats;
-  result.final_selection = replanner_.replan(engine, config_.budget, &stats);
+  if (config_.er_engine == "kernel") {
+    // Fresh scenario sample per plan: the model changed, so memoized
+    // ranks from a previous plan's engine would not apply anyway.
+    Rng rng(config_.er_seed);
+    const core::KernelErEngine engine = core::KernelErEngine::monte_carlo(
+        system_, model, config_.er_runs, rng);
+    result.final_selection = replanner_.replan(engine, config_.budget, &stats);
+  } else {
+    const core::ProbBoundEr engine(system_, model);
+    result.final_selection = replanner_.replan(engine, config_.budget, &stats);
+  }
   result.gain_evaluations += stats.rome.gain_evaluations;
 }
 

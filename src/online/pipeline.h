@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/selection.h"
@@ -50,6 +52,12 @@ struct PipelineConfig {
   double budget = 0.0;  ///< Probing budget per epoch.
   ReplanPolicy policy = ReplanPolicy::kAdaptive;
   std::size_t period = 20;  ///< kPeriodic re-plan interval.
+  /// ER engine for (re-)planning: "prob" scores with the ProbBound
+  /// surrogate; "kernel" samples er_runs scenarios from the current model
+  /// (seed er_seed) and scores them with the bit-packed rank kernel.
+  std::string er_engine = "prob";
+  std::size_t er_runs = 50;
+  std::uint64_t er_seed = 101;
   LinkEstimatorConfig estimator;
   DriftDetectorConfig drift;
   ReplannerConfig replanner;

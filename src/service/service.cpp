@@ -52,6 +52,11 @@ core::Selection run_algorithm(const CachedWorkload& cw,
     core::MonteCarloEr engine(*w.system, *w.failures, 50, rng);
     return core::rome(*w.system, w.costs, budget, engine);
   }
+  if (algorithm == "kernel-rome") {
+    // Same mixture and seeding as monte-rome, evaluated by the cached
+    // bit-packed engine — identical selection, shared across requests.
+    return core::rome(*w.system, w.costs, budget, cw.kernel_engine());
+  }
   if (algorithm == "select-path") {
     Rng rng(w.seed * 103);
     return core::select_path_budgeted(*w.system, w.costs, budget, rng);
@@ -60,8 +65,8 @@ core::Selection run_algorithm(const CachedWorkload& cw,
     return core::matrome(*w.system, *w.failures);
   }
   throw std::invalid_argument(
-      "unknown algorithm (want prob-rome, monte-rome, select-path or "
-      "mat-rome): " +
+      "unknown algorithm (want prob-rome, monte-rome, kernel-rome, "
+      "select-path or mat-rome): " +
       algorithm);
 }
 
@@ -279,6 +284,11 @@ Response Service::dispatch(const Request& request) {
       r.set("rank-std", eval.rank.stats.stddev());
       r.set("rank-p10", eval.rank.distribution.quantile(0.1));
       r.set("prob-er", cw->prob_bound.evaluate(subset));
+      if (request.get("engine", "") == "kernel") {
+        // The cached bit-packed MC engine: repeated ER queries against the
+        // same workload hit its mask-to-rank memo instead of eliminating.
+        r.set("kernel-er", cw->kernel_engine().evaluate(subset));
+      }
       return r;
     }
     case RequestType::kIdentifiability: {

@@ -25,6 +25,16 @@ exp::Workload build_workload(const WorkloadKey& key) {
 
 }  // namespace
 
+const core::KernelErEngine& CachedWorkload::kernel_engine() const {
+  std::call_once(kernel_once_, [this] {
+    Rng rng(workload.seed * 101);
+    kernel_ = std::make_unique<core::KernelErEngine>(
+        core::KernelErEngine::monte_carlo(*workload.system, *workload.failures,
+                                          50, rng));
+  });
+  return *kernel_;
+}
+
 std::string WorkloadKey::describe() const {
   std::ostringstream out;
   if (topology.empty()) {

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/expected_rank.h"
+#include "core/kernel_er.h"
 #include "exp/workload.h"
 
 namespace rnt::service {
@@ -56,6 +57,19 @@ struct CachedWorkload {
 
   exp::Workload workload;
   core::ProbBoundEr prob_bound;
+
+  /// Bit-packed Monte Carlo engine over the monte-rome mixture (seed
+  /// workload.seed * 101, 50 runs — the same sampler and seeding as the
+  /// kSelect monte-rome branch, so both score the identical scenarios).
+  /// Built on first use under std::call_once and shared by every request
+  /// thread afterwards: the engine is const-thread-safe and its internal
+  /// mask-to-rank memo turns repeated ER queries on a cached workload
+  /// into hash lookups.
+  const core::KernelErEngine& kernel_engine() const;
+
+ private:
+  mutable std::once_flag kernel_once_;
+  mutable std::unique_ptr<core::KernelErEngine> kernel_;
 };
 
 /// Thread-safe LRU cache of CachedWorkload entries.

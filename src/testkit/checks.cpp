@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/expected_rank.h"
+#include "core/kernel_er.h"
 #include "core/matrome.h"
 #include "core/rome.h"
 #include "exp/workload.h"
@@ -582,6 +583,92 @@ CheckResult check_workload_cache_eviction(const TestInstance& inst,
 // Registry
 // --------------------------------------------------------------------------
 
+// --------------------------------------------------------------------------
+// 13. The bit-packed kernel engine is a faithful twin of the scenario
+// engine: exact per-scenario integer ranks, bitwise-equal evaluate paths,
+// and accumulator gains/values within tolerance over a shuffled greedy run.
+// --------------------------------------------------------------------------
+
+CheckResult check_kernel_matches_scenario(const TestInstance& inst,
+                                          const FaultPlan&) {
+  Rng rng = check_rng(inst, "kernel-matches-scenario");
+  Rng mc_rng = rng.fork();
+  // Odd scenario count so chunking never divides evenly; the exact engine
+  // adds a zero-weight-rich mixture over the full 2^links space.
+  const core::MonteCarloEr mc(inst.system, inst.model, 33, mc_rng);
+  const core::ExactEr exact(inst.system, inst.model);
+
+  for (const core::ScenarioErEngine* engine :
+       {static_cast<const core::ScenarioErEngine*>(&mc),
+        static_cast<const core::ScenarioErEngine*>(&exact)}) {
+    const core::KernelErEngine kernel(inst.system, engine->scenarios(),
+                                      engine->weights(), engine->name());
+    const std::vector<std::vector<std::size_t>> subsets = {
+        all_paths(inst), random_subset(rng, inst.path_count())};
+    for (const auto& subset : subsets) {
+      // Exact per-scenario rank equality against the production float path.
+      const auto ranks = kernel.scenario_ranks(subset);
+      for (std::size_t s = 0; s < ranks.size(); ++s) {
+        const std::size_t oracle =
+            inst.system.surviving_rank(subset, engine->scenarios()[s]);
+        if (ranks[s] != oracle) {
+          return CheckResult::fail(
+              engine->name() + " scenario " + std::to_string(s) +
+              ": kernel rank " + std::to_string(ranks[s]) +
+              " != elimination rank " + std::to_string(oracle));
+        }
+      }
+      // Bitwise-equal ER, serial and for every thread count.
+      const double reference = engine->evaluate(subset);
+      const double serial = kernel.evaluate(subset);
+      if (serial != reference) {
+        return CheckResult::fail(engine->name() + " kernel evaluate " +
+                                 fmt(serial) + " differs bitwise from " +
+                                 fmt(reference));
+      }
+      for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                        std::size_t{3}, std::size_t{5}}) {
+        const double parallel = kernel.evaluate_parallel(subset, threads);
+        if (parallel != reference) {
+          return CheckResult::fail(
+              engine->name() + " kernel evaluate_parallel(threads=" +
+              std::to_string(threads) + ") = " + fmt(parallel) +
+              " differs bitwise from " + fmt(reference));
+        }
+      }
+    }
+
+    // Accumulator twins over a shuffled greedy trajectory: gains for every
+    // candidate before each add, value after each add, both within kTol
+    // (class-merged weights reorder the scenario sum).
+    auto scenario_acc = engine->make_accumulator();
+    auto kernel_acc = kernel.make_accumulator();
+    std::vector<std::size_t> order = all_paths(inst);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    for (const std::size_t path : order) {
+      for (std::size_t q = 0; q < inst.path_count(); ++q) {
+        const double sg = scenario_acc->gain(q);
+        const double kg = kernel_acc->gain(q);
+        if (std::abs(sg - kg) > kTol) {
+          return CheckResult::fail(
+              engine->name() + " gain(" + std::to_string(q) + ") drift: " +
+              fmt(sg) + " (scenario) vs " + fmt(kg) + " (kernel)");
+        }
+      }
+      scenario_acc->add(path);
+      kernel_acc->add(path);
+      if (std::abs(scenario_acc->value() - kernel_acc->value()) > kTol) {
+        return CheckResult::fail(engine->name() + " accumulator value drift: " +
+                                 fmt(scenario_acc->value()) + " vs " +
+                                 fmt(kernel_acc->value()));
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
 const std::vector<Check>& all_checks() {
   static const std::vector<Check> checks = {
       {"er-monotone-submodular",
@@ -623,6 +710,10 @@ const std::vector<Check>& all_checks() {
        "service ProbBound bitwise stable across cache eviction and "
        "re-admission",
        32, false, check_workload_cache_eviction},
+      {"kernel-matches-scenario",
+       "bit-packed kernel engine: exact scenario ranks, bitwise ER, "
+       "accumulator gains within 1e-9 of the scenario engine",
+       1, true, check_kernel_matches_scenario},
   };
   return checks;
 }

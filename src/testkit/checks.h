@@ -74,5 +74,7 @@ CheckResult check_probbound_accumulator_consistent(const TestInstance&,
 CheckResult check_trace_roundtrip(const TestInstance&, const FaultPlan&);
 CheckResult check_workload_cache_eviction(const TestInstance&,
                                           const FaultPlan&);
+CheckResult check_kernel_matches_scenario(const TestInstance&,
+                                          const FaultPlan&);
 
 }  // namespace rnt::testkit

@@ -1,0 +1,70 @@
+// Minimal JSON value type with a writer and a recursive-descent parser —
+// just enough for the machine-readable benchmark reports (BENCH_*.json)
+// and the bench_compare checker that diffs them.  Objects preserve
+// insertion order so emitted reports are stable and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rnt::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json boolean(bool value);
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+
+  /// Typed access; throws std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(Json value);
+  const std::vector<Json>& items() const;
+
+  /// Object access.  set() replaces an existing key in place (order kept).
+  Json& set(const std::string& key, Json value);
+  const Json* find(const std::string& key) const;       ///< nullptr if absent.
+  const Json& at(const std::string& key) const;         ///< Throws if absent.
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Serializes with two-space indentation and a trailing newline at the
+  /// top level — the committed-baseline format.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// position on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// File helpers for reports: read_file throws on a missing path.
+std::string read_file(const std::string& path);
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace rnt::util

@@ -1,0 +1,25 @@
+# Runs a figure driver and diffs its stdout bitwise against a committed
+# golden file.  Invoked by the golden_* ctest entries (tests/CMakeLists.txt):
+#
+#   cmake -DDRIVER=<exe> -DARGS="--flag value ..." -DGOLDEN=<file>
+#         -DOUT=<scratch> -P run_golden.cmake
+#
+# The drivers' --golden flag drops every wall-clock column, so the output
+# is a pure function of (seed, engine, parameters) — any byte difference
+# is a real behavior change, including thread-count nondeterminism.
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${DRIVER} ${arg_list}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${DRIVER} exited with ${run_rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "output ${OUT} differs from golden ${GOLDEN}; "
+                      "if the change is intended, regenerate the golden "
+                      "with the command above and commit it")
+endif()

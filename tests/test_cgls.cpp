@@ -147,5 +147,63 @@ TEST(LsqEstimation, EmptyMeasurements) {
   EXPECT_TRUE(result.identifiable.empty());
 }
 
+TEST(Cgls, RankDeficientColumnsGiveMinimumNorm) {
+  // Column 1 duplicates column 0, so solutions form a line: every LS
+  // solution has x0 + x1 = 2 and x2 = 3; minimum norm picks (1, 1, 3).
+  linalg::Matrix a{{1, 1, 0}, {0, 0, 1}, {1, 1, 1}};
+  const std::vector<double> b = {2.0, 3.0, 5.0};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-8);
+  EXPECT_NEAR(result.x[2], 3.0, 1e-8);
+  EXPECT_NEAR(result.residual_norm, 0.0, 1e-8);
+  // The sparse variant agrees on the same rank-deficient system.
+  const auto sparse = linalg::cgls_solve(linalg::SparseMatrix::from_dense(a), b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sparse.x[i], result.x[i], 1e-8);
+  }
+}
+
+TEST(Cgls, RankDeficientRowsAverageRedundantProbes) {
+  // Duplicate measurement rows with conflicting values: LS averages them
+  // instead of discarding the redundancy.
+  linalg::Matrix a{{1, 0}, {1, 0}, {0, 1}};
+  const std::vector<double> b = {1.0, 3.0, 2.0};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-10);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-10);
+  EXPECT_NEAR(result.residual_norm, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Cgls, ZeroRowsCarryNoInformation) {
+  // An all-zero row (a fully failed path) only adds a constant to the
+  // residual — the solution must ignore it, dense and sparse alike.
+  linalg::Matrix a{{1, 0}, {0, 0}, {0, 1}};
+  const std::vector<double> b = {4.0, 7.0, -2.0};
+  for (const auto& result :
+       {linalg::cgls_solve(a, b),
+        linalg::cgls_solve(linalg::SparseMatrix::from_dense(a), b)}) {
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x[0], 4.0, 1e-10);
+    EXPECT_NEAR(result.x[1], -2.0, 1e-10);
+    EXPECT_NEAR(result.residual_norm, 7.0, 1e-8);
+  }
+}
+
+TEST(Cgls, AllZeroMatrixConvergesToZero) {
+  // Aᵀb = 0 means x = 0 is already optimal; the solver must report
+  // convergence without iterating instead of dividing by a zero norm.
+  linalg::Matrix a(3, 2);
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_DOUBLE_EQ(result.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.x[1], 0.0);
+  EXPECT_NEAR(result.residual_norm, std::sqrt(14.0), 1e-12);
+}
+
 }  // namespace
 }  // namespace rnt

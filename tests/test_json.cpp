@@ -1,0 +1,91 @@
+// Tests for the minimal JSON reader/writer behind BENCH_*.json reports.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace rnt::util {
+namespace {
+
+TEST(Json, BuildsAndDumpsStableObjects) {
+  Json report = Json::object();
+  report.set("suite", Json::string("micro_er_engines"));
+  Json config = Json::object();
+  config.set("paths", Json::number(64));
+  config.set("scenarios", Json::number(50));
+  report.set("config", std::move(config));
+  Json ratios = Json::object();
+  ratios.set("kernel_vs_scenario_evaluate", Json::number(6.5));
+  report.set("ratios", std::move(ratios));
+
+  const std::string text = report.dump();
+  // Insertion order is preserved (diffable baselines).
+  EXPECT_LT(text.find("suite"), text.find("config"));
+  EXPECT_LT(text.find("config"), text.find("ratios"));
+  EXPECT_NE(text.find("\"paths\": 64"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Json, ParseRoundTripsDump) {
+  Json doc = Json::object();
+  doc.set("name", Json::string("p50 \"quoted\"\nline"));
+  doc.set("flag", Json::boolean(true));
+  doc.set("none", Json());
+  Json arr = Json::array();
+  arr.push_back(Json::number(1.5));
+  arr.push_back(Json::number(-3));
+  arr.push_back(Json::number(1e-9));
+  doc.set("values", std::move(arr));
+
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.at("name").as_string(), "p50 \"quoted\"\nline");
+  EXPECT_TRUE(back.at("flag").as_bool());
+  EXPECT_TRUE(back.at("none").is_null());
+  const auto& values = back.at("values").items();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0].as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(values[1].as_number(), -3.0);
+  EXPECT_DOUBLE_EQ(values[2].as_number(), 1e-9);
+}
+
+TEST(Json, ParsesHandWrittenDocument) {
+  const Json doc = Json::parse(R"({
+    "metrics": {
+      "kernel_evaluate": {"ops_per_sec": 1.25e4, "p50_us": 80.0}
+    },
+    "list": [true, false, null],
+    "escaped": "a\tbA"
+  })");
+  EXPECT_DOUBLE_EQ(
+      doc.at("metrics").at("kernel_evaluate").at("ops_per_sec").as_number(),
+      1.25e4);
+  EXPECT_EQ(doc.at("list").items().size(), 3u);
+  EXPECT_EQ(doc.at("escaped").as_string(), "a\tbA");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("12 34"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const Json n = Json::number(3.0);
+  EXPECT_THROW(n.as_string(), std::runtime_error);
+  EXPECT_THROW(n.items(), std::runtime_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(Json()), std::runtime_error);
+  obj.set("k", Json::number(1));
+  obj.set("k", Json::number(2));  // set replaces in place.
+  EXPECT_DOUBLE_EQ(obj.at("k").as_number(), 2.0);
+  EXPECT_EQ(obj.members().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rnt::util

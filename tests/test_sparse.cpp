@@ -138,5 +138,57 @@ TEST(Sparse, RowSpansExposePattern) {
   EXPECT_DOUBLE_EQ(vals1[0], 2.0);
 }
 
+TEST(Sparse, ZeroRowsSurviveEveryOperation) {
+  // Rows 1 and 3 are all-zero — the shape a failure scenario leaves after
+  // knocking out every link of a path.
+  const SparseMatrix m = SparseMatrix::from_rows(
+      3, {{{0, 1.0}, {2, 2.0}}, {}, {{2, 1.0}}, {}});
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_TRUE(m.row_columns(1).empty());
+  EXPECT_TRUE(m.row_values(3).empty());
+
+  const std::vector<double> x = {1.0, 5.0, 2.0};
+  const auto y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+
+  // Transpose, selection and rank stay consistent through the empty rows.
+  EXPECT_EQ(m.transposed().cols(), 4u);
+  EXPECT_EQ(m.transposed().to_dense(), m.to_dense().transposed());
+  const SparseMatrix only_zero = m.select_rows({1, 3});
+  EXPECT_EQ(only_zero.rows(), 2u);
+  EXPECT_EQ(only_zero.nonzeros(), 0u);
+  EXPECT_EQ(only_zero.rank_via_dense(), 0u);
+  EXPECT_EQ(m.rank_via_dense(), 2u);
+}
+
+TEST(Sparse, RankDeficientRowsMatchDenseOracle) {
+  // r2 = r0 and r3 = r0 + r1: rank stays 2, agreeing with the dense rank.
+  const SparseMatrix m = SparseMatrix::from_rows(
+      4, {{{0, 1.0}, {1, 1.0}},
+          {{1, 1.0}, {3, 1.0}},
+          {{0, 1.0}, {1, 1.0}},
+          {{0, 1.0}, {1, 2.0}, {3, 1.0}}});
+  EXPECT_EQ(m.rank_via_dense(), 2u);
+  EXPECT_EQ(m.rank_via_dense(), rank(m.to_dense()));
+}
+
+TEST(Sparse, AllZeroMatrixHasRankZero) {
+  const SparseMatrix m = SparseMatrix::from_rows(6, {{}, {}, {}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 6u);
+  EXPECT_EQ(m.rank_via_dense(), 0u);
+  EXPECT_DOUBLE_EQ(m.density(), 0.0);
+  for (double v : m.multiply(std::vector<double>(6, 1.0))) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  for (double v : m.multiply_transposed(std::vector<double>(3, 1.0))) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace rnt::linalg

@@ -1,0 +1,144 @@
+// Gates a fresh BENCH_*.json against a committed baseline.
+//
+//   bench_compare --baseline bench/baselines/BENCH_ER.json \
+//                 --current BENCH_ER.json \
+//                 --tolerance 0.25 \
+//                 --require kernel_vs_scenario_evaluate>=5
+//
+// Only "ratios" are gated: they compare two operations measured in the
+// same process on the same machine, so they transfer across hardware up
+// to noise — a current ratio more than --tolerance below the baseline is
+// a regression (higher is better; all ratios are speedups).  Absolute
+// "metrics" (ops/sec, p50/p95) are machine-dependent and printed for
+// information only.  --require pins hard floors from the acceptance
+// criteria, independent of what the baseline drifted to.
+//
+// Exit code 0 = all gates pass, 1 = regression / missing ratio / unmet
+// floor / malformed input.  docs/BENCHMARKS.md covers re-baselining.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace rnt {
+namespace {
+
+struct Requirement {
+  std::string ratio;
+  double floor = 0.0;
+};
+
+/// Parses "name>=X[,name>=Y...]"; throws on anything else.
+std::vector<Requirement> parse_requirements(const std::string& spec) {
+  std::vector<Requirement> reqs;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t pos = item.find(">=");
+    if (pos == std::string::npos || pos == 0) {
+      throw std::invalid_argument("bad --require clause '" + item +
+                                  "' (expected name>=value)");
+    }
+    Requirement req;
+    req.ratio = item.substr(0, pos);
+    req.floor = std::stod(item.substr(pos + 2));
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+int run(Flags& flags) {
+  const std::string baseline_path = flags.get_string("baseline", "");
+  const std::string current_path = flags.get_string("current", "");
+  const double tolerance = flags.get_double("tolerance", 0.25);
+  const std::vector<Requirement> requirements =
+      parse_requirements(flags.get_string("require", ""));
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "usage: bench_compare --baseline PATH --current PATH"
+                 " [--tolerance 0.25] [--require name>=X,...]\n";
+    return 1;
+  }
+
+  const util::Json baseline = util::Json::parse(util::read_file(baseline_path));
+  const util::Json current = util::Json::parse(util::read_file(current_path));
+  const std::string base_suite = baseline.at("suite").as_string();
+  const std::string cur_suite = current.at("suite").as_string();
+  if (base_suite != cur_suite) {
+    std::cerr << "FAIL: suite mismatch: baseline '" << base_suite
+              << "' vs current '" << cur_suite << "'\n";
+    return 1;
+  }
+
+  int failures = 0;
+  TablePrinter table({"ratio", "baseline", "current", "floor", "status"});
+  const util::Json& base_ratios = baseline.at("ratios");
+  const util::Json& cur_ratios = current.at("ratios");
+  for (const auto& [name, base_value] : base_ratios.members()) {
+    const util::Json* cur = cur_ratios.find(name);
+    if (cur == nullptr) {
+      table.add_row({name, fmt(base_value.as_number(), 3), "missing", "-",
+                     "FAIL"});
+      ++failures;
+      continue;
+    }
+    const double floor = base_value.as_number() * (1.0 - tolerance);
+    const bool ok = cur->as_number() >= floor;
+    if (!ok) ++failures;
+    table.add_row({name, fmt(base_value.as_number(), 3),
+                   fmt(cur->as_number(), 3), fmt(floor, 3),
+                   ok ? "ok" : "FAIL"});
+  }
+  for (const Requirement& req : requirements) {
+    const util::Json* cur = cur_ratios.find(req.ratio);
+    const bool ok = cur != nullptr && cur->as_number() >= req.floor;
+    if (!ok) ++failures;
+    table.add_row({req.ratio + " (required)", "-",
+                   cur == nullptr ? "missing" : fmt(cur->as_number(), 3),
+                   fmt(req.floor, 3), ok ? "ok" : "FAIL"});
+  }
+  table.print(std::cout, false);
+
+  // Absolute numbers: informational only (machine-dependent).
+  std::cout << "\nmetrics (informational, ops/sec):\n";
+  const util::Json& base_metrics = baseline.at("metrics");
+  const util::Json& cur_metrics = current.at("metrics");
+  for (const auto& [name, cur_value] : cur_metrics.members()) {
+    const util::Json* base = base_metrics.find(name);
+    std::cout << "  " << name << ": "
+              << fmt(cur_value.at("ops_per_sec").as_number(), 1);
+    if (base != nullptr) {
+      std::cout << " (baseline " << fmt(base->at("ops_per_sec").as_number(), 1)
+                << ")";
+    }
+    std::cout << "\n";
+  }
+
+  if (failures > 0) {
+    std::cout << "\nFAIL: " << failures << " gate(s) regressed beyond "
+              << fmt(tolerance * 100.0, 0) << "% tolerance\n";
+    return 1;
+  }
+  std::cout << "\nOK: all " << base_ratios.members().size() << " ratio(s) and "
+            << requirements.size() << " floor(s) within tolerance\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace rnt
+
+int main(int argc, char** argv) {
+  try {
+    rnt::Flags flags(argc, argv);
+    const int rc = rnt::run(flags);
+    flags.finish();
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
