@@ -1,0 +1,100 @@
+#include "cluster/cluster_client.h"
+
+#include <utility>
+
+namespace rnt::cluster {
+
+ClusterClient::ClusterClient(std::vector<WorkerEndpoint> workers,
+                             service::ClientOptions options)
+    : options_(options) {
+  if (workers.empty()) {
+    throw std::invalid_argument("cluster: need at least one worker endpoint");
+  }
+  peers_.reserve(workers.size());
+  for (WorkerEndpoint& endpoint : workers) {
+    auto peer = std::make_unique<Peer>();
+    peer->endpoint = std::move(endpoint);
+    peers_.push_back(std::move(peer));
+  }
+}
+
+ClusterClient::Peer& ClusterClient::peer(std::size_t worker) {
+  if (worker >= peers_.size()) {
+    throw std::invalid_argument("cluster: worker index out of range");
+  }
+  return *peers_[worker];
+}
+
+const ClusterClient::Peer& ClusterClient::peer(std::size_t worker) const {
+  if (worker >= peers_.size()) {
+    throw std::invalid_argument("cluster: worker index out of range");
+  }
+  return *peers_[worker];
+}
+
+const WorkerEndpoint& ClusterClient::endpoint(std::size_t worker) const {
+  return peer(worker).endpoint;
+}
+
+bool ClusterClient::alive(std::size_t worker) const {
+  return peer(worker).alive.load();
+}
+
+std::size_t ClusterClient::alive_count() const {
+  std::size_t count = 0;
+  for (const auto& p : peers_) {
+    if (p->alive.load()) ++count;
+  }
+  return count;
+}
+
+void ClusterClient::mark_dead(std::size_t worker) {
+  Peer& p = peer(worker);
+  p.alive.store(false);
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.conn.reset();
+}
+
+service::Response ClusterClient::call(std::size_t worker,
+                                      const service::Request& request) {
+  Peer& p = peer(worker);
+  const std::string where =
+      p.endpoint.host + ":" + std::to_string(p.endpoint.port);
+  if (!p.alive.load()) {
+    throw TransportError("worker " + where + ": marked dead");
+  }
+  std::lock_guard<std::mutex> lock(p.mu);
+  try {
+    if (!p.conn) {
+      p.conn = std::make_unique<service::TcpClient>(p.endpoint.host,
+                                                    p.endpoint.port, options_);
+    }
+    return p.conn->call(request);
+  } catch (const std::exception& e) {
+    // Anything thrown here — connect/send/recv failure after the retry
+    // ladder, or a garbled reply line — means the transport (not the
+    // application) failed.  Drop the connection so a later call starts
+    // fresh, and let the coordinator decide about failover.
+    p.conn.reset();
+    throw TransportError("worker " + where + ": " + e.what());
+  }
+}
+
+bool ClusterClient::heartbeat(std::size_t worker, double deadline_s) {
+  const Peer& p = peer(worker);
+  if (!p.alive.load()) return false;
+  try {
+    service::ClientOptions probe;
+    probe.connect_timeout_s = deadline_s;
+    probe.reply_timeout_s = deadline_s;
+    probe.retries = 0;
+    service::TcpClient conn(p.endpoint.host, p.endpoint.port, probe);
+    service::Request request;
+    request.type = service::RequestType::kHeartbeat;
+    return conn.call(request).ok;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace rnt::cluster

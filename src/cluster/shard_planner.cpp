@@ -1,0 +1,94 @@
+#include "cluster/shard_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rnt::cluster {
+
+std::vector<Slice> plan_slices(std::size_t scenario_count,
+                               const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("plan_slices: need at least one worker");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "plan_slices: worker weights must be positive and finite");
+    }
+    total += w;
+  }
+
+  // Largest-remainder apportionment: floors first, then the leftover
+  // scenarios go to the largest fractional parts (ties to the lower
+  // worker index), so the plan is deterministic in the inputs.
+  const std::size_t n = weights.size();
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<double> fraction(n, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share =
+        static_cast<double>(scenario_count) * (weights[i] / total);
+    const double floored = std::floor(share);
+    counts[i] = static_cast<std::size_t>(floored);
+    fraction[i] = share - floored;
+    assigned += counts[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return fraction[a] > fraction[b];
+                   });
+  for (std::size_t k = 0; assigned < scenario_count; ++k) {
+    ++counts[order[k % n]];
+    ++assigned;
+  }
+  // Floating-point floors can in principle over-assign by a scenario on
+  // pathological weights; trim from the largest counts deterministically.
+  for (std::size_t k = 0; assigned > scenario_count; ++k) {
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (counts[i] > counts[largest]) largest = i;
+    }
+    --counts[largest];
+    --assigned;
+  }
+
+  std::vector<Slice> slices(n);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    slices[i] = Slice{begin, begin + counts[i]};
+    begin += counts[i];
+  }
+  return slices;
+}
+
+std::vector<std::size_t> assign_owners(std::size_t slice_count,
+                                       const std::vector<bool>& alive) {
+  if (alive.size() != slice_count) {
+    throw std::invalid_argument("assign_owners: mask size mismatch");
+  }
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < slice_count; ++i) {
+    if (alive[i]) survivors.push_back(i);
+  }
+  if (survivors.empty()) {
+    throw std::invalid_argument("assign_owners: no alive workers");
+  }
+  std::vector<std::size_t> owners(slice_count, 0);
+  std::size_t next = 0;  // Round-robin cursor over survivors.
+  for (std::size_t i = 0; i < slice_count; ++i) {
+    if (alive[i]) {
+      owners[i] = i;
+    } else {
+      owners[i] = survivors[next % survivors.size()];
+      ++next;
+    }
+  }
+  return owners;
+}
+
+}  // namespace rnt::cluster

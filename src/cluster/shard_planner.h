@@ -1,0 +1,49 @@
+// Deterministic partitioning of the sampled scenario set across cluster
+// workers.
+//
+// plan_slices() hands each worker one contiguous slice of scenario
+// indices, sized proportionally to its weight by largest-remainder
+// apportionment — a pure function of (scenario_count, weights), so every
+// coordinator (and every retry) derives the identical plan.  Contiguity
+// matters: the kernel engine's chunked float reduction walks scenarios in
+// index order, so contiguous slices let the coordinator paste shard
+// results straight into the single-node evaluation order.
+//
+// assign_owners() maps slices to live workers.  A live worker owns its
+// own slice; a dead worker's slice is reassigned round-robin over the
+// survivors in slice order.  The *slices* never change — only who
+// computes them — so a failover changes latency, never the merge order
+// or any merged bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rnt::cluster {
+
+/// A contiguous scenario range [begin, end).
+struct Slice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  bool operator==(const Slice&) const = default;
+};
+
+/// Partitions [0, scenario_count) into one slice per worker, sized
+/// proportionally to `weights` (all must be positive and finite) with
+/// largest-remainder rounding, ties to the lower worker index.  Slices
+/// are contiguous, disjoint, in worker order, and cover every scenario;
+/// some may be empty when workers outnumber scenarios.
+std::vector<Slice> plan_slices(std::size_t scenario_count,
+                               const std::vector<double>& weights);
+
+/// Owner worker per slice given the liveness mask: slice i stays with
+/// worker i when alive, otherwise moves to a survivor — dead slices take
+/// survivors round-robin in slice order.  Throws std::invalid_argument
+/// when no worker is alive or the mask size mismatches.
+std::vector<std::size_t> assign_owners(std::size_t slice_count,
+                                       const std::vector<bool>& alive);
+
+}  // namespace rnt::cluster

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -71,6 +72,74 @@ std::size_t hybrid_rank(const tomo::PathSystem& system,
   return rank;
 }
 
+/// The per-class basis state shared by the single-node accumulator and
+/// the slice-local shard accumulator: an incremental GF(2) basis that is
+/// authoritative while exact ("synced"), the committed independent rows,
+/// and the lazily materialized floating-point fallback.  The mask is
+/// borrowed from the engine's ScenarioClasses (stable heap storage).
+struct ClassBasis {
+  ClassBasis(const std::vector<std::uint64_t>& mask, std::size_t links)
+      : survive_mask(&mask), gf2(links) {}
+
+  bool survives(std::size_t path) const {
+    return (((*survive_mask)[path / 64] >> (path % 64)) & 1u) != 0;
+  }
+
+  const std::vector<std::uint64_t>* survive_mask;  ///< Over candidate paths.
+  linalg::Gf2Basis gf2;
+  bool synced = true;
+  std::vector<std::size_t> added;  ///< Committed independent paths.
+  std::unique_ptr<linalg::IncrementalBasis> exact;
+};
+
+/// Materializes the floating-point basis from the committed rows on the
+/// first ambiguous query (identical state to a ScenarioAccumulator basis
+/// for this class: dependent rows never entered either).
+linalg::IncrementalBasis& ensure_exact(const tomo::PathSystem& system,
+                                       ClassBasis& c) {
+  if (!c.exact) {
+    c.exact = std::make_unique<linalg::IncrementalBasis>(
+        system.link_count(), linalg::kDefaultTolerance,
+        /*track_combinations=*/false);
+    for (std::size_t p : c.added) c.exact->try_add(system.row(p));
+  }
+  return *c.exact;
+}
+
+/// Non-committing independence query against the committed selection.
+/// While synced, GF(2)-independence certifies rational independence
+/// (odd-minor argument, linalg/bitrank.h); GF(2)-dependence — and any
+/// query after a desync — defers to the exact basis.
+bool query_independent(const tomo::PathSystem& system, ClassBasis& c,
+                       std::span<const std::uint64_t> bits,
+                       std::span<const double> row) {
+  if (c.synced && c.gf2.is_independent(bits)) return true;
+  return ensure_exact(system, c).is_independent(row);
+}
+
+/// Commits `path` into the class basis; returns whether it entered as a
+/// new independent row.  Must be called with c.survives(path) true.
+bool commit_path(const tomo::PathSystem& system, ClassBasis& c,
+                 std::size_t path, std::span<const std::uint64_t> bits,
+                 std::span<const double> row) {
+  bool independent = false;
+  if (c.synced) {
+    if (c.gf2.try_add(bits)) {
+      independent = true;
+      if (c.exact) c.exact->try_add(row);
+    } else {
+      independent = ensure_exact(system, c).try_add(row);
+      // A GF(2)-dependent but rationally independent row: the GF(2)
+      // basis lost a dimension and stops being authoritative.
+      if (independent) c.synced = false;
+    }
+  } else {
+    independent = ensure_exact(system, c).try_add(row);
+  }
+  if (independent) c.added.push_back(path);
+  return independent;
+}
+
 }  // namespace
 
 KernelErEngine::KernelErEngine(const tomo::PathSystem& system,
@@ -94,7 +163,8 @@ KernelErEngine::KernelErEngine(KernelErEngine&& other) noexcept
     : ScenarioErEngine(std::move(other)),
       path_bits_(std::move(other.path_bits_)),
       failed_bits_(std::move(other.failed_bits_)),
-      rank_memo_(std::move(other.rank_memo_)) {}
+      rank_memo_(std::move(other.rank_memo_)),
+      classes_(std::move(other.classes_)) {}
 
 KernelErEngine KernelErEngine::monte_carlo(const tomo::PathSystem& system,
                                            const failures::FailureModel& model,
@@ -130,9 +200,10 @@ KernelErEngine KernelErEngine::exact(const tomo::PathSystem& system,
                         "ExactER");
 }
 
-std::vector<std::size_t> KernelErEngine::ranks_by_scenario(
-    const std::vector<std::size_t>& subset, std::size_t threads) const {
-  const std::size_t n = scenario_count();
+std::vector<std::size_t> KernelErEngine::ranks_in_range(
+    const std::vector<std::size_t>& subset, std::size_t threads,
+    std::size_t begin, std::size_t end) const {
+  const std::size_t n = end - begin;
   std::vector<std::size_t> ranks(n, 0);
   if (n == 0) return ranks;
 
@@ -148,7 +219,8 @@ std::vector<std::size_t> KernelErEngine::ranks_by_scenario(
   // Surviving-row bitmask per scenario, deduplicated on the surviving
   // path-id set: scenarios that keep the same rows alive share one rank
   // computation, and the same key indexes the cross-call memo — the rank
-  // of a surviving set does not depend on which subset it came from.
+  // of a surviving set does not depend on which subset it came from, nor
+  // on the scenario range it was encountered in.
   struct Distinct {
     std::string key;                 ///< Global path-id key, for the memo.
     std::vector<std::uint64_t> keep; ///< Subset-position mask, for ranking.
@@ -158,7 +230,7 @@ std::vector<std::size_t> KernelErEngine::ranks_by_scenario(
   std::unordered_map<std::string, std::uint32_t> ids;
   std::vector<std::uint64_t> keep(mask_words);
   std::vector<std::uint64_t> key(key_words);
-  for (std::size_t s = 0; s < n; ++s) {
+  for (std::size_t s = begin; s < end; ++s) {
     std::fill(keep.begin(), keep.end(), 0);
     std::fill(key.begin(), key.end(), 0);
     const auto failed = failed_bits_.row(s);
@@ -171,7 +243,7 @@ std::vector<std::size_t> KernelErEngine::ranks_by_scenario(
     const auto [it, inserted] =
         ids.emplace(mask_key(key), static_cast<std::uint32_t>(distinct.size()));
     if (inserted) distinct.push_back({it->first, keep});
-    mask_id[s] = it->second;
+    mask_id[s - begin] = it->second;
   }
 
   // Consult the memo first, then rank only the misses — integer work on
@@ -221,9 +293,13 @@ std::vector<std::size_t> KernelErEngine::ranks_by_scenario(
   return ranks;
 }
 
-double KernelErEngine::weighted_sum(
+double KernelErEngine::reduce_ranks(
     const std::vector<std::size_t>& ranks) const {
   const std::size_t n = scenario_count();
+  if (ranks.size() != n) {
+    throw std::invalid_argument(
+        "KernelErEngine::reduce_ranks: need one rank per scenario");
+  }
   const std::vector<double>& w = weights();
   double er = 0.0;
   for (std::size_t begin = 0; begin < n; begin += kEvalChunk) {
@@ -239,17 +315,60 @@ double KernelErEngine::weighted_sum(
 }
 
 double KernelErEngine::evaluate(const std::vector<std::size_t>& subset) const {
-  return weighted_sum(ranks_by_scenario(subset, 1));
+  return reduce_ranks(ranks_in_range(subset, 1, 0, scenario_count()));
 }
 
 double KernelErEngine::evaluate_parallel(const std::vector<std::size_t>& subset,
                                          std::size_t threads) const {
-  return weighted_sum(ranks_by_scenario(subset, resolve_threads(threads)));
+  return reduce_ranks(
+      ranks_in_range(subset, resolve_threads(threads), 0, scenario_count()));
 }
 
 std::vector<std::size_t> KernelErEngine::scenario_ranks(
     const std::vector<std::size_t>& subset) const {
-  return ranks_by_scenario(subset, 1);
+  return ranks_in_range(subset, 1, 0, scenario_count());
+}
+
+std::vector<std::size_t> KernelErEngine::slice_ranks(
+    const std::vector<std::size_t>& subset, std::size_t begin,
+    std::size_t end) const {
+  if (begin > end || end > scenario_count()) {
+    throw std::invalid_argument("KernelErEngine::slice_ranks: bad range");
+  }
+  return ranks_in_range(subset, 1, begin, end);
+}
+
+const ScenarioClasses& KernelErEngine::scenario_classes() const {
+  const std::lock_guard<std::mutex> lock(classes_mutex_);
+  if (!classes_) {
+    auto sc = std::make_unique<ScenarioClasses>();
+    const std::size_t paths = system_.path_count();
+    const std::size_t path_words = paths == 0 ? 1 : (paths + 63) / 64;
+    std::unordered_map<std::string, std::uint32_t> ids;
+    std::vector<std::uint64_t> mask(path_words);
+    const std::vector<double>& w = weights();
+    sc->class_of.resize(scenario_count(), 0);
+    for (std::size_t s = 0; s < scenario_count(); ++s) {
+      std::fill(mask.begin(), mask.end(), 0);
+      const auto failed = failed_bits_.row(s);
+      for (std::size_t p = 0; p < paths; ++p) {
+        if (linalg::disjoint(path_bits_.row(p), failed)) {
+          mask[p / 64] |= std::uint64_t{1} << (p % 64);
+        }
+      }
+      const auto [it, inserted] = ids.emplace(
+          mask_key(mask), static_cast<std::uint32_t>(sc->masks.size()));
+      if (inserted) {
+        sc->masks.push_back(mask);
+        sc->weights.push_back(0.0);
+        sc->representative.push_back(s);
+      }
+      sc->weights[it->second] += w[s];
+      sc->class_of[s] = it->second;
+    }
+    classes_ = std::move(sc);
+  }
+  return *classes_;
 }
 
 // ---------------------------------------------------------------------------
@@ -268,23 +387,11 @@ class KernelAccumulator : public ErAccumulator {
   explicit KernelAccumulator(const KernelErEngine& engine)
       : engine_(engine),
         system_(engine.system_),
+        classes_info_(engine.scenario_classes()),
         memo_(engine.system_.path_count()) {
-    const std::size_t paths = system_.path_count();
-    const std::size_t path_words = paths == 0 ? 1 : (paths + 63) / 64;
-    std::unordered_map<std::string, std::size_t> ids;
-    std::vector<std::uint64_t> mask(path_words);
-    const std::vector<double>& w = engine_.weights();
-    for (std::size_t s = 0; s < engine_.scenario_count(); ++s) {
-      std::fill(mask.begin(), mask.end(), 0);
-      const auto failed = engine_.failed_bits_.row(s);
-      for (std::size_t p = 0; p < paths; ++p) {
-        if (linalg::disjoint(engine_.path_bits_.row(p), failed)) {
-          mask[p / 64] |= std::uint64_t{1} << (p % 64);
-        }
-      }
-      const auto [it, inserted] = ids.emplace(mask_key(mask), classes_.size());
-      if (inserted) classes_.emplace_back(mask, system_.link_count());
-      classes_[it->second].weight += w[s];
+    classes_.reserve(classes_info_.count());
+    for (const auto& mask : classes_info_.masks) {
+      classes_.emplace_back(mask, system_.link_count());
     }
   }
 
@@ -293,9 +400,11 @@ class KernelAccumulator : public ErAccumulator {
       const auto bits = engine_.path_bits_.row(path);
       const auto row = system_.row(path);
       double g = 0.0;
-      for (ClassState& c : classes_) {
-        if (!c.survives(path)) continue;
-        if (independent_in(c, bits, row)) g += c.weight;
+      for (std::size_t c = 0; c < classes_.size(); ++c) {
+        if (!classes_[c].survives(path)) continue;
+        if (query_independent(system_, classes_[c], bits, row)) {
+          g += classes_info_.weights[c];
+        }
       }
       return g;
     });
@@ -304,25 +413,10 @@ class KernelAccumulator : public ErAccumulator {
   void add(std::size_t path) override {
     const auto bits = engine_.path_bits_.row(path);
     const auto row = system_.row(path);
-    for (ClassState& c : classes_) {
-      if (!c.survives(path)) continue;
-      bool independent = false;
-      if (c.synced) {
-        if (c.gf2.try_add(bits)) {
-          independent = true;
-          if (c.exact) c.exact->try_add(row);
-        } else {
-          independent = ensure_exact(c).try_add(row);
-          // A GF(2)-dependent but rationally independent row: the GF(2)
-          // basis lost a dimension and stops being authoritative.
-          if (independent) c.synced = false;
-        }
-      } else {
-        independent = ensure_exact(c).try_add(row);
-      }
-      if (independent) {
-        c.added.push_back(path);
-        value_ += c.weight;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      if (!classes_[c].survives(path)) continue;
+      if (commit_path(system_, classes_[c], path, bits, row)) {
+        value_ += classes_info_.weights[c];
       }
     }
     memo_.invalidate();
@@ -334,54 +428,115 @@ class KernelAccumulator : public ErAccumulator {
   }
 
  private:
-  struct ClassState {
-    ClassState(std::vector<std::uint64_t> mask, std::size_t links)
-        : survive_mask(std::move(mask)), gf2(links) {}
-
-    bool survives(std::size_t path) const {
-      return ((survive_mask[path / 64] >> (path % 64)) & 1u) != 0;
-    }
-
-    std::vector<std::uint64_t> survive_mask;  ///< Over candidate paths.
-    double weight = 0.0;
-    linalg::Gf2Basis gf2;
-    bool synced = true;
-    std::vector<std::size_t> added;  ///< Committed independent paths.
-    std::unique_ptr<linalg::IncrementalBasis> exact;
-  };
-
-  /// Materializes the floating-point basis from the committed rows on the
-  /// first ambiguous query (identical state to a ScenarioAccumulator basis
-  /// for this class: dependent rows never entered either).
-  linalg::IncrementalBasis& ensure_exact(ClassState& c) const {
-    if (!c.exact) {
-      c.exact = std::make_unique<linalg::IncrementalBasis>(
-          system_.link_count(), linalg::kDefaultTolerance,
-          /*track_combinations=*/false);
-      for (std::size_t p : c.added) c.exact->try_add(system_.row(p));
-    }
-    return *c.exact;
-  }
-
-  bool independent_in(ClassState& c, std::span<const std::uint64_t> bits,
-                      std::span<const double> row) const {
-    // While synced, GF(2)-independence certifies rational independence
-    // (odd-minor argument, linalg/bitrank.h); GF(2)-dependence — and any
-    // query after a desync — defers to the exact basis.
-    if (c.synced && c.gf2.is_independent(bits)) return true;
-    return ensure_exact(c).is_independent(row);
-  }
-
   const KernelErEngine& engine_;
   const tomo::PathSystem& system_;
+  const ScenarioClasses& classes_info_;
   /// gain() is logically const but materializes exact bases lazily.
-  mutable std::vector<ClassState> classes_;
+  mutable std::vector<ClassBasis> classes_;
   GainMemo memo_;
   double value_ = 0.0;
 };
 
 std::unique_ptr<ErAccumulator> KernelErEngine::make_accumulator() const {
   return std::make_unique<KernelAccumulator>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Shard accumulator
+// ---------------------------------------------------------------------------
+
+struct KernelShardAccumulator::Impl {
+  const KernelErEngine& engine;
+  std::size_t begin;
+  std::size_t end;
+  /// One basis per class *present in the slice*, in slice-first-appearance
+  /// order.  The trajectory of a class basis depends only on its mask and
+  /// the committed paths — never on which scenarios (or how many) map to
+  /// it — so slice-local bases match the single-node ones exactly.
+  std::vector<ClassBasis> classes;
+  std::vector<std::uint32_t> local_class;  ///< Slice scenario -> local class.
+
+  Impl(const KernelErEngine& eng, std::size_t b, std::size_t e)
+      : engine(eng), begin(b), end(e) {
+    const ScenarioClasses& sc = engine.scenario_classes();
+    std::unordered_map<std::uint32_t, std::uint32_t> local_of;
+    local_class.reserve(end - begin);
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::uint32_t g = sc.class_of[s];
+      const auto [it, inserted] = local_of.emplace(
+          g, static_cast<std::uint32_t>(classes.size()));
+      if (inserted) {
+        classes.emplace_back(sc.masks[g], engine.system_.link_count());
+      }
+      local_class.push_back(it->second);
+    }
+  }
+
+  std::vector<std::uint64_t> scatter(
+      const std::vector<std::uint8_t>& class_bit) const {
+    const std::size_t n = end - begin;
+    std::vector<std::uint64_t> bits(n == 0 ? 1 : (n + 63) / 64, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (class_bit[local_class[i]]) {
+        bits[i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+    }
+    return bits;
+  }
+};
+
+KernelShardAccumulator::KernelShardAccumulator(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+KernelShardAccumulator::~KernelShardAccumulator() = default;
+KernelShardAccumulator::KernelShardAccumulator(
+    KernelShardAccumulator&&) noexcept = default;
+
+std::size_t KernelShardAccumulator::begin() const { return impl_->begin; }
+std::size_t KernelShardAccumulator::end() const { return impl_->end; }
+
+std::vector<std::uint64_t> KernelShardAccumulator::probe(
+    std::size_t path) const {
+  Impl& im = *impl_;
+  if (path >= im.engine.system_.path_count()) {
+    throw std::invalid_argument("KernelShardAccumulator: path out of range");
+  }
+  const auto bits = im.engine.path_bits_.row(path);
+  const auto row = im.engine.system_.row(path);
+  std::vector<std::uint8_t> class_bit(im.classes.size(), 0);
+  for (std::size_t c = 0; c < im.classes.size(); ++c) {
+    if (!im.classes[c].survives(path)) continue;
+    if (query_independent(im.engine.system_, im.classes[c], bits, row)) {
+      class_bit[c] = 1;
+    }
+  }
+  return im.scatter(class_bit);
+}
+
+std::vector<std::uint64_t> KernelShardAccumulator::add(std::size_t path) {
+  Impl& im = *impl_;
+  if (path >= im.engine.system_.path_count()) {
+    throw std::invalid_argument("KernelShardAccumulator: path out of range");
+  }
+  const auto bits = im.engine.path_bits_.row(path);
+  const auto row = im.engine.system_.row(path);
+  std::vector<std::uint8_t> class_bit(im.classes.size(), 0);
+  for (std::size_t c = 0; c < im.classes.size(); ++c) {
+    if (!im.classes[c].survives(path)) continue;
+    if (commit_path(im.engine.system_, im.classes[c], path, bits, row)) {
+      class_bit[c] = 1;
+    }
+  }
+  return im.scatter(class_bit);
+}
+
+std::unique_ptr<KernelShardAccumulator> KernelErEngine::make_shard_accumulator(
+    std::size_t begin, std::size_t end) const {
+  if (begin > end || end > scenario_count()) {
+    throw std::invalid_argument(
+        "KernelErEngine::make_shard_accumulator: bad range");
+  }
+  return std::unique_ptr<KernelShardAccumulator>(new KernelShardAccumulator(
+      std::make_unique<KernelShardAccumulator::Impl>(*this, begin, end)));
 }
 
 }  // namespace rnt::core

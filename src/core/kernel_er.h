@@ -31,6 +31,25 @@
 // floating-point basis only on the rare GF(2)-ambiguous row (see
 // linalg/bitrank.h for why GF(2)-independence certifies rational
 // independence exactly while the basis stays "synced").
+//
+// Cluster entry points.  The engine also exposes the integer halves of
+// its computation so a coordinator can shard work across processes while
+// staying bitwise identical to a single-node run:
+//
+//  - slice_ranks() returns the exact integer surviving rank of each
+//    scenario in a contiguous slice [begin, end) — workers ship integers,
+//    and reduce_ranks() applies the engine's own fixed chunked float
+//    reduction to the merged full table, so the summation tree (and hence
+//    the bits of the result) cannot depend on how scenarios were sharded.
+//  - scenario_classes() is the deduplicated class structure the
+//    accumulator walks, in global first-appearance order.
+//  - make_shard_accumulator() is a slice-local accumulator whose
+//    probe()/add() answers are one *bit* per scenario (survives AND
+//    independent of the committed selection in its class basis).  A class
+//    confined to identical masks walks the identical basis trajectory on
+//    any host, so a coordinator that sums class weights over those bits in
+//    global class order reproduces KernelAccumulator::gain()/value()
+//    bitwise regardless of sharding or failover.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +63,25 @@
 #include "linalg/bitrank.h"
 
 namespace rnt::core {
+
+class KernelShardAccumulator;
+
+/// Scenario equivalence classes by full-candidate surviving-path mask, in
+/// first-appearance order over the scenario list.  Two scenarios with the
+/// same mask keep the same rows of every subset alive, so one basis (and
+/// one summed weight) stands in for all of them.
+struct ScenarioClasses {
+  /// Surviving-path mask per class, over all candidate paths.
+  std::vector<std::vector<std::uint64_t>> masks;
+  /// Total scenario weight per class, accumulated in scenario order.
+  std::vector<double> weights;
+  /// First scenario index exhibiting each class.
+  std::vector<std::size_t> representative;
+  /// Scenario index -> class id.
+  std::vector<std::uint32_t> class_of;
+
+  std::size_t count() const { return masks.size(); }
+};
 
 class KernelErEngine : public ScenarioErEngine {
  public:
@@ -80,18 +118,40 @@ class KernelErEngine : public ScenarioErEngine {
   std::vector<std::size_t> scenario_ranks(
       const std::vector<std::size_t>& subset) const;
 
+  /// Integer surviving rank for scenarios [begin, end) only (position i of
+  /// the result is scenario begin + i) — the cluster shard-eval primitive.
+  /// Shares the cross-call rank memo with the full evaluate paths.
+  std::vector<std::size_t> slice_ranks(const std::vector<std::size_t>& subset,
+                                       std::size_t begin,
+                                       std::size_t end) const;
+
+  /// The deterministic chunked reduction evaluate() applies to its own
+  /// full per-scenario rank table.  Merging shard slices into scenario
+  /// order and reducing here is bitwise identical to a single-node
+  /// evaluate(), because the float summation tree is fixed by scenario
+  /// index alone.
+  double reduce_ranks(const std::vector<std::size_t>& ranks) const;
+
+  /// The accumulator's scenario-class structure, built once on first use
+  /// and cached (thread-safe; the engine is shared const by the service).
+  const ScenarioClasses& scenario_classes() const;
+
+  /// Slice-local accumulator for distributed RoMe sweeps; see
+  /// KernelShardAccumulator.  Requires begin <= end <= scenario_count().
+  std::unique_ptr<KernelShardAccumulator> make_shard_accumulator(
+      std::size_t begin, std::size_t end) const;
+
  private:
   friend class KernelAccumulator;
+  friend class KernelShardAccumulator;
 
   /// Shared core of the evaluate paths: packs the subset rows, dedups the
-  /// per-scenario surviving masks, ranks each distinct mask (in parallel
-  /// when threads > 1) and expands back to a per-scenario rank table.
-  std::vector<std::size_t> ranks_by_scenario(
-      const std::vector<std::size_t>& subset, std::size_t threads) const;
-
-  /// The base class's chunked reduction over a precomputed rank table —
-  /// bitwise identical to ScenarioErEngine::evaluate() when the ranks are.
-  double weighted_sum(const std::vector<std::size_t>& ranks) const;
+  /// per-scenario surviving masks over scenarios [begin, end), ranks each
+  /// distinct mask (in parallel when threads > 1) and expands back to a
+  /// per-scenario rank table for the range.
+  std::vector<std::size_t> ranks_in_range(
+      const std::vector<std::size_t>& subset, std::size_t threads,
+      std::size_t begin, std::size_t end) const;
 
   linalg::BitRows path_bits_;    ///< All candidate paths, packed by link.
   linalg::BitRows failed_bits_;  ///< All scenarios' failed links, packed.
@@ -103,6 +163,43 @@ class KernelErEngine : public ScenarioErEngine {
   /// the engine is shared const across service worker threads.
   mutable std::mutex memo_mutex_;
   mutable std::unordered_map<std::string, std::size_t> rank_memo_;
+
+  /// Lazily built scenario-class structure (heap-allocated so class masks
+  /// stay at stable addresses across engine moves).
+  mutable std::mutex classes_mutex_;
+  mutable std::unique_ptr<ScenarioClasses> classes_;
+};
+
+/// A KernelAccumulator restricted to the scenario slice [begin, end):
+/// the same class-basis machinery, but the answers are packed bits — bit
+/// i of a probe()/add() reply is scenario begin + i, set iff the path
+/// survives that scenario AND is independent of the committed selection
+/// in the scenario's class basis.  Bits are exact {0, 1} integers, so a
+/// coordinator summing class weights over them in fixed global class
+/// order reproduces the single-node accumulator's gain() and value()
+/// bitwise, no matter how scenarios are sharded or which worker answers.
+/// Not thread-safe; callers (the service's sweep sessions) serialize.
+class KernelShardAccumulator {
+ public:
+  ~KernelShardAccumulator();
+  KernelShardAccumulator(KernelShardAccumulator&&) noexcept;
+
+  std::size_t begin() const;
+  std::size_t end() const;
+
+  /// Independence bits for `path` against the committed selection; does
+  /// not change observable state (exact bases may materialize lazily).
+  std::vector<std::uint64_t> probe(std::size_t path) const;
+
+  /// Commits `path` and returns the bits at commit time (which classes
+  /// accepted it as a new independent row).
+  std::vector<std::uint64_t> add(std::size_t path);
+
+ private:
+  friend class KernelErEngine;
+  struct Impl;
+  explicit KernelShardAccumulator(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace rnt::core

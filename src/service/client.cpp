@@ -1,48 +1,132 @@
 #include "service/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace rnt::service {
+namespace {
+
+timeval to_timeval(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>(1e6 * (seconds - std::floor(seconds)));
+  return tv;
+}
+
+}  // namespace
 
 TcpClient::TcpClient(const std::string& host, std::uint16_t port,
-                     double timeout_s) {
+                     ClientOptions options)
+    : host_(host == "localhost" ? "127.0.0.1" : host),
+      port_(port),
+      options_(options) {
+  // Same bounded-retry ladder as call_line: the constructor's connect is
+  // just attempt zero of the first call.
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      connect_once();
+      return;
+    } catch (const std::runtime_error&) {
+      if (attempt >= options_.retries) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.backoff_s * static_cast<double>(std::size_t{1} << attempt)));
+    }
+  }
+}
+
+TcpClient::TcpClient(const std::string& host, std::uint16_t port,
+                     double timeout_s)
+    : TcpClient(host, port,
+                ClientOptions{.connect_timeout_s = timeout_s,
+                              .reply_timeout_s = timeout_s,
+                              .retries = 0}) {}
+
+TcpClient::~TcpClient() { disconnect(); }
+
+void TcpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void TcpClient::connect_once() {
+  disconnect();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("bad IPv4 address: " + host);
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    throw std::runtime_error("bad IPv4 address: " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string what = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("connect " + numeric + ":" +
-                             std::to_string(port) + ": " + what);
-  }
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout_s);
-  tv.tv_usec = static_cast<suseconds_t>(
-      1e6 * (timeout_s - std::floor(timeout_s)));
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
 
-TcpClient::~TcpClient() {
-  if (fd_ >= 0) ::close(fd_);
+  // Non-blocking connect bounded by poll: the kernel's default connect
+  // timeout is minutes, far beyond any useful request deadline.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const std::string where = host_ + ":" + std::to_string(port_);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      const std::string what = std::strerror(errno);
+      disconnect();
+      throw std::runtime_error("connect " + where + ": " + what);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.connect_timeout_s));
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        disconnect();
+        throw std::runtime_error("connect " + where + ": timed out");
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        const std::string what = std::strerror(errno);
+        disconnect();
+        throw std::runtime_error("connect " + where + ": " + what);
+      }
+      if (ready == 0) {
+        disconnect();
+        throw std::runtime_error("connect " + where + ": timed out");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      disconnect();
+      throw std::runtime_error("connect " + where + ": " +
+                               std::strerror(err));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+
+  const timeval tv = to_timeval(options_.reply_timeout_s);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 Response TcpClient::call(const Request& request) {
@@ -51,12 +135,32 @@ Response TcpClient::call(const Request& request) {
 
 std::string TcpClient::call_line(const std::string& line) {
   const std::string framed = line + "\n";
+  for (std::size_t tries = 0;; ++tries) {
+    try {
+      if (fd_ < 0) {
+        connect_once();
+        ++reconnects_;
+      }
+      return attempt(framed);
+    } catch (const std::runtime_error&) {
+      disconnect();
+      if (tries >= options_.retries) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.backoff_s * static_cast<double>(std::size_t{1} << tries)));
+    }
+  }
+}
+
+std::string TcpClient::attempt(const std::string& framed) {
   std::size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("timed out sending the request");
+      }
       throw std::runtime_error(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<std::size_t>(n);

@@ -1,6 +1,17 @@
-// Blocking TCP client for the tomography service's line protocol.
+// Blocking TCP client for the tomography service's line protocol, with
+// explicit deadlines and bounded retry.
+//
+// Every stage of a call is time-bounded: connects run non-blocking under
+// `connect_timeout_s` (a dead or blackholed server cannot park the caller
+// in the kernel's minutes-long default), and replies are bounded by
+// `reply_timeout_s` via SO_RCVTIMEO/SO_SNDTIMEO.  A failed call tears the
+// connection down and — when `retries` allows — reconnects and re-sends
+// after an exponentially growing backoff.  Retries re-send the same line,
+// so they are only safe against idempotent handlers; every service verb
+// (including the cluster shard verbs, which memoize `add` replies) is.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -8,29 +19,55 @@
 
 namespace rnt::service {
 
+struct ClientOptions {
+  double connect_timeout_s = 5.0;  ///< Per connect attempt.
+  double reply_timeout_s = 60.0;   ///< Per send/recv while awaiting a reply.
+  std::size_t retries = 0;         ///< Extra attempts after a failure.
+  double backoff_s = 0.05;         ///< Pre-retry sleep; doubles per retry.
+};
+
 class TcpClient {
  public:
   /// Connects to host:port (host: dotted IPv4 or "localhost"); throws
-  /// std::runtime_error on connection failure.  `timeout_s` bounds each
-  /// reply wait.
+  /// std::runtime_error when every connect attempt fails.
+  TcpClient(const std::string& host, std::uint16_t port,
+            ClientOptions options);
+
+  /// Legacy form: one connect attempt, `timeout_s` bounding both the
+  /// connect and each reply wait.
   TcpClient(const std::string& host, std::uint16_t port,
             double timeout_s = 60.0);
+
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
   /// Sends one request and waits for its reply line.  Throws
-  /// std::runtime_error on socket errors or timeout.
+  /// std::runtime_error on socket errors or timeout after exhausting the
+  /// configured retries.
   Response call(const Request& request);
 
   /// Raw form: sends `line` verbatim (newline appended) and returns the
   /// reply line.
   std::string call_line(const std::string& line);
 
+  /// Times the connection was re-established after a failure.
+  std::size_t reconnects() const { return reconnects_; }
+
  private:
+  /// One bounded connect attempt; throws on failure.
+  void connect_once();
+  /// One send+receive on the live connection; throws on failure.
+  std::string attempt(const std::string& framed);
+  void disconnect();
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;  ///< Bytes received past the last reply line.
+  std::size_t reconnects_ = 0;
 };
 
 }  // namespace rnt::service

@@ -10,6 +10,11 @@ void ServiceMetrics::record(RequestType type, bool ok, double seconds) {
   latency_dist_s_.add(seconds);
 }
 
+void ServiceMetrics::record_transport_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++transport_errors_;
+}
+
 ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
@@ -18,6 +23,7 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
     s.by_verb[to_verb(type)] = count;
   }
   s.errors = errors_;
+  s.transport_errors = transport_errors_;
   if (latency_s_.count() > 0) {
     s.latency_min_ms = 1e3 * latency_s_.min();
     s.latency_mean_ms = 1e3 * latency_s_.mean();

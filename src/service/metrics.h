@@ -20,9 +20,15 @@ class ServiceMetrics {
   /// Records one handled request (latency measured around the handler).
   void record(RequestType type, bool ok, double seconds);
 
+  /// Records one transport-level failure: a reply we computed but could
+  /// not deliver (peer closed or reset mid-send).  Distinct from handler
+  /// errors — the request itself succeeded.
+  void record_transport_error();
+
   struct Snapshot {
     std::size_t requests = 0;
     std::size_t errors = 0;
+    std::size_t transport_errors = 0;
     std::map<std::string, std::size_t> by_verb;
     double latency_min_ms = 0.0;
     double latency_mean_ms = 0.0;
@@ -36,6 +42,7 @@ class ServiceMetrics {
   mutable std::mutex mu_;
   std::map<RequestType, std::size_t> counts_;
   std::size_t errors_ = 0;
+  std::size_t transport_errors_ = 0;
   RunningStats latency_s_;
   EmpiricalDistribution latency_dist_s_;
 };

@@ -10,7 +10,7 @@
 namespace rnt::service {
 namespace {
 
-constexpr std::array<std::pair<RequestType, const char*>, 10> kVerbs{{
+constexpr std::array<std::pair<RequestType, const char*>, 14> kVerbs{{
     {RequestType::kSelect, "select"},
     {RequestType::kErEval, "er-eval"},
     {RequestType::kIdentifiability, "identifiability"},
@@ -18,6 +18,10 @@ constexpr std::array<std::pair<RequestType, const char*>, 10> kVerbs{{
     {RequestType::kFeed, "feed"},
     {RequestType::kReplan, "replan"},
     {RequestType::kPipelineStats, "pipeline-stats"},
+    {RequestType::kWorkerHello, "worker-hello"},
+    {RequestType::kHeartbeat, "heartbeat"},
+    {RequestType::kShardEval, "shard-eval"},
+    {RequestType::kShardSweep, "shard-sweep"},
     {RequestType::kStats, "stats"},
     {RequestType::kPing, "ping"},
     {RequestType::kShutdown, "shutdown"},
@@ -74,7 +78,8 @@ void parse_param(const std::string& token,
   }
 }
 
-/// Shortest round-trip-exact rendering of a double.
+}  // namespace
+
 std::string format_double(double value) {
   std::array<char, 32> buf{};
   std::snprintf(buf.data(), buf.size(), "%.17g", value);
@@ -86,8 +91,6 @@ std::string format_double(double value) {
   }
   return buf.data();
 }
-
-}  // namespace
 
 const char* to_verb(RequestType type) {
   for (const auto& [t, verb] : kVerbs) {
@@ -250,6 +253,38 @@ std::string format_response(const Response& response) {
     line += sanitize_value(value);
   }
   return line;
+}
+
+std::string encode_bits(const std::vector<std::uint64_t>& bits) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bits.size() * 16);
+  for (std::uint64_t word : bits) {
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      out.push_back(kHex[(word >> (4 * nibble)) & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> decode_bits(const std::string& text) {
+  if (text.size() % 16 != 0) {
+    throw std::invalid_argument("protocol: bit vector length not word-aligned");
+  }
+  std::vector<std::uint64_t> bits(text.size() / 16, 0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      throw std::invalid_argument("protocol: bad hex digit in bit vector");
+    }
+    bits[i / 16] |= nibble << (4 * (i % 16));
+  }
+  return bits;
 }
 
 }  // namespace rnt::service

@@ -7,6 +7,7 @@
 //   request  = verb *( SP key "=" value )
 //   verb     = "select" | "er-eval" | "identifiability" | "localize"
 //            | "feed" | "replan" | "pipeline-stats"
+//            | "worker-hello" | "heartbeat" | "shard-eval" | "shard-sweep"
 //            | "stats" | "ping" | "shutdown"
 //   reply    = "ok" *( SP key "=" value ) | "error" SP message
 //   key      = 1*( ALPHA | DIGIT | "-" | "_" | "." )
@@ -34,6 +35,10 @@ enum class RequestType {
   kFeed,           ///< Telemetry into the workload's adaptive session.
   kReplan,         ///< Warm-start re-selection from the estimated model.
   kPipelineStats,  ///< Adaptive-session counters and estimates.
+  kWorkerHello,    ///< Cluster handshake: identity + capacity of a worker.
+  kHeartbeat,      ///< Cheap liveness probe for the cluster coordinator.
+  kShardEval,      ///< Integer scenario ranks for a contiguous slice.
+  kShardSweep,     ///< Slice-local sweep session: init/probe/add/end.
   kStats,
   kPing,
   kShutdown,
@@ -97,5 +102,20 @@ Response parse_response(const std::string& line);
 
 /// Formats a reply as one line (no trailing newline).
 std::string format_response(const Response& response);
+
+/// Shortest rendering of a double that parses back to the identical bits
+/// (the encoding Response::set(double) uses).  Exposed so request
+/// parameters (e.g. the cluster coordinator's intensity=) survive the
+/// wire round trip exactly.
+std::string format_double(double value);
+
+/// Hex encoding for packed bit vectors carried in shard-sweep replies:
+/// each 64-bit word renders as 16 lowercase hex digits, least-significant
+/// word first, so the wire form is fixed-width and byte-for-byte
+/// deterministic.  decode_bits is the exact inverse and throws
+/// std::invalid_argument on non-hex input or a length that is not a
+/// multiple of 16.
+std::string encode_bits(const std::vector<std::uint64_t>& bits);
+std::vector<std::uint64_t> decode_bits(const std::string& text);
 
 }  // namespace rnt::service

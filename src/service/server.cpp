@@ -17,7 +17,10 @@ namespace {
 /// Poll granularity: how often blocked loops re-check the stop flag.
 constexpr int kPollMs = 100;
 
-void send_all(int fd, const std::string& data) {
+/// Returns false when the peer is gone mid-send (EPIPE/ECONNRESET/...):
+/// the reply was computed but never delivered, which the caller counts as
+/// a transport error.
+bool send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     // MSG_NOSIGNAL: a peer that vanished mid-reply must not SIGPIPE the
@@ -26,10 +29,11 @@ void send_all(int fd, const std::string& data) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // Peer gone; the connection loop will see EOF and close.
+      return false;
     }
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 }  // namespace
@@ -117,6 +121,17 @@ void TcpServer::serve_connection(int fd, Connection* conn) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (line.size() > config_.max_line_bytes) {
+        if (!send_all(fd, format_response(Response::failure(
+                              "request line exceeds " +
+                              std::to_string(config_.max_line_bytes) +
+                              " bytes")) +
+                              "\n")) {
+          service_.note_transport_error();
+        }
+        open = false;
+        break;
+      }
 
       // Detect shutdown before dispatching so the acceptor stops even if
       // the pool is busy.
@@ -144,12 +159,29 @@ void TcpServer::serve_connection(int fd, Connection* conn) {
         // submit() after shutdown, or a torn-down pool.
         reply = format_response(Response::failure(e.what()));
       }
-      send_all(fd, reply + "\n");
+      if (!send_all(fd, reply + "\n")) {
+        // The reply was computed but the peer vanished before it landed.
+        service_.note_transport_error();
+        open = false;
+      }
 
       if (is_shutdown) {
         stop();
         open = false;
       }
+    }
+
+    // A peer streaming an unterminated line past the cap is buffering
+    // without bound; answer once and close instead of allocating along.
+    if (open && buffer.size() > config_.max_line_bytes) {
+      if (!send_all(fd, format_response(Response::failure(
+                            "request line exceeds " +
+                            std::to_string(config_.max_line_bytes) +
+                            " bytes")) +
+                            "\n")) {
+        service_.note_transport_error();
+      }
+      open = false;
     }
   }
   ::close(fd);

@@ -27,6 +27,10 @@ struct ServerConfig {
   std::size_t cache_capacity = 8;  ///< Workload cache LRU bound.
   double request_timeout_s = 60.0; ///< Per-request reply deadline.
   int backlog = 16;
+  /// A connection streaming bytes with no newline is buffering a request
+  /// line; past this bound it gets an error reply and a close instead of
+  /// unbounded allocation.
+  std::size_t max_line_bytes = 1 << 20;
 };
 
 class TcpServer {

@@ -1,5 +1,7 @@
 #include "service/service.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <numeric>
 #include <sstream>
@@ -158,6 +160,11 @@ std::size_t Service::session_count() const {
   return sessions_.size();
 }
 
+std::size_t Service::sweep_count() const {
+  std::lock_guard<std::mutex> lock(sweeps_mu_);
+  return sweeps_.size();
+}
+
 std::shared_ptr<PipelineSession> Service::session_for(const WorkloadKey& key) {
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -244,6 +251,8 @@ Response Service::dispatch(const Request& request) {
       r.set("cache-size", c.size);
       r.set("cache-hit-rate", c.hit_rate());
       r.set("sessions", session_count());
+      r.set("sweeps", sweep_count());
+      r.set("transport-errors", m.transport_errors);
       r.set("threads", pool_.size());
       return r;
     }
@@ -417,6 +426,52 @@ Response Service::dispatch(const Request& request) {
       r.set("selected", session->replanner.current().size());
       return r;
     }
+    case RequestType::kWorkerHello: {
+      // Cluster handshake: identity and capacity, cheap enough to double
+      // as a liveness check during coordinator start-up.
+      request.get("client", "");  // Optional coordinator name, for logs.
+      Response r;
+      r.set("worker", std::size_t{1});
+      r.set("pid", static_cast<std::size_t>(::getpid()));
+      r.set("threads", pool_.size());
+      r.set("cache-capacity", cache_.capacity());
+      return r;
+    }
+    case RequestType::kHeartbeat: {
+      const ServiceMetrics::Snapshot m = metrics_.snapshot();
+      Response r;
+      r.set("alive", std::size_t{1});
+      r.set("requests", m.requests);
+      r.set("sweeps", sweep_count());
+      return r;
+    }
+    case RequestType::kShardEval: {
+      const auto cw = cache_.get(key_from(request));
+      const auto runs = static_cast<std::size_t>(request.get_int("runs", 50));
+      if (runs == 0) {
+        throw std::invalid_argument("shard-eval: runs must be positive");
+      }
+      const core::KernelErEngine& engine = cw->kernel_engine(runs);
+      const std::vector<std::size_t> subset = parse_subset(
+          request.get("subset", ""), cw->workload.system->path_count());
+      const std::int64_t begin = request.get_int("begin", 0);
+      const std::int64_t end = request.get_int(
+          "end", static_cast<std::int64_t>(engine.scenario_count()));
+      if (begin < 0 || end < begin ||
+          static_cast<std::size_t>(end) > engine.scenario_count()) {
+        throw std::invalid_argument("shard-eval: bad scenario range");
+      }
+      const std::vector<std::size_t> ranks =
+          engine.slice_ranks(subset, static_cast<std::size_t>(begin),
+                             static_cast<std::size_t>(end));
+      Response r;
+      r.set("begin", static_cast<std::size_t>(begin));
+      r.set("end", static_cast<std::size_t>(end));
+      r.set("ranks", join_subset(ranks));
+      return r;
+    }
+    case RequestType::kShardSweep:
+      return handle_shard_sweep(request);
     case RequestType::kLocalize: {
       const auto cw = cache_.get(key_from(request));
       const exp::Workload& w = cw->workload;
@@ -441,12 +496,116 @@ Response Service::dispatch(const Request& request) {
   throw std::logic_error("Service::dispatch: unhandled request type");
 }
 
+Response Service::handle_shard_sweep(const Request& request) {
+  const std::string op = request.get("op", "");
+  const std::string sweep = request.get("sweep", "");
+  if (sweep.empty()) {
+    throw std::invalid_argument("shard-sweep: sweep= id required");
+  }
+  const std::int64_t begin = request.get_int("begin", -1);
+  const std::int64_t end = request.get_int("end", -1);
+  if (begin < 0 || end < begin) {
+    throw std::invalid_argument("shard-sweep: bad begin=/end= slice");
+  }
+  // Sessions are keyed by id *and* slice: after failover the replacement
+  // worker re-creates exactly the slice it inherited, and two slices of
+  // one sweep landing on the same worker stay independent.
+  const std::string key = sweep + "/" + std::to_string(begin) + "-" +
+                          std::to_string(end);
+
+  if (op == "init") {
+    const auto cw = cache_.get(key_from(request));
+    const auto runs = static_cast<std::size_t>(request.get_int("runs", 50));
+    if (runs == 0) {
+      throw std::invalid_argument("shard-sweep: runs must be positive");
+    }
+    const core::KernelErEngine& engine = cw->kernel_engine(runs);
+    if (static_cast<std::size_t>(end) > engine.scenario_count()) {
+      throw std::invalid_argument("shard-sweep: slice exceeds scenario count");
+    }
+    auto session = std::make_shared<SweepSession>();
+    session->workload = cw;
+    session->shard = engine.make_shard_accumulator(
+        static_cast<std::size_t>(begin), static_cast<std::size_t>(end));
+    // Replay the committed selection so a session re-created after
+    // failover holds the exact basis state of the one it replaces.
+    const std::string committed_csv = request.get("committed", "");
+    if (!committed_csv.empty()) {
+      for (std::size_t p :
+           parse_subset(committed_csv, cw->workload.system->path_count())) {
+        session->add_bits[p] =
+            encode_bits(session->shard->add(p));
+        session->committed.push_back(p);
+      }
+    }
+    const std::size_t replayed = session->committed.size();
+    std::lock_guard<std::mutex> lock(sweeps_mu_);
+    if (!sweeps_.contains(key) &&
+        sweeps_.size() >= config_.max_sweep_sessions) {
+      throw std::invalid_argument("shard-sweep: too many live sweep sessions");
+    }
+    sweeps_[key] = std::move(session);  // Re-init replaces (idempotent).
+    Response r;
+    r.set("ready", std::size_t{1});
+    r.set("committed", replayed);
+    return r;
+  }
+
+  if (op == "end") {
+    std::lock_guard<std::mutex> lock(sweeps_mu_);
+    const std::size_t erased = sweeps_.erase(key);
+    Response r;
+    r.set("ended", erased);
+    return r;
+  }
+
+  if (op != "probe" && op != "add") {
+    throw std::invalid_argument(
+        "shard-sweep: op must be init, probe, add or end");
+  }
+  std::shared_ptr<SweepSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sweeps_mu_);
+    const auto it = sweeps_.find(key);
+    if (it == sweeps_.end()) {
+      throw std::invalid_argument("shard-sweep: unknown session " + key);
+    }
+    session = it->second;
+  }
+  const std::int64_t path = request.get_int("path", -1);
+  const std::size_t path_count =
+      session->workload->workload.system->path_count();
+  if (path < 0 || static_cast<std::size_t>(path) >= path_count) {
+    throw std::invalid_argument("shard-sweep: path out of range");
+  }
+  const auto p = static_cast<std::size_t>(path);
+  std::lock_guard<std::mutex> lock(session->mu);
+  Response r;
+  if (op == "probe") {
+    r.set("bits", encode_bits(session->shard->probe(p)));
+  } else {
+    // Idempotent add: a retry of a delivered-but-unacknowledged add must
+    // not commit the path twice (the second try_add would flip the bits).
+    const auto it = session->add_bits.find(p);
+    if (it != session->add_bits.end()) {
+      r.set("bits", it->second);
+    } else {
+      const std::string bits = encode_bits(session->shard->add(p));
+      session->add_bits.emplace(p, bits);
+      session->committed.push_back(p);
+      r.set("bits", bits);
+    }
+  }
+  return r;
+}
+
 std::string Service::summary() const {
   const ServiceMetrics::Snapshot m = metrics_.snapshot();
   const WorkloadCache::Counters c = cache_.counters();
   std::ostringstream out;
   out << "service summary\n";
-  out << "  requests:  " << m.requests << " (" << m.errors << " errors)\n";
+  out << "  requests:  " << m.requests << " (" << m.errors << " errors, "
+      << m.transport_errors << " transport errors)\n";
   for (const auto& [verb, count] : m.by_verb) {
     out << "    " << verb << ": " << count << "\n";
   }
@@ -456,7 +615,8 @@ std::string Service::summary() const {
   out << "  cache:     " << c.hits << " hits / " << c.misses
       << " misses (hit rate " << c.hit_rate() << "), " << c.size
       << " resident, " << c.evictions << " evictions\n";
-  out << "  sessions:  " << session_count() << " adaptive\n";
+  out << "  sessions:  " << session_count() << " adaptive, " << sweep_count()
+      << " sweep\n";
   return out.str();
 }
 

@@ -15,6 +15,15 @@
 // drift detector and warm-start replanner.  Sessions pin their
 // CachedWorkload with a shared_ptr, so LRU eviction from the cache never
 // invalidates a live session's PathSystem or cost model.
+//
+// The cluster verbs (`worker-hello`, `heartbeat`, `shard-eval`,
+// `shard-sweep`) make the service usable as a cluster worker: shard-eval
+// returns exact integer scenario ranks for a contiguous slice, and
+// shard-sweep runs a slice-local KernelShardAccumulator session keyed by
+// "<sweep-id>/<begin>-<end>".  Sweep sessions are idempotent under retry
+// (a re-sent `add` returns the stored bits instead of re-committing) and
+// re-creatable after failover (`init` replays the committed path list),
+// so at-least-once RPC delivery cannot change any answer.
 #pragma once
 
 #include <future>
@@ -50,9 +59,23 @@ struct PipelineSession {
   std::size_t drift_triggers = 0;
 };
 
+/// One slice-local RoMe sweep: the shard accumulator plus the committed
+/// path list and per-path reply memo that make `add` idempotent and the
+/// whole session replayable on another worker.  Request threads serialize
+/// on `mu`; the workload shared_ptr pins the engine across evictions.
+struct SweepSession {
+  std::shared_ptr<const CachedWorkload> workload;
+  std::unique_ptr<core::KernelShardAccumulator> shard;
+
+  std::mutex mu;
+  std::vector<std::size_t> committed;           ///< In add order.
+  std::map<std::size_t, std::string> add_bits;  ///< Path -> encoded reply.
+};
+
 struct ServiceConfig {
   std::size_t threads = 0;         ///< Pool size; 0 = hardware concurrency.
   std::size_t cache_capacity = 8;  ///< Resident workloads (LRU bound).
+  std::size_t max_sweep_sessions = 256;  ///< Live shard-sweep bound.
 };
 
 class Service {
@@ -88,6 +111,13 @@ class Service {
   /// Number of live adaptive pipeline sessions.
   std::size_t session_count() const;
 
+  /// Number of live shard-sweep sessions.
+  std::size_t sweep_count() const;
+
+  /// Counts one reply the transport could not deliver (called by the TCP
+  /// server when a send fails); surfaces as `transport-errors` in stats.
+  void note_transport_error() { metrics_.record_transport_error(); }
+
   /// Multi-line human-readable metrics/cache dump (printed on shutdown by
   /// the server front end).
   std::string summary() const;
@@ -99,11 +129,15 @@ class Service {
   /// workload through the cache when needed).
   std::shared_ptr<PipelineSession> session_for(const WorkloadKey& key);
 
+  Response handle_shard_sweep(const Request& request);
+
   ServiceConfig config_;
   WorkloadCache cache_;
   ServiceMetrics metrics_;
   mutable std::mutex sessions_mu_;
   std::map<WorkloadKey, std::shared_ptr<PipelineSession>> sessions_;
+  mutable std::mutex sweeps_mu_;
+  std::map<std::string, std::shared_ptr<SweepSession>> sweeps_;
   ThreadPool pool_;
 };
 

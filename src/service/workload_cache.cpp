@@ -25,14 +25,17 @@ exp::Workload build_workload(const WorkloadKey& key) {
 
 }  // namespace
 
-const core::KernelErEngine& CachedWorkload::kernel_engine() const {
-  std::call_once(kernel_once_, [this] {
+const core::KernelErEngine& CachedWorkload::kernel_engine(
+    std::size_t runs) const {
+  const std::lock_guard<std::mutex> lock(kernel_mu_);
+  auto& slot = kernels_[runs];
+  if (!slot) {
     Rng rng(workload.seed * 101);
-    kernel_ = std::make_unique<core::KernelErEngine>(
+    slot = std::make_unique<core::KernelErEngine>(
         core::KernelErEngine::monte_carlo(*workload.system, *workload.failures,
-                                          50, rng));
-  });
-  return *kernel_;
+                                          runs, rng));
+  }
+  return *slot;
 }
 
 std::string WorkloadKey::describe() const {

@@ -59,17 +59,21 @@ struct CachedWorkload {
   core::ProbBoundEr prob_bound;
 
   /// Bit-packed Monte Carlo engine over the monte-rome mixture (seed
-  /// workload.seed * 101, 50 runs — the same sampler and seeding as the
-  /// kSelect monte-rome branch, so both score the identical scenarios).
-  /// Built on first use under std::call_once and shared by every request
-  /// thread afterwards: the engine is const-thread-safe and its internal
-  /// mask-to-rank memo turns repeated ER queries on a cached workload
-  /// into hash lookups.
-  const core::KernelErEngine& kernel_engine() const;
+  /// workload.seed * 101 — the same sampler and seeding as the kSelect
+  /// monte-rome branch, so both score the identical scenarios).  One
+  /// engine per distinct `runs` value, built on first use under a mutex
+  /// and shared by every request thread afterwards: the engine is
+  /// const-thread-safe and its internal mask-to-rank memo turns repeated
+  /// ER queries on a cached workload into hash lookups.  Because the
+  /// sampler is deterministic in (seed, runs), a cluster worker and its
+  /// coordinator asking for the same runs count hold scenario-for-scenario
+  /// identical engines.
+  const core::KernelErEngine& kernel_engine(std::size_t runs = 50) const;
 
  private:
-  mutable std::once_flag kernel_once_;
-  mutable std::unique_ptr<core::KernelErEngine> kernel_;
+  mutable std::mutex kernel_mu_;
+  mutable std::map<std::size_t, std::unique_ptr<core::KernelErEngine>>
+      kernels_;
 };
 
 /// Thread-safe LRU cache of CachedWorkload entries.

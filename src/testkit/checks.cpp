@@ -18,6 +18,7 @@
 #include "linalg/qr.h"
 #include "linalg/sparse.h"
 #include "online/replanner.h"
+#include "service/protocol.h"
 #include "service/workload_cache.h"
 #include "testkit/oracles.h"
 #include "util/rng.h"
@@ -669,6 +670,112 @@ CheckResult check_kernel_matches_scenario(const TestInstance& inst,
   return CheckResult::ok();
 }
 
+// --------------------------------------------------------------------------
+// 14. The service's line protocol survives hostile bytes and round-trips
+//     well-formed traffic exactly (the cluster wire format).
+// --------------------------------------------------------------------------
+
+CheckResult check_protocol_framing(const TestInstance& inst,
+                                   const FaultPlan&) {
+  Rng rng = check_rng(inst, "protocol-framing");
+
+  // Byte soup: whatever arrives on the wire, the parsers either parse it
+  // or throw std::invalid_argument — never any other escape (the TCP
+  // reader turns invalid_argument into a structured error reply; anything
+  // else would tear the connection down, or worse).
+  auto probe = [](const std::string& line) -> const char* {
+    try {
+      (void)service::parse_request(line);
+    } catch (const std::invalid_argument&) {
+    } catch (...) {
+      return "parse_request";
+    }
+    try {
+      (void)service::parse_response(line);
+    } catch (const std::invalid_argument&) {
+    } catch (...) {
+      return "parse_response";
+    }
+    try {
+      (void)service::decode_bits(line);
+    } catch (const std::invalid_argument&) {
+    } catch (...) {
+      return "decode_bits";
+    }
+    return nullptr;
+  };
+  for (int round = 0; round < 64; ++round) {
+    std::string line;
+    const std::size_t len = rng.index(80);
+    for (std::size_t i = 0; i < len; ++i) {
+      // In-line bytes only: '\n' would already have split the frame.
+      char c;
+      do {
+        c = static_cast<char>(rng.index(256));
+      } while (c == '\n');
+      line.push_back(c);
+    }
+    if (const char* parser = probe(line)) {
+      return CheckResult::fail(std::string(parser) +
+                               " escaped a non-invalid_argument exception "
+                               "on byte soup (len " +
+                               std::to_string(line.size()) + ")");
+    }
+  }
+
+  // Single-byte corruption of a well-formed request must stay inside the
+  // same contract.
+  service::Request request;
+  request.type = service::RequestType::kShardSweep;
+  request.params = {{"sweep", "swp-1-" + std::to_string(rng.index(1000))},
+                    {"op", "probe"},
+                    {"path", std::to_string(rng.index(inst.path_count()))},
+                    {"begin", "0"},
+                    {"end", std::to_string(inst.path_count())}};
+  const std::string wire = service::format_request(request);
+  for (int round = 0; round < 32; ++round) {
+    std::string mutated = wire;
+    char c;
+    do {
+      c = static_cast<char>(rng.index(256));
+    } while (c == '\n');
+    mutated[rng.index(mutated.size())] = c;
+    if (const char* parser = probe(mutated)) {
+      return CheckResult::fail(std::string(parser) +
+                               " escaped a non-invalid_argument exception "
+                               "on corrupted request '" +
+                               mutated + "'");
+    }
+  }
+
+  // The clean line round-trips exactly.
+  const service::Request back = service::parse_request(wire);
+  if (back.type != request.type || back.params != request.params) {
+    return CheckResult::fail("request changed across format/parse: " + wire);
+  }
+
+  // Replies carry doubles bitwise (the cluster merge depends on it).
+  service::Response response;
+  response.set("er", inst.link_probs.empty() ? rng.uniform()
+                                             : inst.link_probs[0]);
+  response.set("tiny", 0x1.fffffffffffffp-1022);
+  response.set("count", inst.path_count());
+  const service::Response rback =
+      service::parse_response(service::format_response(response));
+  if (!rback.ok || rback.number("er") != response.number("er") ||
+      rback.number("tiny") != response.number("tiny")) {
+    return CheckResult::fail("response doubles not bitwise across the wire");
+  }
+
+  // Packed shard bits round-trip exactly at awkward word counts.
+  std::vector<std::uint64_t> words(1 + rng.index(5));
+  for (std::uint64_t& w : words) w = rng.next_word();
+  if (service::decode_bits(service::encode_bits(words)) != words) {
+    return CheckResult::fail("encode_bits/decode_bits round trip failed");
+  }
+  return CheckResult::ok();
+}
+
 const std::vector<Check>& all_checks() {
   static const std::vector<Check> checks = {
       {"er-monotone-submodular",
@@ -714,6 +821,10 @@ const std::vector<Check>& all_checks() {
        "bit-packed kernel engine: exact scenario ranks, bitwise ER, "
        "accumulator gains within 1e-9 of the scenario engine",
        1, true, check_kernel_matches_scenario},
+      {"protocol-framing",
+       "hostile bytes never escape the line parsers; well-formed "
+       "requests, doubles and shard bits round-trip exactly",
+       1, true, check_protocol_framing},
   };
   return checks;
 }

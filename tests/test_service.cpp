@@ -9,6 +9,11 @@
 // identical to the one-shot path, only resident and concurrent.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <numeric>
@@ -571,6 +576,197 @@ TEST(TcpServer, StopUnblocksRun) {
   TcpServer server(ServerConfig{.port = 0, .threads = 1});
   std::thread runner([&server] { server.run(); });
   server.stop();  // What the SIGINT handler does.
+  runner.join();
+}
+
+// --------------------------------------------------------------------------
+// Hostile input on the wire
+// --------------------------------------------------------------------------
+//
+// The framing contract for a public TCP port: whatever bytes arrive, the
+// server answers with a structured error reply or closes the connection —
+// it never hangs a reader thread and never buffers an unterminated line
+// without bound.
+
+/// A raw loopback socket speaking bytes, not the protocol — the adversary's
+/// view of the server.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      throw std::runtime_error("RawConn: connect failed");
+    }
+    // Bound every read so a wedged server fails the test instead of
+    // hanging it.
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  ~RawConn() { close(); }
+
+  void send_bytes(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Reads until '\n' (returned line excludes it) — "" on EOF/timeout.
+  std::string read_line() {
+    std::string line;
+    char c;
+    while (true) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) return "";
+      if (c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+  /// True when the server closed its end (EOF within the read deadline).
+  bool server_closed() {
+    char c;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+  /// Hard close with RST: what a crashed client looks like to the server.
+  void abort() {
+    linger lg{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    close();
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(TcpServer, GarbageBytesGetStructuredErrorNotAHang) {
+  TcpServer server(ServerConfig{.port = 0, .threads = 1});
+  std::thread runner([&server] { server.run(); });
+
+  {
+    RawConn raw(server.port());
+    raw.send_bytes("\x01\x02\xff garbage \x7f\n");
+    const std::string reply = raw.read_line();
+    ASSERT_FALSE(reply.empty()) << "server did not answer garbage";
+    EXPECT_FALSE(parse_response(reply).ok);
+
+    // Binary soup with an embedded newline per write: every line gets its
+    // own structured error on the same, still-healthy connection.
+    for (const std::string& bytes :
+         {std::string("select budget\n"), std::string("=\n"),
+          std::string("\xde\xad\xbe\xef\n", 5), std::string("warp x=1\n")}) {
+      raw.send_bytes(bytes);
+      const std::string r = raw.read_line();
+      ASSERT_FALSE(r.empty());
+      EXPECT_FALSE(parse_response(r).ok);
+    }
+
+    // The same connection still serves well-formed requests afterwards.
+    raw.send_bytes("ping\n");
+    EXPECT_TRUE(parse_response(raw.read_line()).ok);
+  }
+
+  server.stop();
+  runner.join();
+}
+
+TEST(TcpServer, OversizedLineIsRejectedAndConnectionClosed) {
+  TcpServer server(
+      ServerConfig{.port = 0, .threads = 1, .max_line_bytes = 256});
+  std::thread runner([&server] { server.run(); });
+
+  {
+    // Terminated but over the cap: error reply, then close.
+    RawConn raw(server.port());
+    raw.send_bytes(std::string(1024, 'a') + "\n");
+    const Response reply = parse_response(raw.read_line());
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.error.find("256"), std::string::npos);
+    EXPECT_TRUE(raw.server_closed());
+  }
+  {
+    // Unterminated stream past the cap: the server must not buffer along —
+    // it answers once and closes mid-stream.
+    RawConn raw(server.port());
+    raw.send_bytes(std::string(4096, 'b'));  // No newline, ever.
+    const Response reply = parse_response(raw.read_line());
+    EXPECT_FALSE(reply.ok);
+    EXPECT_TRUE(raw.server_closed());
+  }
+
+  // The port is still healthy for the next client.
+  TcpClient client("127.0.0.1", server.port(), 5.0);
+  EXPECT_TRUE(parse_response(client.call_line("ping")).ok);
+
+  server.stop();
+  runner.join();
+}
+
+TEST(TcpServer, TruncatedFrameThenCloseLeavesServerServing) {
+  TcpServer server(ServerConfig{.port = 0, .threads = 1});
+  std::thread runner([&server] { server.run(); });
+
+  {
+    RawConn raw(server.port());
+    raw.send_bytes("select nodes=30 links=60 pa");  // Mid-token, no newline.
+    // Nothing to answer yet, and nothing to wait for: just vanish.
+  }
+  {
+    RawConn raw(server.port());
+    raw.send_bytes("ping");  // Complete verb, missing terminator.
+    raw.abort();             // RST instead of FIN.
+  }
+
+  TcpClient client("127.0.0.1", server.port(), 5.0);
+  EXPECT_TRUE(parse_response(client.call_line("ping")).ok);
+
+  server.stop();
+  runner.join();
+}
+
+TEST(TcpServer, UndeliverableReplyCountsAsTransportError) {
+  TcpServer server(ServerConfig{.port = 0,
+                                .threads = 2,
+                                .cache_capacity = 2,
+                                .request_timeout_s = 120.0});
+  std::thread runner([&server] { server.run(); });
+
+  {
+    // Ask for real work, then crash before the reply can land: the server
+    // computes the answer, send_all fails, and the failure is *counted*
+    // rather than silently swallowed.
+    RawConn raw(server.port());
+    raw.send_bytes(
+        "select nodes=30 links=60 paths=30 seed=3 intensity=5 "
+        "budget-frac=0.3\n");
+    raw.abort();
+  }
+
+  TcpClient client("127.0.0.1", server.port(), 30.0);
+  std::size_t transport_errors = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const Response stats = parse_response(client.call_line("stats"));
+    ASSERT_TRUE(stats.ok) << stats.error;
+    transport_errors =
+        static_cast<std::size_t>(stats.number("transport-errors"));
+    if (transport_errors >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(transport_errors, 1u);
+
+  server.stop();
   runner.join();
 }
 
