@@ -28,8 +28,19 @@ struct LatencySample {
   double ops_per_sec = 0.0;
   double p50_us = 0.0;
   double p95_us = 0.0;
+  double p99_us = 0.0;
   std::size_t iterations = 0;
 };
+
+/// p-th quantile (linear interpolation) of an already-sorted sample.
+inline double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
 
 /// Times repeated calls of `fn` until both floors are met, then reports
 /// throughput and per-call quantiles.  A few untimed warmup calls absorb
@@ -55,18 +66,12 @@ LatencySample measure(Fn&& fn, std::size_t min_iterations = 20,
     total += seconds;
   }
   std::sort(us.begin(), us.end());
-  auto quantile = [&](double q) {
-    const double pos = q * static_cast<double>(us.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, us.size() - 1);
-    const double frac = pos - static_cast<double>(lo);
-    return us[lo] + frac * (us[hi] - us[lo]);
-  };
   LatencySample sample;
   sample.iterations = us.size();
   sample.ops_per_sec = total > 0.0 ? static_cast<double>(us.size()) / total : 0.0;
-  sample.p50_us = quantile(0.50);
-  sample.p95_us = quantile(0.95);
+  sample.p50_us = sorted_quantile(us, 0.50);
+  sample.p95_us = sorted_quantile(us, 0.95);
+  sample.p99_us = sorted_quantile(us, 0.99);
   return sample;
 }
 
@@ -92,6 +97,7 @@ class BenchReport {
     entry.set("ops_per_sec", util::Json::number(sample.ops_per_sec));
     entry.set("p50_us", util::Json::number(sample.p50_us));
     entry.set("p95_us", util::Json::number(sample.p95_us));
+    entry.set("p99_us", util::Json::number(sample.p99_us));
     entry.set("iterations",
               util::Json::number(static_cast<double>(sample.iterations)));
     metrics_.set(name, std::move(entry));

@@ -1,0 +1,174 @@
+#include "net/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace rnt::net {
+namespace {
+
+#ifdef __linux__
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (epfd_ < 0) {
+      throw std::runtime_error(std::string("epoll_create1: ") +
+                               std::strerror(errno));
+    }
+  }
+
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void add(int fd, bool want_read, bool want_write) override {
+    control(EPOLL_CTL_ADD, fd, want_read, want_write);
+    ++size_;
+  }
+
+  void modify(int fd, bool want_read, bool want_write) override {
+    control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  void remove(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);  // Best effort on close.
+    if (size_ > 0) --size_;
+  }
+
+  void wait(std::vector<PollEvent>& out, int timeout_ms) override {
+    out.clear();
+    events_.resize(size_ > 0 ? size_ : 1);
+    const int n = ::epoll_wait(epfd_, events_.data(),
+                               static_cast<int>(events_.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw std::runtime_error(std::string("epoll_wait: ") +
+                               std::strerror(errno));
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events_[static_cast<std::size_t>(i)];
+      PollEvent event;
+      event.fd = ev.data.fd;
+      event.readable = (ev.events & EPOLLIN) != 0;
+      event.writable = (ev.events & EPOLLOUT) != 0;
+      event.error = (ev.events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(event);
+    }
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  void control(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    if (::epoll_ctl(epfd_, op, fd, &ev) < 0) {
+      throw std::runtime_error(std::string("epoll_ctl: ") +
+                               std::strerror(errno));
+    }
+  }
+
+  int epfd_ = -1;
+  std::size_t size_ = 0;
+  std::vector<epoll_event> events_;
+};
+
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool want_read, bool want_write) override {
+    if (index_.contains(fd)) {
+      throw std::runtime_error("PollPoller::add: fd already registered");
+    }
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, events_mask(want_read, want_write), 0});
+  }
+
+  void modify(int fd, bool want_read, bool want_write) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) {
+      throw std::runtime_error("PollPoller::modify: fd not registered");
+    }
+    fds_[it->second].events = events_mask(want_read, want_write);
+  }
+
+  void remove(int fd) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    // Swap-with-last keeps removal O(1) and the array dense.
+    if (pos + 1 != fds_.size()) {
+      fds_[pos] = fds_.back();
+      index_[fds_[pos].fd] = pos;
+    }
+    fds_.pop_back();
+  }
+
+  void wait(std::vector<PollEvent>& out, int timeout_ms) override {
+    out.clear();
+    if (fds_.empty()) {
+      // Nothing registered: honour the timeout so callers still tick.
+      if (timeout_ms != 0) ::poll(nullptr, 0, timeout_ms);
+      return;
+    }
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(event);
+      if (static_cast<int>(out.size()) == n) break;
+    }
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short events_mask(bool want_read, bool want_write) {
+    short mask = 0;
+    if (want_read) mask |= POLLIN;
+    if (want_write) mask |= POLLOUT;
+    return mask;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_poller(PollBackend backend) {
+#ifdef __linux__
+  if (backend == PollBackend::kAuto || backend == PollBackend::kEpoll) {
+    return std::make_unique<EpollPoller>();
+  }
+#else
+  if (backend == PollBackend::kEpoll) {
+    throw std::runtime_error("epoll backend unavailable on this platform");
+  }
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace rnt::net

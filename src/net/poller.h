@@ -1,0 +1,59 @@
+// Readiness-notification backend for the reactor: a uniform add/modify/
+// remove/wait surface over Linux epoll with a portable poll(2) fallback.
+//
+// Both backends are level-triggered — a fd stays ready until its buffer
+// is drained — so the reactor's read/write loops need no edge-triggered
+// bookkeeping and behave identically on either backend.  kAuto picks
+// epoll where the platform has it; tests run both backends explicitly to
+// keep the fallback honest.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace rnt::net {
+
+enum class PollBackend {
+  kAuto,   ///< epoll on Linux, poll elsewhere.
+  kEpoll,  ///< Throws where epoll is unavailable.
+  kPoll,   ///< The portable fallback, available everywhere.
+};
+
+/// One ready fd from Poller::wait.  `error` covers hangup and error
+/// conditions (EPOLLERR/EPOLLHUP, POLLERR/POLLHUP/POLLNVAL); the reactor
+/// treats it as readable so the next recv observes the failure directly.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `fd` for the given interest set; throws std::runtime_error
+  /// if the fd cannot be registered.
+  virtual void add(int fd, bool want_read, bool want_write) = 0;
+
+  /// Replaces the interest set of an already-registered fd.
+  virtual void modify(int fd, bool want_read, bool want_write) = 0;
+
+  /// Deregisters the fd.  Safe to call for an fd about to be closed.
+  virtual void remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (0 = poll, -1 = forever) and appends one
+  /// PollEvent per ready fd to `out` (which is cleared first).
+  virtual void wait(std::vector<PollEvent>& out, int timeout_ms) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Builds the requested backend; kAuto resolves to the fastest one the
+/// platform offers.  Throws std::runtime_error when kEpoll is requested
+/// on a platform without epoll.
+std::unique_ptr<Poller> make_poller(PollBackend backend = PollBackend::kAuto);
+
+}  // namespace rnt::net

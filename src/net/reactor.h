@@ -1,0 +1,230 @@
+// Single-threaded event-loop front end: non-blocking accept/read/write
+// over per-connection state machines, driven by a Poller (epoll on Linux,
+// poll(2) elsewhere) and a coarse tick.
+//
+// Threading model: everything socket-facing happens on the one thread
+// inside run().  Work that finishes elsewhere (e.g. on a worker pool)
+// re-enters the loop through post(), which is the only thread-safe entry
+// point besides stop(); posted tasks run on the loop thread between
+// readiness sweeps, so subclass state needs no locking.  stop() is
+// async-signal-safe: an atomic store plus a self-pipe write.
+//
+// Subclasses implement the protocol by overriding on_frame() and friends;
+// frames arrive as zero-copy string_views into the connection's framer
+// buffer, valid only for the duration of the callback.  Connections are
+// addressed by a monotonically increasing id — never by fd, which the
+// kernel reuses as soon as a socket closes — so completions posted for a
+// connection that died in the meantime resolve to "gone" instead of to a
+// stranger.
+//
+// Overload behaviour: accepted connections are capped below RLIMIT_NOFILE
+// (with headroom for the listener, wake pipe and workload files); at the
+// cap a newcomer gets the subclass's reject banner and an immediate
+// close, counted as a shed connection, and an EMFILE race on accept()
+// itself is absorbed by a reserved emergency descriptor instead of
+// wedging the acceptor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/poller.h"
+#include "net/timeout_wheel.h"
+
+namespace rnt::net {
+
+struct ReactorConfig {
+  std::uint16_t port = 0;      ///< 0 = kernel-assigned ephemeral port.
+  int backlog = 64;
+  std::size_t max_frame_bytes = 1 << 20;
+  FramingMode framing = FramingMode::kLine;
+  PollBackend backend = PollBackend::kAuto;
+  int tick_ms = 25;            ///< Timer/stop-flag granularity.
+  std::uint64_t idle_timeout_ms = 0;  ///< 0 = no idle eviction.
+  std::size_t max_connections = 0;    ///< 0 = derive from RLIMIT_NOFILE.
+  /// How long run() keeps flushing replies after stop() before closing
+  /// the remaining connections.
+  std::uint64_t drain_timeout_ms = 2000;
+};
+
+class Reactor {
+ public:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::unique_ptr<Framer> framer;
+    std::string out;             ///< Bytes accepted by send_to() so far.
+    std::size_t out_off = 0;     ///< First unsent byte in `out`.
+    bool want_write = false;     ///< Registered for write readiness.
+    bool reg_read = true;        ///< Registered for read readiness.
+    bool close_after_flush = false;
+    bool read_closed = false;    ///< EOF seen or reading disabled.
+    /// Peer half-closed: destroy once output drains and the subclass has
+    /// no reply still in flight for this connection.
+    bool close_when_idle = false;
+  };
+
+  /// Binds and listens on 127.0.0.1:`port`; throws std::runtime_error on
+  /// socket failures.  port() reports the actual port (useful with 0).
+  explicit Reactor(ReactorConfig config);
+  virtual ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until stop(), then flushes pending replies (bounded by
+  /// drain_timeout_ms) and closes every connection.
+  void run();
+
+  /// Requests a graceful stop.  Async-signal-safe (atomic store plus a
+  /// self-pipe write).
+  void stop();
+
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Enqueues `fn` to run on the loop thread and wakes the loop.  The
+  /// only thread-safe mutation entry point.
+  void post(std::function<void()> fn);
+
+  // Counters, readable from any thread (the `stats` verb runs on a pool
+  // worker).
+  std::size_t open_connections() const {
+    return open_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_connections() const {
+    return shed_connections_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t accepted_connections() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::size_t connection_cap() const { return conn_cap_; }
+  const char* backend_name() const { return poller_->name(); }
+
+ protected:
+  // Loop-thread-only surface for subclasses -----------------------------
+
+  /// The connection for `id`, or nullptr if it closed in the meantime.
+  Connection* find(std::uint64_t id);
+
+  /// Queues `data` on the connection, writing as much as the socket
+  /// accepts immediately and arming write readiness for the rest.  On a
+  /// hard send failure the connection is torn down (on_transport_error,
+  /// then on_closed).
+  void send_to(Connection& conn, std::string_view data);
+
+  /// Closes once the pending output has drained; stops reading now.
+  void close_soon(Connection& conn);
+
+  /// Closes immediately, discarding pending output.
+  void close_now(Connection& conn);
+
+  /// Milliseconds since the reactor was built (steady clock) — the time
+  /// base for idle and request deadlines.
+  std::uint64_t now_ms() const;
+
+  // Protocol hooks, all invoked on the loop thread ----------------------
+
+  /// One complete frame.  `pipelined` is true for every frame after the
+  /// first decoded from a single read batch.  The view dies with the
+  /// callback.  The callback may send_to/close the connection.
+  virtual void on_frame(Connection& conn, std::string_view frame,
+                        bool pipelined) = 0;
+
+  /// The stream exceeded max_frame_bytes.  Default: close immediately.
+  /// Override to answer first (then the reactor closes after flush).
+  virtual void on_oversized(Connection& conn);
+
+  /// Idle longer than idle_timeout_ms.  Default: close immediately.
+  virtual void on_idle_timeout(Connection& conn);
+
+  /// A send failed with the peer gone and queued output undelivered.
+  virtual void on_transport_error(Connection& conn) { (void)conn; }
+
+  /// A connection was accepted and registered.
+  virtual void on_accepted(Connection& conn) { (void)conn; }
+
+  /// The connection is about to be destroyed (any path).
+  virtual void on_closed(Connection& conn) { (void)conn; }
+
+  /// A newcomer was shed at the connection cap (or under EMFILE).
+  virtual void on_rejected() {}
+
+  /// Runs every tick_ms on the loop thread.
+  virtual void on_tick() {}
+
+  /// Sent (best effort) to a connection shed at the cap before closing
+  /// it.  Empty = close silently.
+  virtual std::string reject_banner() { return {}; }
+
+  /// While true, the post-stop drain keeps the loop alive (bounded by
+  /// drain_timeout_ms) so in-flight completions can still reply.
+  virtual bool drain_pending() { return false; }
+
+  /// True while the subclass still owes this connection a reply; a
+  /// half-closed peer is only destroyed once this goes false and the
+  /// output buffer drains.
+  virtual bool connection_busy(const Connection& conn) const {
+    (void)conn;
+    return false;
+  }
+
+ private:
+  void accept_ready();
+  void accept_one(int fd);
+  void shed_accept(int fd);
+  void recover_emfile();
+  void handle_event(const PollEvent& event);
+  void handle_readable(Connection& conn);
+  void pump_frames(Connection& conn);
+  void flush(Connection& conn);
+  void sync_interest(Connection& conn);
+  void destroy(Connection& conn);
+  void run_posted();
+  void drain_wake_pipe();
+  void tick();
+  void drain_then_close();
+  bool any_pending_output() const;
+
+  ReactorConfig config_;
+  std::unique_ptr<Poller> poller_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_fds_[2] = {-1, -1};  ///< Self-pipe: [0] read, [1] write.
+  int emergency_fd_ = -1;       ///< Reserved fd for EMFILE recovery.
+  std::size_t conn_cap_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<int, std::uint64_t> fd_to_id_;
+  TimeoutWheel idle_wheel_;
+  std::uint64_t last_tick_ms_ = 0;
+  bool draining_ = false;
+  bool logged_shed_ = false;
+
+  std::atomic<std::size_t> open_count_{0};
+  std::atomic<std::uint64_t> shed_connections_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::vector<PollEvent> events_;
+  std::vector<std::uint64_t> expired_scratch_;
+  std::vector<std::function<void()>> run_scratch_;
+};
+
+}  // namespace rnt::net

@@ -1,0 +1,64 @@
+#include "net/timeout_wheel.h"
+
+#include <algorithm>
+
+namespace rnt::net {
+
+TimeoutWheel::TimeoutWheel(std::uint64_t timeout_ticks)
+    : timeout_ticks_(timeout_ticks),
+      bucket_width_(std::max<std::uint64_t>(
+          1, (timeout_ticks + kBuckets - 1) / kBuckets)),
+      buckets_(kBuckets) {}
+
+void TimeoutWheel::file(std::uint64_t id, std::uint64_t deadline) {
+  buckets_[(deadline / bucket_width_) % kBuckets].push_back(
+      Entry{id, deadline});
+}
+
+void TimeoutWheel::touch(std::uint64_t id, std::uint64_t now) {
+  const std::uint64_t deadline = now + timeout_ticks_;
+  last_activity_[id] = now;
+  file(id, deadline);
+}
+
+void TimeoutWheel::erase(std::uint64_t id) {
+  // The bucket entries for `id` go stale and are dropped lazily when
+  // their bucket is next swept.
+  last_activity_.erase(id);
+}
+
+void TimeoutWheel::expire(std::uint64_t now, std::vector<std::uint64_t>& expired) {
+  expired.clear();
+  const std::uint64_t target = now / bucket_width_;
+  if (target < cursor_) return;  // Clock went backwards; nothing is due.
+  std::uint64_t from = cursor_;
+  // One full rotation visits every residue, so anything older than that
+  // is covered by the wrap — never sweep more than kBuckets buckets.
+  if (target - from + 1 > kBuckets) from = target - (kBuckets - 1);
+  for (std::uint64_t b = from; b <= target; ++b) {
+    std::vector<Entry>& bucket = buckets_[b % kBuckets];
+    if (bucket.empty()) continue;
+    sweep_scratch_.clear();
+    sweep_scratch_.swap(bucket);
+    for (const Entry& entry : sweep_scratch_) {
+      const auto it = last_activity_.find(entry.id);
+      if (it == last_activity_.end()) continue;  // Closed: stale entry.
+      const std::uint64_t truth = it->second + timeout_ticks_;
+      if (truth != entry.deadline) continue;  // Touched since: stale entry.
+      if (truth <= now) {
+        expired.push_back(entry.id);
+        last_activity_.erase(it);
+      } else {
+        // Due later (residue collision, or due within the bucket being
+        // swept right now): re-file and let a later sweep judge it.
+        file(entry.id, truth);
+      }
+    }
+  }
+  // Stop *at* the target bucket, not past it: entries due later within
+  // this same bucket width were just re-filed into it and must be seen
+  // again on the next sweep, not a full rotation later.
+  cursor_ = target;
+}
+
+}  // namespace rnt::net

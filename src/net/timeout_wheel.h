@@ -1,0 +1,60 @@
+// Bucketed timeout wheel for idle/slow-client eviction.  The reactor
+// touches a connection on every byte of activity; expire() sweeps only
+// the buckets whose time has come, so the per-tick cost tracks the number
+// of connections actually due, not the number open.
+//
+// Entries are keyed by the reactor's monotonic connection id (never a raw
+// fd, which the kernel reuses).  Deadlines are coarse — bucket granularity
+// is ~timeout/kBuckets — which is exactly right for idle eviction: a
+// connection is never evicted early, only a bucket-width or so late.
+//
+// Each touch files one (id, deadline) entry; stale entries left behind by
+// later touches are dropped lazily when their bucket is swept, so the
+// wheel never rescans live connections and duplicates cannot accumulate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rnt::net {
+
+class TimeoutWheel {
+ public:
+  static constexpr std::uint64_t kBuckets = 32;
+
+  /// `timeout_ticks` is the idle allowance measured in whatever tick unit
+  /// the caller advances time in (the reactor uses milliseconds).
+  explicit TimeoutWheel(std::uint64_t timeout_ticks);
+
+  /// Records activity for `id` at time `now`; inserts it if unknown.
+  void touch(std::uint64_t id, std::uint64_t now);
+
+  /// Forgets `id` (connection closed for another reason).
+  void erase(std::uint64_t id);
+
+  /// Appends the ids whose last activity is older than `now - timeout`
+  /// to `expired` (cleared first) and forgets them.
+  void expire(std::uint64_t now, std::vector<std::uint64_t>& expired);
+
+  std::size_t size() const { return last_activity_.size(); }
+  std::uint64_t timeout_ticks() const { return timeout_ticks_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t deadline;  ///< Deadline this entry was filed under.
+  };
+
+  void file(std::uint64_t id, std::uint64_t deadline);
+
+  std::uint64_t timeout_ticks_;
+  std::uint64_t bucket_width_;
+  /// id -> last activity tick, the ground truth for expiry.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_activity_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::uint64_t cursor_ = 0;   ///< Next absolute bucket index to sweep.
+  std::vector<Entry> sweep_scratch_;
+};
+
+}  // namespace rnt::net

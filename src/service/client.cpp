@@ -152,6 +152,12 @@ std::string TcpClient::call_line(const std::string& line) {
 }
 
 std::string TcpClient::attempt(const std::string& framed) {
+  // One deadline bounds the whole exchange, shared by the partial-send
+  // retry loop below and the kernel-side SO_RCVTIMEO/SO_SNDTIMEO.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.reply_timeout_s));
   std::size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
@@ -159,7 +165,23 @@ std::string TcpClient::attempt(const std::string& framed) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        throw std::runtime_error("timed out sending the request");
+        // Partial send against a full socket buffer: wait (bounded) for
+        // writability and keep going instead of giving up mid-request.
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+          throw std::runtime_error("timed out sending the request");
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+        if (ready == 0) {
+          throw std::runtime_error("timed out sending the request");
+        }
+        continue;
+      }
+      if (errno == ECONNRESET || errno == EPIPE) {
+        throw TransportError(std::string("send: ") + std::strerror(errno));
       }
       throw std::runtime_error(std::string("send: ") + std::strerror(errno));
     }
@@ -176,11 +198,14 @@ std::string TcpClient::attempt(const std::string& framed) {
       return reply;
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) throw std::runtime_error("server closed the connection");
+    if (n == 0) throw TransportError("server closed the connection");
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         throw std::runtime_error("timed out waiting for a reply");
+      }
+      if (errno == ECONNRESET) {
+        throw TransportError(std::string("recv: ") + std::strerror(errno));
       }
       throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
     }

@@ -13,11 +13,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "service/protocol.h"
 
 namespace rnt::service {
+
+/// A connection-level failure: the peer closed or reset the connection
+/// (EOF mid-reply, ECONNRESET, EPIPE) or a socket operation failed
+/// outright.  Derives from std::runtime_error so existing catch sites —
+/// including the client's own retry ladder — keep working; callers that
+/// care can distinguish it from timeouts and protocol errors.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct ClientOptions {
   double connect_timeout_s = 5.0;  ///< Per connect attempt.
@@ -43,9 +55,10 @@ class TcpClient {
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
-  /// Sends one request and waits for its reply line.  Throws
-  /// std::runtime_error on socket errors or timeout after exhausting the
-  /// configured retries.
+  /// Sends one request and waits for its reply line.  After exhausting
+  /// the configured retries, throws TransportError when the connection
+  /// died under the call (peer closed mid-reply, ECONNRESET, EPIPE) and
+  /// plain std::runtime_error for timeouts.
   Response call(const Request& request);
 
   /// Raw form: sends `line` verbatim (newline appended) and returns the

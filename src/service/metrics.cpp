@@ -31,6 +31,12 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
     s.latency_p95_ms = 1e3 * latency_dist_s_.quantile(0.95);
     s.latency_p99_ms = 1e3 * latency_dist_s_.quantile(0.99);
   }
+  s.shed_requests = shed_requests_.load(std::memory_order_relaxed);
+  s.shed_connections = shed_connections_.load(std::memory_order_relaxed);
+  s.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  s.pipelined_requests = pipelined_requests_.load(std::memory_order_relaxed);
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   return s;
 }
 

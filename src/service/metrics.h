@@ -3,9 +3,18 @@
 // via util/stats).  Queryable through the `stats` request and dumped as
 // a summary on shutdown.  The workload-cache hit rate lives in
 // WorkloadCache::Counters; Service::stats() merges it into the reply.
+//
+// The reactor front end adds lock-free counters (shed requests/
+// connections, idle timeouts, pipelined requests) and gauges (open
+// connections, admission-queue depth).  They are atomics, not
+// mutex-guarded, because the event loop bumps them on its hot path; the
+// threaded server simply leaves them at zero, so both front ends emit
+// the same `stats` fields.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -25,6 +34,35 @@ class ServiceMetrics {
   /// errors — the request itself succeeded.
   void record_transport_error();
 
+  // Reactor counters (monotonic) -----------------------------------------
+
+  /// A request answered `error overloaded: ...` because the admission
+  /// queue was full.
+  void note_shed_request() {
+    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A connection rejected at the connection cap (or under EMFILE).
+  void note_shed_connection() {
+    shed_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A connection evicted for exceeding the idle timeout (slow loris).
+  void note_idle_timeout() {
+    idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// A request decoded behind another one from the same read batch.
+  void note_pipelined_request() {
+    pipelined_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Reactor gauges (last written value wins) -----------------------------
+
+  void set_open_connections(std::size_t n) {
+    open_connections_.store(n, std::memory_order_relaxed);
+  }
+  void set_queue_depth(std::size_t n) {
+    queue_depth_.store(n, std::memory_order_relaxed);
+  }
+
   struct Snapshot {
     std::size_t requests = 0;
     std::size_t errors = 0;
@@ -35,6 +73,12 @@ class ServiceMetrics {
     double latency_p50_ms = 0.0;
     double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
+    std::uint64_t shed_requests = 0;
+    std::uint64_t shed_connections = 0;
+    std::uint64_t idle_timeouts = 0;
+    std::uint64_t pipelined_requests = 0;
+    std::size_t open_connections = 0;
+    std::size_t queue_depth = 0;
   };
   Snapshot snapshot() const;
 
@@ -45,6 +89,13 @@ class ServiceMetrics {
   std::size_t transport_errors_ = 0;
   RunningStats latency_s_;
   EmpiricalDistribution latency_dist_s_;
+
+  std::atomic<std::uint64_t> shed_requests_{0};
+  std::atomic<std::uint64_t> shed_connections_{0};
+  std::atomic<std::uint64_t> idle_timeouts_{0};
+  std::atomic<std::uint64_t> pipelined_requests_{0};
+  std::atomic<std::size_t> open_connections_{0};
+  std::atomic<std::size_t> queue_depth_{0};
 };
 
 }  // namespace rnt::service

@@ -29,6 +29,14 @@ bool send_all(int fd, const std::string& data) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Partial send against a full socket buffer: wait for
+        // writability and resume, matching the pre-timeout blocking
+        // behaviour instead of dropping the rest of the reply.
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, kPollMs);
+        continue;
+      }
       return false;
     }
     sent += static_cast<std::size_t>(n);

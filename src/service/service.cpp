@@ -217,6 +217,13 @@ std::future<Response> Service::submit_line(std::string line) {
       [this, line = std::move(line)] { return handle_line(line); });
 }
 
+void Service::submit_line(std::string line,
+                          std::function<void(Response)> done) {
+  pool_.submit([this, line = std::move(line), done = std::move(done)] {
+    done(handle_line(line));
+  });
+}
+
 Response Service::dispatch(const Request& request) {
   switch (request.type) {
     case RequestType::kPing: {
@@ -254,6 +261,12 @@ Response Service::dispatch(const Request& request) {
       r.set("sweeps", sweep_count());
       r.set("transport-errors", m.transport_errors);
       r.set("threads", pool_.size());
+      r.set("open-connections", m.open_connections);
+      r.set("queue-depth", m.queue_depth);
+      r.set("shed-requests", m.shed_requests);
+      r.set("shed-connections", m.shed_connections);
+      r.set("idle-timeouts", m.idle_timeouts);
+      r.set("pipelined-requests", m.pipelined_requests);
       return r;
     }
     case RequestType::kSelect: {

@@ -26,6 +26,7 @@
 // so at-least-once RPC delivery cannot change any answer.
 #pragma once
 
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -101,6 +102,12 @@ class Service {
   std::future<Response> submit(Request request);
   std::future<Response> submit_line(std::string line);
 
+  /// Completion-style variant for event-loop front ends: runs
+  /// handle_line() on the pool and invokes `done` with the reply from the
+  /// worker thread (the caller re-enters its loop, e.g. via
+  /// Reactor::post).  Throws only when the pool is already shut down.
+  void submit_line(std::string line, std::function<void(Response)> done);
+
   /// Stops accepting work and drains the pool.  Idempotent.
   void shutdown() { pool_.shutdown(); }
 
@@ -117,6 +124,17 @@ class Service {
   /// Counts one reply the transport could not deliver (called by the TCP
   /// server when a send fails); surfaces as `transport-errors` in stats.
   void note_transport_error() { metrics_.record_transport_error(); }
+
+  /// Reactor front-end observability: counters and gauges surfaced by
+  /// the `stats` verb (the threaded server leaves them at zero).
+  void note_shed_request() { metrics_.note_shed_request(); }
+  void note_shed_connection() { metrics_.note_shed_connection(); }
+  void note_idle_timeout() { metrics_.note_idle_timeout(); }
+  void note_pipelined_request() { metrics_.note_pipelined_request(); }
+  void set_open_connections(std::size_t n) {
+    metrics_.set_open_connections(n);
+  }
+  void set_queue_depth(std::size_t n) { metrics_.set_queue_depth(n); }
 
   /// Multi-line human-readable metrics/cache dump (printed on shutdown by
   /// the server front end).
