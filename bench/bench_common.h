@@ -7,11 +7,14 @@
 // in EXPERIMENTS.md, and --csv for machine-readable output.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/expected_rank.h"
 #include "core/kernel_er.h"
@@ -67,6 +70,48 @@ inline std::unique_ptr<core::ScenarioErEngine> make_scenario_engine(
   }
   throw std::invalid_argument("unknown --engine '" + engine +
                               "' (expected mc or kernel)");
+}
+
+/// Builds the calibrated topology workload the extension drivers share
+/// (ext_estimation, ext_inference, ...): --topology with a per-driver
+/// fallback, candidate-path count, and the paper's failure intensity.
+inline exp::Workload make_topology_workload(const CommonOptions& opts,
+                                            const std::string& fallback,
+                                            std::size_t candidate_paths,
+                                            double intensity = 5.0) {
+  exp::WorkloadSpec spec;
+  spec.topology = graph::parse_isp_topology(
+      opts.topology.empty() ? fallback : opts.topology);
+  spec.candidate_paths = candidate_paths;
+  spec.seed = opts.seed;
+  spec.failure_intensity = intensity;
+  return exp::make_workload(spec);
+}
+
+/// Every candidate path index, ascending — the budget denominators and
+/// "probe everything" baselines.
+inline std::vector<std::size_t> all_paths_of(const tomo::PathSystem& system) {
+  std::vector<std::size_t> all(system.path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return all;
+}
+
+/// Cost of probing every candidate path (budget fractions scale this).
+inline double total_probing_cost(const exp::Workload& w) {
+  return w.costs.subset_cost(*w.system, all_paths_of(*w.system));
+}
+
+/// Seeded uniform random subset of exactly `k` distinct paths — the
+/// size-matched naive baseline a robust selection is compared against.
+inline std::vector<std::size_t> random_k_paths(Rng& rng,
+                                               std::size_t path_count,
+                                               std::size_t k) {
+  std::vector<std::size_t> all(path_count);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  rng.shuffle(all);
+  all.resize(std::min(k, path_count));
+  std::sort(all.begin(), all.end());
+  return all;
 }
 
 inline void print_header(const std::string& title, const CommonOptions& opts) {

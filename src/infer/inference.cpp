@@ -1,0 +1,91 @@
+#include "infer/inference.h"
+
+#include <atomic>
+#include <thread>
+
+namespace rnt::infer {
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+GroundTruth campaign_truth(MeasurementModel model, std::size_t links,
+                           std::uint64_t seed, const TruthOptions& options) {
+  Rng rng(derive_seed(seed, kTruthSalt));
+  return draw_ground_truth(model, links, rng, options);
+}
+
+InferenceReport run_inference(const tomo::PathSystem& system,
+                              const std::vector<std::size_t>& subset,
+                              const ScenarioSampler& sampler,
+                              const GroundTruth& truth,
+                              const InferenceConfig& config,
+                              std::uint64_t seed) {
+  // Scenario draws happen serially up front: the sampler sees one stream
+  // in scenario order no matter how many solver threads run below.
+  Rng scenario_rng(derive_seed(seed, kScenarioSalt));
+  std::vector<failures::FailureVector> scenarios;
+  scenarios.reserve(config.scenarios);
+  for (std::size_t s = 0; s < config.scenarios; ++s) {
+    scenarios.push_back(sampler(scenario_rng));
+  }
+
+  const double fallback = prior_estimate(config.model, config.truth);
+  std::vector<ScenarioScore> scores(scenarios.size());
+  const auto solve_one = [&](std::size_t s) {
+    // The noise stream is keyed by scenario index, not by thread or
+    // completion order, so every schedule synthesizes identical bytes.
+    Rng noise_rng(derive_seed(seed, kNoiseSalt + s));
+    const Observations obs = synthesize_observations(
+        system, subset, truth, scenarios[s], config.noise_std, noise_rng);
+    const ScenarioSolution solution =
+        solve_scenario(system, obs, config.model, config.solve);
+    scores[s] = score_scenario(solution, truth, fallback);
+  };
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t workers =
+      std::min(scenarios.empty() ? std::size_t{1} : scenarios.size(),
+               std::max<std::size_t>(
+                   1, config.threads > 0 ? config.threads
+                                         : (hw > 0 ? hw : std::size_t{1})));
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) solve_one(s);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t s = next.fetch_add(1); s < scenarios.size();
+             s = next.fetch_add(1)) {
+          solve_one(s);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  // Fixed-order reduction: the float accumulation tree depends only on
+  // scenario index, making the report bitwise thread-count independent.
+  InferenceReport report;
+  for (const ScenarioScore& score : scores) report.add(score);
+  return report;
+}
+
+InferenceReport run_inference(const tomo::PathSystem& system,
+                              const std::vector<std::size_t>& subset,
+                              const failures::FailureModel& failures,
+                              const GroundTruth& truth,
+                              const InferenceConfig& config,
+                              std::uint64_t seed) {
+  return run_inference(
+      system, subset,
+      [&failures](Rng& rng) { return failures.sample(rng); }, truth, config,
+      seed);
+}
+
+}  // namespace rnt::infer

@@ -1,0 +1,82 @@
+#include "infer/measurement.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::infer {
+
+const char* to_string(MeasurementModel model) {
+  switch (model) {
+    case MeasurementModel::kDelay:
+      return "delay";
+    case MeasurementModel::kLoss:
+      return "loss";
+  }
+  throw std::logic_error("to_string: unhandled MeasurementModel");
+}
+
+MeasurementModel parse_measurement_model(const std::string& name) {
+  if (name == "delay") return MeasurementModel::kDelay;
+  if (name == "loss") return MeasurementModel::kLoss;
+  throw std::invalid_argument("unknown measurement model (want delay or loss): " +
+                              name);
+}
+
+GroundTruth draw_ground_truth(MeasurementModel model, std::size_t links,
+                              Rng& rng, const TruthOptions& options) {
+  GroundTruth truth;
+  truth.model = model;
+  truth.natural.resize(links);
+  truth.additive.resize(links);
+  for (std::size_t l = 0; l < links; ++l) {
+    if (model == MeasurementModel::kDelay) {
+      truth.natural[l] = rng.uniform(options.delay_lo_ms, options.delay_hi_ms);
+      truth.additive[l] = truth.natural[l];
+    } else {
+      const double t = rng.uniform(options.delivery_lo, options.delivery_hi);
+      if (t <= 0.0) {
+        throw std::invalid_argument(
+            "draw_ground_truth: delivery rates must be positive");
+      }
+      truth.natural[l] = t;
+      truth.additive[l] = -std::log(t);
+    }
+  }
+  return truth;
+}
+
+double prior_estimate(MeasurementModel model, const TruthOptions& options) {
+  return model == MeasurementModel::kDelay
+             ? 0.5 * (options.delay_lo_ms + options.delay_hi_ms)
+             : 0.5 * (options.delivery_lo + options.delivery_hi);
+}
+
+double to_natural(MeasurementModel model, double additive_value) {
+  return model == MeasurementModel::kDelay ? additive_value
+                                           : std::exp(-additive_value);
+}
+
+Observations synthesize_observations(const tomo::PathSystem& system,
+                                     const std::vector<std::size_t>& subset,
+                                     const GroundTruth& truth,
+                                     const failures::FailureVector& v,
+                                     double noise_std, Rng& rng) {
+  if (truth.link_count() != system.link_count()) {
+    throw std::invalid_argument(
+        "synthesize_observations: truth/system link count mismatch");
+  }
+  Observations out;
+  for (const std::size_t q : subset) {
+    if (!system.path_survives(q, v)) continue;
+    double y = 0.0;
+    for (const graph::EdgeId l : system.path(q).links) {
+      y += truth.additive[l];
+    }
+    if (noise_std > 0.0) y += rng.normal(0.0, noise_std);
+    out.rows.push_back(q);
+    out.values.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace rnt::infer

@@ -1,0 +1,95 @@
+// Measurement synthesis for end-to-end metric inference: seeded ground
+// truth per link plus noisy end-to-end observations on the paths that
+// survive a failure scenario.
+//
+// Two measurement models close the loop from basis selection to actual
+// tomography (ROADMAP item 4):
+//
+//  * kDelay — additive per-link delays.  A probe down path q observes
+//    y_q = sum of q's link delays + N(0, noise_std) milliseconds.
+//  * kLoss — multiplicative per-link delivery (1 - loss) rates, the
+//    Markopoulou et al. network-coding loss-tomography setting.  The
+//    product system becomes linear in the log domain: a probe observes
+//    -log(t_q) = sum of -log(t_l) + N(0, noise_std), i.e. log-normal
+//    multiplicative noise on the measured path delivery rate.
+//
+// Both models therefore emit observations in one shared *additive* domain
+// that the CGLS solver layer (solver.h) consumes; kLoss converts back to
+// natural delivery rates after solving.  All draws come from explicitly
+// seeded Rng streams, so any synthesized campaign replays bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "tomo/path_system.h"
+#include "util/rng.h"
+
+namespace rnt::infer {
+
+enum class MeasurementModel {
+  kDelay,  ///< Additive per-link delay (ms).
+  kLoss,   ///< Multiplicative per-link delivery rate, solved in log domain.
+};
+
+/// Wire/CLI name of a model ("delay" / "loss").
+const char* to_string(MeasurementModel model);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+MeasurementModel parse_measurement_model(const std::string& name);
+
+/// Value ranges for drawn ground truth, in the natural domain.
+struct TruthOptions {
+  double delay_lo_ms = 1.0;   ///< Per-link delay lower bound.
+  double delay_hi_ms = 10.0;  ///< Per-link delay upper bound (exclusive).
+  double delivery_lo = 0.90;  ///< Per-link delivery-rate lower bound.
+  double delivery_hi = 0.999; ///< Per-link delivery-rate upper bound.
+};
+
+/// Ground-truth per-link metrics in both domains.  `natural` holds the
+/// model's native values (delay ms, or delivery rate in (0, 1]); `additive`
+/// holds the solver-domain image (delay unchanged; -log(delivery) for
+/// loss), which is what path observations sum.
+struct GroundTruth {
+  MeasurementModel model = MeasurementModel::kDelay;
+  std::vector<double> natural;
+  std::vector<double> additive;
+
+  std::size_t link_count() const { return natural.size(); }
+};
+
+/// Draws one ground truth of `links` per-link metrics from `rng`.
+GroundTruth draw_ground_truth(MeasurementModel model, std::size_t links,
+                              Rng& rng, const TruthOptions& options = {});
+
+/// The prior-mean estimate in the natural domain — the midpoint of the
+/// truth range.  This is what an operator reports for a link no surviving
+/// measurement pins down, and what network-wide error metrics charge for
+/// unidentifiable links.
+double prior_estimate(MeasurementModel model, const TruthOptions& options = {});
+
+/// Converts a solver-domain estimate back to the model's natural domain
+/// (identity for delay, exp(-x) for loss).
+double to_natural(MeasurementModel model, double additive_value);
+
+/// Noisy end-to-end observations for one failure scenario, in the additive
+/// solver domain.  Row i of the surviving system is path rows[i].
+struct Observations {
+  std::vector<std::size_t> rows;  ///< Surviving path indices, ascending.
+  std::vector<double> values;     ///< Matching additive-domain observations.
+};
+
+/// Simulates one probing epoch: every path of `subset` that survives
+/// scenario `v` yields one observation y_q = (additive truth down q)
+/// + N(0, noise_std).  Paths are visited in subset order and one Gaussian
+/// is consumed per surviving path, so the stream is reproducible for a
+/// fixed (subset, v) pair.
+Observations synthesize_observations(const tomo::PathSystem& system,
+                                     const std::vector<std::size_t>& subset,
+                                     const GroundTruth& truth,
+                                     const failures::FailureVector& v,
+                                     double noise_std, Rng& rng);
+
+}  // namespace rnt::infer

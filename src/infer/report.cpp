@@ -1,0 +1,75 @@
+#include "infer/report.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rnt::infer {
+
+ScenarioScore score_scenario(const ScenarioSolution& solution,
+                             const GroundTruth& truth,
+                             double fallback_natural) {
+  if (truth.link_count() != solution.natural.size()) {
+    throw std::invalid_argument("score_scenario: truth/solution size mismatch");
+  }
+  ScenarioScore score;
+  score.identifiable = solution.identifiable.size();
+  score.coverage =
+      truth.link_count() == 0
+          ? 0.0
+          : static_cast<double>(score.identifiable) /
+                static_cast<double>(truth.link_count());
+  score.residual_norm = solution.residual_norm;
+  score.surviving_rows = solution.surviving_rows;
+  score.iterations = solution.iterations;
+  score.converged = solution.converged;
+
+  double sq = 0.0;
+  double abs = 0.0;
+  double worst = 0.0;
+  for (const std::size_t l : solution.identifiable) {
+    const double err = solution.natural[l] - truth.natural[l];
+    sq += err * err;
+    abs += std::abs(err);
+    worst = std::max(worst, std::abs(err));
+  }
+  if (score.identifiable > 0) {
+    const auto n = static_cast<double>(score.identifiable);
+    score.mse = sq / n;
+    score.mean_abs_error = abs / n;
+    score.max_abs_error = worst;
+  }
+
+  // Network-wide error: unidentifiable links fall back to the prior-mean
+  // estimate, so every selection is charged over the same link set.
+  if (truth.link_count() > 0) {
+    std::vector<bool> known(truth.link_count(), false);
+    for (const std::size_t l : solution.identifiable) known[l] = true;
+    double network_sq = sq;
+    for (std::size_t l = 0; l < truth.link_count(); ++l) {
+      if (known[l]) continue;
+      const double err = fallback_natural - truth.natural[l];
+      network_sq += err * err;
+    }
+    score.network_mse =
+        network_sq / static_cast<double>(truth.link_count());
+  }
+  return score;
+}
+
+void InferenceReport::add(const ScenarioScore& score) {
+  ++scenarios;
+  if (score.surviving_rows > 0) ++solved;
+  if (score.converged) ++converged;
+  coverage.add(score.coverage);
+  network_mse.add(score.network_mse);
+  identifiable.add(static_cast<double>(score.identifiable));
+  residual.add(score.residual_norm);
+  iterations.add(static_cast<double>(score.iterations));
+  if (score.identifiable > 0) {
+    mse.add(score.mse);
+    mean_abs_error.add(score.mean_abs_error);
+    max_abs_error.add(score.max_abs_error);
+  }
+}
+
+}  // namespace rnt::infer

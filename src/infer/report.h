@@ -1,0 +1,72 @@
+// First-class estimation-error metrics for the inference layer.
+//
+// A scenario is scored in the *natural* domain (delay ms, delivery rate)
+// over its identifiable links only — unidentifiable entries of the
+// min-norm solution are artifacts of the pseudo-inverse, not estimates.
+// Scores aggregate across a scenario family into an InferenceReport whose
+// accumulation order is fixed by scenario index, so a report is bitwise
+// reproducible for any thread count.
+#pragma once
+
+#include <cstddef>
+
+#include "infer/measurement.h"
+#include "infer/solver.h"
+#include "util/stats.h"
+
+namespace rnt::infer {
+
+/// Error metrics of one solved scenario.
+struct ScenarioScore {
+  std::size_t identifiable = 0;    ///< Identifiable-link count.
+  double coverage = 0.0;           ///< identifiable / total links.
+  double mse = 0.0;                ///< Mean squared error, identifiable only.
+  double network_mse = 0.0;        ///< MSE over *all* links — unidentifiable
+                                   ///< links charged at the prior-mean
+                                   ///< fallback estimate.  Free of the
+                                   ///< selection bias of conditional `mse`
+                                   ///< (a selection that identifies only
+                                   ///< easy links looks artificially good
+                                   ///< conditioned on its own set).
+  double mean_abs_error = 0.0;     ///< Mean |error|, identifiable only.
+  double max_abs_error = 0.0;      ///< Worst |error|, identifiable only.
+  double residual_norm = 0.0;      ///< ‖A x − y‖ of the LS solve.
+  std::size_t surviving_rows = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Scores one solution against the truth it was synthesized from.
+/// `fallback_natural` is the estimate charged for unidentifiable links in
+/// `network_mse` — normally prior_estimate(truth.model, options).
+ScenarioScore score_scenario(const ScenarioSolution& solution,
+                             const GroundTruth& truth,
+                             double fallback_natural);
+
+/// Convenience overload using the default-range prior as the fallback.
+inline ScenarioScore score_scenario(const ScenarioSolution& solution,
+                                    const GroundTruth& truth) {
+  return score_scenario(solution, truth, prior_estimate(truth.model));
+}
+
+/// Aggregate over one scenario family.  `mse` / `mean_abs_error` average
+/// over scenarios with at least one identifiable link; `coverage`,
+/// `residual` and `iterations` average over every scenario.
+struct InferenceReport {
+  RunningStats mse;
+  RunningStats network_mse;  ///< All-links MSE, every scenario (fallback
+                             ///< prior on unidentifiable links).
+  RunningStats mean_abs_error;
+  RunningStats max_abs_error;
+  RunningStats coverage;
+  RunningStats identifiable;
+  RunningStats residual;
+  RunningStats iterations;
+  std::size_t scenarios = 0;  ///< Scenarios scored.
+  std::size_t solved = 0;     ///< Scenarios with >= 1 surviving row.
+  std::size_t converged = 0;  ///< Scenarios whose CGLS hit tolerance.
+
+  void add(const ScenarioScore& score);
+};
+
+}  // namespace rnt::infer

@@ -1,0 +1,49 @@
+#include "infer/solver.h"
+
+#include <stdexcept>
+
+#include "linalg/elimination.h"
+#include "linalg/sparse.h"
+#include "tomo/identifiability.h"
+
+namespace rnt::infer {
+
+ScenarioSolution solve_scenario(const tomo::PathSystem& system,
+                                const Observations& observations,
+                                MeasurementModel model,
+                                const SolveOptions& options) {
+  if (observations.rows.size() != observations.values.size()) {
+    throw std::invalid_argument("solve_scenario: rows/values size mismatch");
+  }
+  ScenarioSolution solution;
+  solution.additive.assign(system.link_count(), 0.0);
+  solution.natural.assign(system.link_count(), 0.0);
+  solution.surviving_rows = observations.rows.size();
+  if (observations.rows.empty()) {
+    // Nothing survived: nothing identifiable, converged trivially.
+    solution.converged = true;
+    for (std::size_t l = 0; l < system.link_count(); ++l) {
+      solution.natural[l] = to_natural(model, 0.0);
+    }
+    return solution;
+  }
+
+  const linalg::Matrix restricted =
+      system.matrix().select_rows(observations.rows);
+  solution.rank = linalg::rank(restricted);
+  solution.identifiable = tomo::identifiable_links(system, observations.rows);
+
+  const linalg::SparseMatrix a = linalg::SparseMatrix::from_dense(restricted);
+  const linalg::CglsResult cgls =
+      linalg::cgls_solve(a, observations.values, options.cgls);
+  solution.additive = cgls.x;
+  solution.iterations = cgls.iterations;
+  solution.residual_norm = cgls.residual_norm;
+  solution.converged = cgls.converged;
+  for (std::size_t l = 0; l < system.link_count(); ++l) {
+    solution.natural[l] = to_natural(model, solution.additive[l]);
+  }
+  return solution;
+}
+
+}  // namespace rnt::infer

@@ -1,0 +1,52 @@
+// Per-scenario tomography solver: restrict A to the surviving rows, solve
+// the least-squares system with CGLS, and detect the identifiable link
+// subspace.
+//
+// The surviving system is usually rank-deficient (failures remove rows)
+// and, under probe noise, inconsistent (redundant rows disagree).  CGLS
+// from x0 = 0 converges to the *minimum-norm* least-squares solution
+// x† = A⁺ y, which is unique — so the solve is deterministic for a fixed
+// observation set regardless of how scenarios are scheduled across
+// threads.  Identifiable links (e_j in the surviving row space) have the
+// same value in every LS solution, so x† restricted to them is the
+// estimator of interest; entries outside the identifiable set are
+// min-norm artifacts and are reported but not scored.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "infer/measurement.h"
+#include "linalg/cgls.h"
+#include "tomo/path_system.h"
+
+namespace rnt::infer {
+
+struct SolveOptions {
+  linalg::CglsOptions cgls;  ///< Iteration cap / tolerance (0 = 2·cols).
+};
+
+/// Solution of one scenario's surviving system.
+struct ScenarioSolution {
+  /// Solver-domain (additive) min-norm LS estimate, one entry per link.
+  std::vector<double> additive;
+  /// Natural-domain estimate (== additive for delay, exp(-additive) for
+  /// loss).  Only entries at identifiable links are meaningful.
+  std::vector<double> natural;
+  /// Links whose metric is uniquely determined by the surviving rows.
+  std::vector<std::size_t> identifiable;
+  std::size_t surviving_rows = 0;  ///< Rows of the restricted system.
+  std::size_t rank = 0;            ///< Rank of the restricted system.
+  std::size_t iterations = 0;      ///< CGLS iterations spent.
+  double residual_norm = 0.0;      ///< ‖A x − y‖ at exit.
+  bool converged = false;          ///< CGLS hit its tolerance (vs the cap).
+};
+
+/// Solves the surviving system for one scenario's observations.  With no
+/// surviving rows the solution is all-zero with an empty identifiable set.
+ScenarioSolution solve_scenario(const tomo::PathSystem& system,
+                                const Observations& observations,
+                                MeasurementModel model,
+                                const SolveOptions& options = {});
+
+}  // namespace rnt::infer

@@ -15,6 +15,11 @@ void ServiceMetrics::record_transport_error() {
   ++transport_errors_;
 }
 
+void ServiceMetrics::record_infer_solve(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  infer_solve_s_.add(seconds);
+}
+
 ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
@@ -30,6 +35,12 @@ ServiceMetrics::Snapshot ServiceMetrics::snapshot() const {
     s.latency_p50_ms = 1e3 * latency_dist_s_.quantile(0.5);
     s.latency_p95_ms = 1e3 * latency_dist_s_.quantile(0.95);
     s.latency_p99_ms = 1e3 * latency_dist_s_.quantile(0.99);
+  }
+  const auto infer_it = counts_.find(RequestType::kInfer);
+  if (infer_it != counts_.end()) s.infer_requests = infer_it->second;
+  if (infer_solve_s_.count() > 0) {
+    s.infer_solve_p50_ms = 1e3 * infer_solve_s_.quantile(0.5);
+    s.infer_solve_p95_ms = 1e3 * infer_solve_s_.quantile(0.95);
   }
   s.shed_requests = shed_requests_.load(std::memory_order_relaxed);
   s.shed_connections = shed_connections_.load(std::memory_order_relaxed);

@@ -34,6 +34,12 @@ class ServiceMetrics {
   /// errors — the request itself succeeded.
   void record_transport_error();
 
+  /// Records the solve time of one `infer` campaign (the CGLS portion of
+  /// the handler, excluding workload construction).  Kept separate from
+  /// the end-to-end latency distribution so the `stats` reply can expose
+  /// inference solve percentiles even when other verbs dominate traffic.
+  void record_infer_solve(double seconds);
+
   // Reactor counters (monotonic) -----------------------------------------
 
   /// A request answered `error overloaded: ...` because the admission
@@ -73,6 +79,9 @@ class ServiceMetrics {
     double latency_p50_ms = 0.0;
     double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
+    std::size_t infer_requests = 0;
+    double infer_solve_p50_ms = 0.0;
+    double infer_solve_p95_ms = 0.0;
     std::uint64_t shed_requests = 0;
     std::uint64_t shed_connections = 0;
     std::uint64_t idle_timeouts = 0;
@@ -89,6 +98,7 @@ class ServiceMetrics {
   std::size_t transport_errors_ = 0;
   RunningStats latency_s_;
   EmpiricalDistribution latency_dist_s_;
+  EmpiricalDistribution infer_solve_s_;
 
   std::atomic<std::uint64_t> shed_requests_{0};
   std::atomic<std::uint64_t> shed_connections_{0};

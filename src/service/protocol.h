@@ -6,7 +6,7 @@
 //
 //   request  = verb *( SP key "=" value )
 //   verb     = "select" | "er-eval" | "identifiability" | "localize"
-//            | "feed" | "replan" | "pipeline-stats"
+//            | "infer" | "feed" | "replan" | "pipeline-stats"
 //            | "worker-hello" | "heartbeat" | "shard-eval" | "shard-sweep"
 //            | "stats" | "ping" | "shutdown"
 //   reply    = "ok" *( SP key "=" value ) | "error" SP message
@@ -32,6 +32,7 @@ enum class RequestType {
   kErEval,
   kIdentifiability,
   kLocalize,
+  kInfer,          ///< End-to-end metric inference under failures (src/infer).
   kFeed,           ///< Telemetry into the workload's adaptive session.
   kReplan,         ///< Warm-start re-selection from the estimated model.
   kPipelineStats,  ///< Adaptive-session counters and estimates.

@@ -12,6 +12,7 @@
 #include "core/rome.h"
 #include "core/select_path.h"
 #include "exp/metrics.h"
+#include "infer/inference.h"
 #include "tomo/localization.h"
 
 namespace rnt::service {
@@ -267,6 +268,9 @@ Response Service::dispatch(const Request& request) {
       r.set("shed-connections", m.shed_connections);
       r.set("idle-timeouts", m.idle_timeouts);
       r.set("pipelined-requests", m.pipelined_requests);
+      r.set("infer-requests", m.infer_requests);
+      r.set("infer-solve-p50-ms", m.infer_solve_p50_ms);
+      r.set("infer-solve-p95-ms", m.infer_solve_p95_ms);
       return r;
     }
     case RequestType::kSelect: {
@@ -503,6 +507,47 @@ Response Service::dispatch(const Request& request) {
       r.set("invisible", score.invisible);
       r.set("mean-candidates", score.mean_candidates);
       r.set("exact-fraction", score.exact_fraction());
+      return r;
+    }
+    case RequestType::kInfer: {
+      const auto cw = cache_.get(key_from(request));
+      const exp::Workload& w = cw->workload;
+      const std::vector<std::size_t> subset = resolve_subset(request, *cw);
+      infer::InferenceConfig config;
+      config.model =
+          infer::parse_measurement_model(request.get("model", "delay"));
+      config.noise_std = request.get_double("noise", 0.05);
+      if (config.noise_std < 0.0) {
+        throw std::invalid_argument("infer: noise must be non-negative");
+      }
+      config.scenarios =
+          static_cast<std::size_t>(request.get_int("scenarios", 200));
+      // One solver worker: handler concurrency already comes from the
+      // request pool, and threads=1 keeps per-request latency honest.
+      config.threads = 1;
+      const infer::GroundTruth truth = infer::campaign_truth(
+          config.model, w.system->link_count(), w.seed, config.truth);
+      const auto solve_start = Clock::now();
+      const infer::InferenceReport report = infer::run_inference(
+          *w.system, subset, *w.failures, truth, config, w.seed);
+      metrics_.record_infer_solve(
+          std::chrono::duration<double>(Clock::now() - solve_start).count());
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("model", infer::to_string(config.model));
+      r.set("paths", subset.size());
+      r.set("scenarios", report.scenarios);
+      r.set("solved", report.solved);
+      r.set("converged", report.converged);
+      r.set("coverage-mean", report.coverage.mean());
+      r.set("network-mse-mean", report.network_mse.mean());
+      r.set("identifiable-mean", report.identifiable.mean());
+      r.set("mse-mean", report.mse.count() > 0 ? report.mse.mean() : 0.0);
+      r.set("mae-mean", report.mean_abs_error.count() > 0
+                            ? report.mean_abs_error.mean()
+                            : 0.0);
+      r.set("residual-mean", report.residual.mean());
+      r.set("iterations-mean", report.iterations.mean());
       return r;
     }
   }

@@ -13,6 +13,8 @@
 #include "core/rome.h"
 #include "exp/workload.h"
 #include "failures/trace.h"
+#include "infer/measurement.h"
+#include "infer/solver.h"
 #include "linalg/elimination.h"
 #include "linalg/incremental_basis.h"
 #include "linalg/qr.h"
@@ -776,6 +778,47 @@ CheckResult check_protocol_framing(const TestInstance& inst,
   return CheckResult::ok();
 }
 
+// --------------------------------------------------------------------------
+// 15. Zero-noise inference recovers ground truth exactly on the
+//     identifiable links (the end-to-end loop's correctness anchor).
+// --------------------------------------------------------------------------
+
+CheckResult check_inference_roundtrip(const TestInstance& inst,
+                                      const FaultPlan&) {
+  Rng rng = check_rng(inst, "inference-roundtrip");
+  const std::vector<std::size_t> subset =
+      random_subset(rng, inst.path_count());
+  // One scenario from the instance's own failure family, shared by both
+  // measurement models so a failing repro pins a single surviving system.
+  const failures::FailureVector scenario = inst.model.sample(rng);
+
+  infer::SolveOptions options;
+  options.cgls.tolerance = 1e-13;  // Noise-free ⇒ consistent: push CGLS
+                                   // well below the 1e-9 comparison.
+  for (const infer::MeasurementModel model :
+       {infer::MeasurementModel::kDelay, infer::MeasurementModel::kLoss}) {
+    const infer::GroundTruth truth =
+        infer::draw_ground_truth(model, inst.link_count(), rng);
+    const infer::Observations obs = infer::synthesize_observations(
+        inst.system, subset, truth, scenario, /*noise_std=*/0.0, rng);
+    const infer::ScenarioSolution solution =
+        infer::solve_scenario(inst.system, obs, model, options);
+    for (const std::size_t link : solution.identifiable) {
+      const double got = solution.natural[link];
+      const double want = truth.natural[link];
+      if (std::abs(got - want) > kTol) {
+        return CheckResult::fail(
+            std::string(infer::to_string(model)) + " model: link " +
+            std::to_string(link) + " identifiable from " +
+            std::to_string(obs.rows.size()) +
+            " surviving rows but estimate " + fmt(got) + " != truth " +
+            fmt(want));
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
 const std::vector<Check>& all_checks() {
   static const std::vector<Check> checks = {
       {"er-monotone-submodular",
@@ -825,6 +868,10 @@ const std::vector<Check>& all_checks() {
        "hostile bytes never escape the line parsers; well-formed "
        "requests, doubles and shard bits round-trip exactly",
        1, true, check_protocol_framing},
+      {"inference-roundtrip",
+       "zero-noise inference matches ground truth to 1e-9 on every "
+       "identifiable link, for both measurement models",
+       1, true, check_inference_roundtrip},
   };
   return checks;
 }

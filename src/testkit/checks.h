@@ -77,5 +77,6 @@ CheckResult check_workload_cache_eviction(const TestInstance&,
 CheckResult check_kernel_matches_scenario(const TestInstance&,
                                           const FaultPlan&);
 CheckResult check_protocol_framing(const TestInstance&, const FaultPlan&);
+CheckResult check_inference_roundtrip(const TestInstance&, const FaultPlan&);
 
 }  // namespace rnt::testkit

@@ -192,6 +192,70 @@ TEST(Cgls, ZeroRowsCarryNoInformation) {
   }
 }
 
+TEST(Cgls, InconsistentRankDeficientSystem) {
+  // No exact solution (rows 0/1 disagree) *and* no unique LS solution
+  // (rank 1 in a 2-column space): CGLS must still converge within its
+  // iteration cap to the min-norm LS point.  Rows average to x0 + x1 = 2,
+  // minimum norm picks (1, 1); the all-zero row only adds 5 to the
+  // residual, giving ‖r‖ = sqrt(1 + 1 + 25).
+  linalg::Matrix a{{1, 1}, {1, 1}, {0, 0}};
+  const std::vector<double> b = {1.0, 3.0, 5.0};
+  const auto result = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2 * a.cols());
+  EXPECT_NEAR(result.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-10);
+  EXPECT_NEAR(result.residual_norm, std::sqrt(27.0), 1e-8);
+}
+
+TEST(Cgls, RankDeficientSolveIsDeterministic) {
+  // The min-norm solution is unique, and the solver path is sequential:
+  // repeated solves of the same rank-deficient system must agree bitwise
+  // (the inference layer's thread-count determinism leans on this).
+  Rng rng(11);
+  linalg::Matrix a(10, 6);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      if (rng.bernoulli(0.4)) a(r, c) = 1.0;
+    }
+    a(r, 5) = a(r, 0);  // Duplicated column forces rank deficiency.
+  }
+  std::vector<double> b(10);
+  for (double& v : b) v = rng.uniform(-2, 2);
+  const auto first = linalg::cgls_solve(a, b);
+  const auto second = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(first.converged);
+  EXPECT_EQ(first.iterations, second.iterations);
+  ASSERT_EQ(first.x.size(), second.x.size());
+  for (std::size_t i = 0; i < first.x.size(); ++i) {
+    EXPECT_EQ(first.x[i], second.x[i]);  // Bitwise, not approximate.
+  }
+  EXPECT_EQ(first.residual_norm, second.residual_norm);
+}
+
+TEST(Cgls, IterationCapReportsHonestResidual) {
+  // A starved cap must be reported as non-convergence, with the residual
+  // of the iterate actually reached — not the tolerance target.
+  Rng rng(12);
+  linalg::Matrix a(12, 8);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  std::vector<double> b(12);
+  for (double& v : b) v = rng.uniform(-2, 2);
+  linalg::CglsOptions starved;
+  starved.max_iterations = 1;
+  const auto capped = linalg::cgls_solve(a, b, starved);
+  EXPECT_FALSE(capped.converged);
+  EXPECT_EQ(capped.iterations, 1u);
+  EXPECT_TRUE(std::isfinite(capped.residual_norm));
+  // The full run converges and ends at a residual no worse than the
+  // capped one (CGLS decreases ‖Ax − b‖ monotonically).
+  const auto full = linalg::cgls_solve(a, b);
+  EXPECT_TRUE(full.converged);
+  EXPECT_LE(full.residual_norm, capped.residual_norm + 1e-12);
+}
+
 TEST(Cgls, AllZeroMatrixConvergesToZero) {
   // Aᵀb = 0 means x = 0 is already optimal; the solver must report
   // convergence without iterating instead of dividing by a zero norm.

@@ -1,0 +1,270 @@
+// The end-to-end inference layer (src/infer): seeded measurement
+// synthesis, per-scenario restricted least-squares solves, error scoring,
+// and the determinism contract — reports are bitwise identical across
+// solver thread counts, and the service verb reproduces the library
+// numbers from the same workload seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "exp/workload.h"
+#include "infer/inference.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace rnt::infer {
+namespace {
+
+std::vector<std::size_t> all_paths(const tomo::PathSystem& system) {
+  std::vector<std::size_t> all(system.path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return all;
+}
+
+TEST(Measurement, GroundTruthDeterministicAndBounded) {
+  const TruthOptions options;
+  const GroundTruth a = campaign_truth(MeasurementModel::kDelay, 50, 7);
+  const GroundTruth b = campaign_truth(MeasurementModel::kDelay, 50, 7);
+  ASSERT_EQ(a.natural.size(), 50u);
+  EXPECT_EQ(a.natural, b.natural);  // Same seed, same truth — bitwise.
+  EXPECT_EQ(a.additive, b.additive);
+  for (std::size_t l = 0; l < a.link_count(); ++l) {
+    EXPECT_GE(a.natural[l], options.delay_lo_ms);
+    EXPECT_LT(a.natural[l], options.delay_hi_ms);
+    EXPECT_EQ(a.additive[l], a.natural[l]);  // Delay is its own domain.
+  }
+  const GroundTruth c = campaign_truth(MeasurementModel::kDelay, 50, 8);
+  EXPECT_NE(a.natural, c.natural);
+
+  const GroundTruth loss = campaign_truth(MeasurementModel::kLoss, 50, 7);
+  for (std::size_t l = 0; l < loss.link_count(); ++l) {
+    EXPECT_GE(loss.natural[l], options.delivery_lo);
+    EXPECT_LT(loss.natural[l], options.delivery_hi);
+    EXPECT_NEAR(loss.additive[l], -std::log(loss.natural[l]), 1e-15);
+    EXPECT_NEAR(to_natural(MeasurementModel::kLoss, loss.additive[l]),
+                loss.natural[l], 1e-12);
+  }
+}
+
+TEST(Measurement, SynthesizerIsSeedDeterministic) {
+  const exp::Workload w = exp::make_custom_workload(30, 60, 50, 3);
+  const GroundTruth truth =
+      campaign_truth(MeasurementModel::kDelay, w.system->link_count(), 3);
+  Rng scenario_rng(derive_seed(3, kScenarioSalt));
+  const failures::FailureVector v = w.failures->sample(scenario_rng);
+  const std::vector<std::size_t> subset = all_paths(*w.system);
+
+  Rng noise_a(derive_seed(3, kNoiseSalt));
+  Rng noise_b(derive_seed(3, kNoiseSalt));
+  const Observations a =
+      synthesize_observations(*w.system, subset, truth, v, 0.1, noise_a);
+  const Observations b =
+      synthesize_observations(*w.system, subset, truth, v, 0.1, noise_b);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.values, b.values);  // Identical stream, identical bytes.
+
+  Rng noise_c(derive_seed(4, kNoiseSalt));
+  const Observations c =
+      synthesize_observations(*w.system, subset, truth, v, 0.1, noise_c);
+  EXPECT_EQ(a.rows, c.rows);  // Survival is noise-independent.
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Inference, ZeroNoiseRoundtripBothModels) {
+  const exp::Workload w = exp::make_custom_workload(30, 60, 80, 5);
+  const std::vector<std::size_t> subset = all_paths(*w.system);
+  Rng scenario_rng(derive_seed(5, kScenarioSalt));
+  const failures::FailureVector v = w.failures->sample(scenario_rng);
+  for (const MeasurementModel model :
+       {MeasurementModel::kDelay, MeasurementModel::kLoss}) {
+    const GroundTruth truth =
+        campaign_truth(model, w.system->link_count(), 5);
+    Rng noise_rng(derive_seed(5, kNoiseSalt));
+    const Observations obs = synthesize_observations(
+        *w.system, subset, truth, v, /*noise_std=*/0.0, noise_rng);
+    SolveOptions options;
+    options.cgls.tolerance = 1e-13;
+    const ScenarioSolution solution =
+        solve_scenario(*w.system, obs, model, options);
+    EXPECT_TRUE(solution.converged);
+    EXPECT_FALSE(solution.identifiable.empty());
+    for (const std::size_t link : solution.identifiable) {
+      EXPECT_NEAR(solution.natural[link], truth.natural[link], 1e-9)
+          << to_string(model) << " link " << link;
+    }
+  }
+}
+
+TEST(Inference, NoSurvivorsIsTrivialScenario) {
+  const exp::Workload w = exp::make_custom_workload(20, 40, 20, 9);
+  const GroundTruth truth =
+      campaign_truth(MeasurementModel::kDelay, w.system->link_count(), 9);
+  const failures::FailureVector all_down(w.system->link_count(), true);
+  Rng rng(1);
+  const Observations obs = synthesize_observations(
+      *w.system, all_paths(*w.system), truth, all_down, 0.0, rng);
+  EXPECT_TRUE(obs.rows.empty());
+  const ScenarioSolution solution =
+      solve_scenario(*w.system, obs, MeasurementModel::kDelay);
+  EXPECT_TRUE(solution.converged);
+  EXPECT_TRUE(solution.identifiable.empty());
+  EXPECT_EQ(solution.surviving_rows, 0u);
+  const ScenarioScore score = score_scenario(solution, truth);
+  EXPECT_EQ(score.identifiable, 0u);
+  EXPECT_EQ(score.coverage, 0.0);
+  // With nothing identifiable, every link is charged at the prior-mean
+  // fallback — the network MSE is exactly the prior's error on the truth.
+  const double prior = prior_estimate(MeasurementModel::kDelay);
+  double expected = 0.0;
+  for (const double t : truth.natural) {
+    expected += (prior - t) * (prior - t);
+  }
+  expected /= static_cast<double>(truth.link_count());
+  EXPECT_EQ(score.network_mse, expected);
+}
+
+TEST(Inference, NetworkMseBeatsPriorWhenLinksAreIdentifiable) {
+  const exp::Workload w = exp::make_custom_workload(30, 60, 80, 5);
+  const GroundTruth truth =
+      campaign_truth(MeasurementModel::kDelay, w.system->link_count(), 5);
+  InferenceConfig config;
+  config.scenarios = 30;
+  config.noise_std = 0.0;
+  const InferenceReport report = run_inference(
+      *w.system, all_paths(*w.system), *w.failures, truth, config, 5);
+  ASSERT_GT(report.coverage.mean(), 0.0);
+  const double prior = prior_estimate(MeasurementModel::kDelay);
+  double prior_mse = 0.0;
+  for (const double t : truth.natural) {
+    prior_mse += (prior - t) * (prior - t);
+  }
+  prior_mse /= static_cast<double>(truth.link_count());
+  // Identified links are estimated near-exactly at zero noise, so the
+  // all-links score must improve on reporting the prior everywhere.
+  EXPECT_LT(report.network_mse.mean(), prior_mse);
+  EXPECT_GT(report.network_mse.mean(), 0.0);
+}
+
+TEST(Inference, ReportBitwiseIdenticalAcrossThreadCounts) {
+  const exp::Workload w = exp::make_custom_workload(40, 80, 100, 13);
+  const std::vector<std::size_t> subset = all_paths(*w.system);
+  const GroundTruth truth =
+      campaign_truth(MeasurementModel::kDelay, w.system->link_count(), 13);
+  InferenceConfig config;
+  config.scenarios = 40;
+  config.noise_std = 0.05;
+
+  config.threads = 1;
+  const InferenceReport serial =
+      run_inference(*w.system, subset, *w.failures, truth, config, 13);
+  config.threads = 4;
+  const InferenceReport threaded =
+      run_inference(*w.system, subset, *w.failures, truth, config, 13);
+
+  EXPECT_EQ(serial.scenarios, threaded.scenarios);
+  EXPECT_EQ(serial.solved, threaded.solved);
+  EXPECT_EQ(serial.converged, threaded.converged);
+  // Bitwise equality of every aggregate — the fixed-order reduction
+  // makes the accumulation tree independent of the worker schedule.
+  EXPECT_EQ(serial.mse.mean(), threaded.mse.mean());
+  EXPECT_EQ(serial.mse.count(), threaded.mse.count());
+  EXPECT_EQ(serial.mean_abs_error.mean(), threaded.mean_abs_error.mean());
+  EXPECT_EQ(serial.max_abs_error.max(), threaded.max_abs_error.max());
+  EXPECT_EQ(serial.coverage.mean(), threaded.coverage.mean());
+  EXPECT_EQ(serial.network_mse.mean(), threaded.network_mse.mean());
+  EXPECT_EQ(serial.identifiable.mean(), threaded.identifiable.mean());
+  EXPECT_EQ(serial.residual.mean(), threaded.residual.mean());
+  EXPECT_EQ(serial.iterations.mean(), threaded.iterations.mean());
+  EXPECT_GT(serial.scenarios, 0u);
+  EXPECT_GT(serial.coverage.mean(), 0.0);
+}
+
+TEST(Inference, NoiseDegradesAccuracy) {
+  const exp::Workload w = exp::make_custom_workload(30, 60, 80, 17);
+  const std::vector<std::size_t> subset = all_paths(*w.system);
+  const GroundTruth truth =
+      campaign_truth(MeasurementModel::kDelay, w.system->link_count(), 17);
+  InferenceConfig config;
+  config.scenarios = 30;
+  config.noise_std = 0.0;
+  const InferenceReport clean =
+      run_inference(*w.system, subset, *w.failures, truth, config, 17);
+  config.noise_std = 0.5;
+  const InferenceReport noisy =
+      run_inference(*w.system, subset, *w.failures, truth, config, 17);
+  EXPECT_NEAR(clean.mse.mean(), 0.0, 1e-14);
+  EXPECT_GT(noisy.mse.mean(), clean.mse.mean());
+}
+
+// --------------------------------------------------------------------------
+// The service verb reproduces the library numbers and feeds the metrics.
+// --------------------------------------------------------------------------
+
+TEST(ServiceInfer, StatsAreZeroBeforeAnyInfer) {
+  service::Service service({.threads = 1, .cache_capacity = 2});
+  const service::Response stats =
+      service.handle(service::parse_request("stats"));
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.at("infer-requests"), "0");
+  EXPECT_EQ(stats.number("infer-solve-p50-ms"), 0.0);
+  EXPECT_EQ(stats.number("infer-solve-p95-ms"), 0.0);
+}
+
+TEST(ServiceInfer, VerbMatchesLibraryAndRecordsMetrics) {
+  service::Service service({.threads = 2, .cache_capacity = 2});
+  // Explicit subset so the differential below needs no selection re-run.
+  const service::Response reply = service.handle(service::parse_request(
+      "infer nodes=30 links=60 paths=80 seed=1 subset=0,1,2,3,4,5,6,7,8,9 "
+      "scenarios=25 noise=0.05 model=loss"));
+  ASSERT_TRUE(reply.ok) << reply.error;
+  EXPECT_EQ(reply.at("model"), "loss");
+  EXPECT_EQ(reply.at("paths"), "10");
+  EXPECT_EQ(reply.at("scenarios"), "25");
+
+  // The same numbers straight from the library, with the service's
+  // workload construction and seeding.
+  const exp::Workload w = exp::make_custom_workload(30, 60, 80, 1, 5.0);
+  InferenceConfig config;
+  config.model = MeasurementModel::kLoss;
+  config.noise_std = 0.05;
+  config.scenarios = 25;
+  const GroundTruth truth =
+      campaign_truth(config.model, w.system->link_count(), w.seed);
+  std::vector<std::size_t> subset(10);
+  std::iota(subset.begin(), subset.end(), std::size_t{0});
+  const InferenceReport report =
+      run_inference(*w.system, subset, *w.failures, truth, config, w.seed);
+  EXPECT_EQ(reply.number("coverage-mean"), report.coverage.mean());
+  EXPECT_EQ(reply.number("network-mse-mean"), report.network_mse.mean());
+  EXPECT_EQ(reply.number("mse-mean"), report.mse.mean());
+  EXPECT_EQ(reply.number("residual-mean"), report.residual.mean());
+  EXPECT_EQ(static_cast<std::size_t>(reply.number("solved")), report.solved);
+
+  const service::Response stats =
+      service.handle(service::parse_request("stats"));
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.at("infer-requests"), "1");
+  EXPECT_EQ(stats.at("count-infer"), "1");
+  EXPECT_GT(stats.number("infer-solve-p50-ms"), 0.0);
+  EXPECT_GE(stats.number("infer-solve-p95-ms"),
+            stats.number("infer-solve-p50-ms"));
+}
+
+TEST(ServiceInfer, RejectsBadParameters) {
+  service::Service service({.threads = 1, .cache_capacity = 2});
+  const service::Response bad_model = service.handle(
+      service::parse_request("infer nodes=20 links=40 paths=30 model=ping"));
+  EXPECT_FALSE(bad_model.ok);
+  const service::Response bad_noise = service.handle(
+      service::parse_request("infer nodes=20 links=40 paths=30 noise=-1"));
+  EXPECT_FALSE(bad_noise.ok);
+  const service::Response typo = service.handle(service::parse_request(
+      "infer nodes=20 links=40 paths=30 scenaros=10"));
+  EXPECT_FALSE(typo.ok);
+}
+
+}  // namespace
+}  // namespace rnt::infer

@@ -17,9 +17,11 @@
 #include "core/select_path.h"
 #include "exp/metrics.h"
 #include "exp/workload.h"
+#include "failures/srlg.h"
 #include "graph/bridges.h"
 #include "graph/centrality.h"
 #include "graph/io.h"
+#include "infer/inference.h"
 #include "learning/baselines.h"
 #include "learning/lsr.h"
 #include "learning/simulator.h"
@@ -135,7 +137,7 @@ std::vector<double> parse_intensities(const std::string& csv) {
 void print_usage(std::ostream& out) {
   out <<
       "usage: rnt_cli "
-      "<topology|select|evaluate|learn|localize|pipeline|serve|client|"
+      "<topology|select|evaluate|learn|localize|infer|pipeline|serve|client|"
       "cluster-serve|cluster|fuzz> [--flags]\n"
       "\n"
       "common workload flags:\n"
@@ -152,6 +154,15 @@ void print_usage(std::ostream& out) {
       "  --budget-frac F    budget as a fraction of probing all paths\n"
       "  --scenarios N      evaluation failure scenarios\n"
       "  --identifiability  also score link identifiability (evaluate)\n"
+      "\n"
+      "infer flags (plus select flags):\n"
+      "  --model M          delay | loss measurement model (default delay)\n"
+      "  --noise X          additive-domain probe noise sigma (default "
+      "0.05)\n"
+      "  --family F         independent | srlg failure family\n"
+      "  --scenarios N      failure scenarios (default 200)\n"
+      "  --threads N        solver workers; report is bitwise identical "
+      "for any N\n"
       "\n"
       "learn flags:\n"
       "  --learner L        lsr | epsilon-greedy | thompson\n"
@@ -391,6 +402,69 @@ int cmd_localize(Flags& flags, std::ostream& out) {
   table.add_row({"ambiguous", std::to_string(score.ambiguous)});
   table.add_row({"invisible", std::to_string(score.invisible)});
   table.add_row({"mean candidate set", fmt(score.mean_candidates, 2)});
+  table.print(out);
+  return 0;
+}
+
+int cmd_infer(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::string algorithm = flags.get_string("algorithm", "prob-rome");
+  const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  const std::string family = flags.get_string("family", "independent");
+
+  infer::InferenceConfig config;
+  config.model =
+      infer::parse_measurement_model(flags.get_string("model", "delay"));
+  config.noise_std = flags.get_double("noise", 0.05);
+  if (config.noise_std < 0.0) {
+    throw std::invalid_argument("--noise must be non-negative");
+  }
+  config.scenarios = static_cast<std::size_t>(flags.get_int("scenarios", 200));
+  config.threads = static_cast<std::size_t>(flags.get_int("threads", 1));
+
+  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  const infer::GroundTruth truth = infer::campaign_truth(
+      config.model, w.system->link_count(), w.seed, config.truth);
+
+  infer::InferenceReport report;
+  if (family == "independent") {
+    report = infer::run_inference(*w.system, sel.paths, *w.failures, truth,
+                                  config, w.seed);
+  } else if (family == "srlg") {
+    // Same geography-like SRLG layout as ext_correlated_failures: disjoint
+    // groups of links failing all-or-nothing on top of the background model.
+    Rng srlg_rng(w.seed * 31);
+    const failures::SrlgModel srlg = failures::make_random_srlg_model(
+        *w.failures, /*group_count=*/8, /*group_size=*/4,
+        /*group_probability=*/0.02, srlg_rng);
+    report = infer::run_inference(
+        *w.system, sel.paths,
+        [&srlg](Rng& rng) { return srlg.sample(rng); }, truth, config,
+        w.seed);
+  } else {
+    throw std::invalid_argument(
+        "unknown --family (want independent or srlg): " + family);
+  }
+
+  out << "workload: " << w.topology_name << ", " << sel.size()
+      << " probe paths (" << algorithm << ", budget " << budget << "), "
+      << infer::to_string(config.model) << " model, noise "
+      << config.noise_std << "\n\n";
+  TablePrinter table({"metric", "value"});
+  table.add_row({"scenarios", std::to_string(report.scenarios)});
+  table.add_row({"solved (>=1 surviving row)", std::to_string(report.solved)});
+  table.add_row({"cgls converged", std::to_string(report.converged)});
+  table.add_row({"identifiable links (mean)",
+                 fmt(report.identifiable.mean(), 2)});
+  table.add_row({"coverage (mean)", fmt(report.coverage.mean(), 3)});
+  table.add_row({"per-link MSE (mean)", fmt(report.mse.mean(), 6)});
+  table.add_row({"network MSE (mean)", fmt(report.network_mse.mean(), 6)});
+  table.add_row({"per-link |error| (mean)",
+                 fmt(report.mean_abs_error.mean(), 6)});
+  table.add_row({"per-link |error| (worst)",
+                 fmt(report.max_abs_error.max(), 6)});
+  table.add_row({"residual norm (mean)", fmt(report.residual.mean(), 6)});
+  table.add_row({"cgls iterations (mean)", fmt(report.iterations.mean(), 1)});
   table.print(out);
   return 0;
 }
@@ -887,6 +961,8 @@ int dispatch(int argc, char** argv, std::ostream& out) {
     rc = cmd_learn(flags, out);
   } else if (command == "localize") {
     rc = cmd_localize(flags, out);
+  } else if (command == "infer") {
+    rc = cmd_infer(flags, out);
   } else if (command == "pipeline") {
     rc = cmd_pipeline(flags, out);
   } else if (command == "serve") {

@@ -25,6 +25,10 @@ int cmd_learn(Flags& flags, std::ostream& out);
 /// `rnt_cli localize` — score single-link failure localization.
 int cmd_localize(Flags& flags, std::ostream& out);
 
+/// `rnt_cli infer` — run the end-to-end inference loop (select → fail →
+/// measure → solve → score) and report per-link estimation error.
+int cmd_infer(Flags& flags, std::ostream& out);
+
 /// `rnt_cli pipeline` — replay a (possibly non-stationary) failure trace
 /// through the adaptive replanning pipeline and report per-run metrics.
 int cmd_pipeline(Flags& flags, std::ostream& out);
