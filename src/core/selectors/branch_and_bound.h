@@ -1,0 +1,56 @@
+// Exact branch-and-bound for the budgeted ER maximization.
+//
+// The problem is NP-Hard (Theorem 3), so exactness is only feasible for
+// small candidate sets; this solver makes ~12-16 paths practical where
+// plain enumeration (core::exhaustive_optimum) already strains, by
+// pruning subtrees whose admissible upper bound cannot beat the
+// incumbent.  The natural bound is ProbBound (Eq. 7): it dominates the
+// exact ER of every subset, is cheap to evaluate, and is monotone — the
+// bound of a node is the bound engine evaluated on the committed paths
+// plus every still-affordable undecided path.  When no bound engine is
+// supplied the objective engine itself is used (any monotone engine is
+// admissible against itself).
+//
+// Result semantics match the testkit oracle (exhaustive_best_selection)
+// decision for decision: candidate subsets are visited in ascending
+// bitmask order, feasibility is cost <= budget + 1e-9 with the cost
+// summed in ascending path order, and incumbent updates use the same
+// objective/popcount/mask tie-break — so on any instance where both run
+// against the same engine the returned paths, cost and objective are
+// bitwise identical, with pruning removing only subtrees that provably
+// contain no update.  That is what lets the testkit use this solver as
+// its optimality oracle beyond the table's comfortable size.
+#pragma once
+
+#include "core/selectors/selector.h"
+
+namespace rnt::core {
+
+struct BranchAndBoundOptions {
+  /// Guard against accidental exponential blowup: path counts above this
+  /// throw std::invalid_argument before any search starts.
+  std::size_t max_paths = 16;
+  /// Hard cap on explored search nodes; exceeding it throws
+  /// std::runtime_error rather than hanging a test run.
+  std::size_t max_nodes = std::size_t{1} << 22;
+  /// Admissible pruning bound (must dominate the objective engine on
+  /// every subset and be monotone).  Null: use the objective engine.
+  /// Not owned; must outlive the selector.
+  const ErEngine* bound_engine = nullptr;
+};
+
+class BranchAndBoundSelector final : public Selector {
+ public:
+  explicit BranchAndBoundSelector(BranchAndBoundOptions options = {})
+      : options_(options) {}
+
+  Selection select(const tomo::PathSystem& system, const tomo::CostModel& costs,
+                   double budget, const ErEngine& engine,
+                   SelectorStats* stats = nullptr) const override;
+  std::string name() const override { return "branch-and-bound"; }
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+}  // namespace rnt::core

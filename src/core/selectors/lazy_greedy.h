@@ -1,0 +1,34 @@
+// CELF lazy greedy (Leskovec et al. 2007) with exact tie-breaking.
+//
+// Algorithm 1's textbook loop (rome_eager) recomputes every remaining
+// path's marginal gain each round.  Submodularity makes that mostly
+// wasted work: a gain computed against an older selection only
+// overestimates the current one, so cached weights are upper bounds.
+// This selector keeps one version-stamped entry per path in a max-heap;
+// a popped entry whose stamp is current is provably the true argmax and
+// is committed or dropped without touching any other candidate.
+//
+// Unlike the production `core::rome` heap (which requeues within a
+// kWeightEps tolerance and breaks weight ties arbitrarily), the heap
+// here compares weights exactly, breaks ties toward the lowest path
+// index — precisely the winner rome_eager's ascending strict-`>` scan
+// finds — and re-validates the narrow noise window beneath a fresh top
+// before trusting it (float rounding can break exact submodularity by
+// an ulp), so the selection sequence, the Selection cost/objective, and
+// the returned floats are bitwise identical to rome_eager's on every
+// engine, at a fraction of the gain evaluations.
+#pragma once
+
+#include "core/selectors/selector.h"
+
+namespace rnt::core {
+
+class LazyGreedySelector final : public Selector {
+ public:
+  Selection select(const tomo::PathSystem& system, const tomo::CostModel& costs,
+                   double budget, const ErEngine& engine,
+                   SelectorStats* stats = nullptr) const override;
+  std::string name() const override { return "lazy-greedy"; }
+};
+
+}  // namespace rnt::core

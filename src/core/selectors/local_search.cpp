@@ -1,0 +1,71 @@
+#include "core/selectors/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/selectors/lazy_greedy.h"
+
+namespace rnt::core {
+
+LocalSearchSelector::LocalSearchSelector(std::unique_ptr<Selector> base,
+                                         std::size_t max_passes)
+    : base_(base != nullptr ? std::move(base)
+                            : std::make_unique<LazyGreedySelector>()),
+      max_passes_(max_passes) {}
+
+Selection LocalSearchSelector::select(const tomo::PathSystem& system,
+                                      const tomo::CostModel& costs,
+                                      double budget, const ErEngine& engine,
+                                      SelectorStats* stats) const {
+  Selection sel = base_->select(system, costs, budget, engine, stats);
+  if (sel.empty()) return sel;
+
+  const std::vector<double> cost = costs.path_costs(system);
+  const std::size_t n = system.path_count();
+
+  // Canonicalize to ascending order: some engines (ProbBound) evaluate
+  // order-dependently, so every candidate subset is scored the same way.
+  std::vector<std::size_t> selected = sel.paths;
+  std::sort(selected.begin(), selected.end());
+  std::vector<char> in_selection(n, 0);
+  for (std::size_t q : selected) in_selection[q] = 1;
+
+  double value = engine.evaluate(selected);
+  double current_cost = sel.cost;
+  if (stats != nullptr) ++stats->evaluate_calls;
+
+  std::vector<std::size_t> trial;
+  for (std::size_t pass = 0; pass < max_passes_; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      for (std::size_t q = 0; q < n; ++q) {
+        if (in_selection[q]) continue;
+        const double trial_cost = current_cost - cost[selected[i]] + cost[q];
+        if (trial_cost > budget) continue;
+        trial = selected;
+        trial[i] = q;
+        std::sort(trial.begin(), trial.end());
+        const double v = engine.evaluate(trial);
+        if (stats != nullptr) ++stats->evaluate_calls;
+        if (v > value + 1e-12) {
+          in_selection[selected[i]] = 0;
+          in_selection[q] = 1;
+          selected = trial;
+          value = v;
+          current_cost = trial_cost;
+          improved = true;
+          if (stats != nullptr) ++stats->iterations;
+          break;  // First improvement: rescan this position's new path.
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  sel.paths = std::move(selected);
+  sel.cost = current_cost;
+  sel.objective = value;
+  return sel;
+}
+
+}  // namespace rnt::core

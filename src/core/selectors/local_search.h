@@ -1,0 +1,37 @@
+// Pairwise local-search polish over a base selection.
+//
+// Greedy leaves value on the table when an early cheap pick crowds out a
+// pair of later ones; swapping one selected path for one unselected path
+// is the classic (Nemhauser-Wolsey) repair.  This selector runs a base
+// selector first (lazy greedy by default), then sweeps first-improvement
+// swaps: replace selection position i by candidate q whenever the swap
+// stays within budget and strictly improves the engine objective, until
+// a sweep finds nothing or the pass cap is hit.  The result can only be
+// at least as good as the base selection; the cost is whole-subset
+// evaluate() calls, counted in SelectorStats::evaluate_calls.
+#pragma once
+
+#include <memory>
+
+#include "core/selectors/selector.h"
+
+namespace rnt::core {
+
+class LocalSearchSelector final : public Selector {
+ public:
+  /// Polishes `base`'s selection with at most `max_passes` full swap
+  /// sweeps.  A null base defaults to lazy greedy.
+  explicit LocalSearchSelector(std::unique_ptr<Selector> base = nullptr,
+                               std::size_t max_passes = 4);
+
+  Selection select(const tomo::PathSystem& system, const tomo::CostModel& costs,
+                   double budget, const ErEngine& engine,
+                   SelectorStats* stats = nullptr) const override;
+  std::string name() const override { return "local-search"; }
+
+ private:
+  std::unique_ptr<Selector> base_;
+  std::size_t max_passes_;
+};
+
+}  // namespace rnt::core

@@ -11,6 +11,7 @@
 #include "core/matrome.h"
 #include "core/rome.h"
 #include "core/select_path.h"
+#include "core/selectors/selector.h"
 #include "exp/metrics.h"
 #include "infer/inference.h"
 #include "tomo/localization.h"
@@ -44,33 +45,55 @@ double total_cost(const exp::Workload& w) {
 /// Same algorithm zoo and seeding as cli_commands.cpp run_algorithm(),
 /// with the cached ProbBound tables standing in for a fresh ProbBoundEr
 /// (its construction is deterministic, so the selection is identical).
+/// `optimizer` routes the engine-driven algorithms through the Selector
+/// registry; the default ("rome") reproduces the historical core::rome
+/// call bit for bit.
 core::Selection run_algorithm(const CachedWorkload& cw,
-                              const std::string& algorithm, double budget) {
+                              const std::string& algorithm,
+                              const std::string& optimizer, double budget) {
   const exp::Workload& w = cw.workload;
+  const core::ErEngine* engine = nullptr;
+  std::unique_ptr<core::ErEngine> owned;
   if (algorithm == "prob-rome") {
-    return core::rome(*w.system, w.costs, budget, cw.prob_bound);
-  }
-  if (algorithm == "monte-rome") {
+    engine = &cw.prob_bound;
+  } else if (algorithm == "monte-rome") {
     Rng rng(w.seed * 101);
-    core::MonteCarloEr engine(*w.system, *w.failures, 50, rng);
-    return core::rome(*w.system, w.costs, budget, engine);
-  }
-  if (algorithm == "kernel-rome") {
+    owned = std::make_unique<core::MonteCarloEr>(*w.system, *w.failures, 50,
+                                                 rng);
+    engine = owned.get();
+  } else if (algorithm == "kernel-rome") {
     // Same mixture and seeding as monte-rome, evaluated by the cached
     // bit-packed engine — identical selection, shared across requests.
-    return core::rome(*w.system, w.costs, budget, cw.kernel_engine());
-  }
-  if (algorithm == "select-path") {
+    engine = &cw.kernel_engine();
+  } else if (algorithm == "select-path") {
+    if (optimizer != "rome") {
+      throw std::invalid_argument(
+          "optimizer does not apply to select-path: it does not run "
+          "through the Selector registry");
+    }
     Rng rng(w.seed * 103);
     return core::select_path_budgeted(*w.system, w.costs, budget, rng);
-  }
-  if (algorithm == "mat-rome") {
+  } else if (algorithm == "mat-rome") {
+    if (optimizer != "rome") {
+      throw std::invalid_argument(
+          "optimizer does not apply to mat-rome: it does not run through "
+          "the Selector registry");
+    }
     return core::matrome(*w.system, *w.failures);
+  } else {
+    throw std::invalid_argument(
+        "unknown algorithm (want prob-rome, monte-rome, kernel-rome, "
+        "select-path or mat-rome): " +
+        algorithm);
   }
-  throw std::invalid_argument(
-      "unknown algorithm (want prob-rome, monte-rome, kernel-rome, "
-      "select-path or mat-rome): " +
-      algorithm);
+  core::SelectorOptions options;
+  options.seed = w.seed;
+  if (optimizer == "branch-and-bound") {
+    // The cached ProbBound tables double as the admissible pruning bound.
+    options.bound_engine = &cw.prob_bound;
+  }
+  return core::make_selector(optimizer, options)
+      ->select(*w.system, w.costs, budget, *engine);
 }
 
 std::vector<std::size_t> parse_subset(const std::string& csv,
@@ -134,13 +157,15 @@ std::vector<std::size_t> resolve_subset(const Request& request,
   if (!explicit_subset.empty()) {
     // Consume the selection parameters anyway so they are not "unknown".
     request.get("algorithm", "");
+    request.get("optimizer", "");
     request.get_double("budget-frac", 0.3);
     return parse_subset(explicit_subset, cw.workload.system->path_count());
   }
   const std::string algorithm = request.get("algorithm", "prob-rome");
+  const std::string optimizer = request.get("optimizer", "rome");
   const double budget =
       request.get_double("budget-frac", 0.3) * total_cost(cw.workload);
-  return run_algorithm(cw, algorithm, budget).paths;
+  return run_algorithm(cw, algorithm, optimizer, budget).paths;
 }
 
 }  // namespace
@@ -277,12 +302,15 @@ Response Service::dispatch(const Request& request) {
       const auto cw = cache_.get(key_from(request));
       const exp::Workload& w = cw->workload;
       const std::string algorithm = request.get("algorithm", "prob-rome");
+      const std::string optimizer = request.get("optimizer", "rome");
       const double budget =
           request.get_double("budget-frac", 0.3) * total_cost(w);
-      const core::Selection sel = run_algorithm(*cw, algorithm, budget);
+      const core::Selection sel =
+          run_algorithm(*cw, algorithm, optimizer, budget);
       Response r;
       r.set("workload", w.topology_name);
       r.set("algorithm", algorithm);
+      r.set("optimizer", optimizer);
       r.set("budget", budget);
       r.set("selected", sel.size());
       r.set("cost", sel.cost);

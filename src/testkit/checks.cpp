@@ -22,7 +22,9 @@
 #include "online/replanner.h"
 #include "service/protocol.h"
 #include "service/workload_cache.h"
+#include "core/selectors/selector.h"
 #include "testkit/oracles.h"
+#include "testkit/table_engine.h"
 #include "util/rng.h"
 
 namespace rnt::testkit {
@@ -819,6 +821,108 @@ CheckResult check_inference_roundtrip(const TestInstance& inst,
   return CheckResult::ok();
 }
 
+// --------------------------------------------------------------------------
+// 16. The optimizer zoo against the exact oracle: branch-and-bound equals
+//     the exhaustive enumeration decision for decision, lazy greedy is
+//     bitwise identical to the eager scan, and every selector clears the
+//     (1 - 1/sqrt(e)) guarantee.  All parties score subsets through the
+//     TableEngine so selections compare exactly, not within a tolerance.
+// --------------------------------------------------------------------------
+
+CheckResult check_optimizer_bounds(const TestInstance& inst,
+                                   const FaultPlan&) {
+  Rng rng = check_rng(inst, "optimizer-bounds");
+  const double budget = rng.uniform(0.3, 0.8) * total_cost(inst);
+  const ExhaustiveErTable table(inst);
+  const TableEngine engine(table);
+
+  // Branch-and-bound must reproduce the enumeration oracle exactly, both
+  // self-bounded (monotone objective as its own admissible bound) and
+  // with the paper's ProbBound as the pruning bound.
+  const OracleSelection opt = exhaustive_best_selection(inst, budget);
+  const core::ProbBoundEr prob_bound(inst.system, inst.model);
+  core::SelectorOptions bb_options;
+  for (const bool use_prob_bound : {false, true}) {
+    bb_options.bound_engine = use_prob_bound ? &prob_bound : nullptr;
+    const core::Selection exact =
+        core::make_selector("branch-and-bound", bb_options)
+            ->select(inst.system, inst.costs, budget, engine);
+    if (exact.paths != opt.paths || exact.objective != opt.objective) {
+      return CheckResult::fail(
+          std::string("branch-and-bound (") +
+          (use_prob_bound ? "ProbBound" : "self") + " bound) diverged from "
+          "the enumeration oracle: got " + std::to_string(exact.size()) +
+          " paths objective " + fmt(exact.objective) + " vs oracle " +
+          std::to_string(opt.paths.size()) + " paths objective " +
+          fmt(opt.objective) + " at budget " + fmt(budget));
+    }
+  }
+
+  // Lazy greedy (CELF) must be bitwise identical to the eager scan while
+  // the other zoo members clear the (1 - 1/sqrt(e)) guarantee against
+  // the exact optimum.
+  core::SelectorStats eager_stats;
+  const core::Selection eager =
+      core::make_selector("eager")->select(inst.system, inst.costs, budget,
+                                           engine, &eager_stats);
+  const core::Selection lazy =
+      core::make_selector("lazy-greedy")
+          ->select(inst.system, inst.costs, budget, engine);
+  if (lazy.paths != eager.paths || lazy.objective != eager.objective ||
+      lazy.cost != eager.cost) {
+    return CheckResult::fail(
+        "lazy greedy not bitwise identical to eager RoMe: lazy objective " +
+        fmt(lazy.objective) + " cost " + fmt(lazy.cost) +
+        " vs eager objective " + fmt(eager.objective) + " cost " +
+        fmt(eager.cost) + " at budget " + fmt(budget));
+  }
+
+  const double factor = 1.0 - 1.0 / std::sqrt(std::numbers::e);
+  core::SelectorOptions zoo_options;
+  zoo_options.seed = rng.next_word();
+  zoo_options.sample_size = inst.path_count();  // Full sample: the
+                                                // stochastic round scan is
+                                                // the eager scan, so the
+                                                // guarantee applies.
+  for (const char* name : {"rome", "eager", "lazy-greedy",
+                           "stochastic-greedy", "local-search"}) {
+    const core::Selection sel =
+        core::make_selector(name, zoo_options)
+            ->select(inst.system, inst.costs, budget, engine);
+    if (sel.cost > budget + kTol) {
+      return CheckResult::fail(std::string(name) + " exceeded the budget: " +
+                               fmt(sel.cost) + " vs " + fmt(budget));
+    }
+    const double achieved = engine.evaluate(sel.paths);
+    if (achieved < factor * opt.objective - kTol) {
+      return CheckResult::fail(
+          std::string(name) + " broke the greedy guarantee: achieved " +
+          fmt(achieved) + " vs " + fmt(factor) + " * " + fmt(opt.objective) +
+          " optimum at budget " + fmt(budget));
+    }
+  }
+
+  // Small-sample stochastic greedy has no per-instance guarantee; it must
+  // still be deterministic given the seed and stay within budget.
+  zoo_options.sample_size = 2;
+  const core::Selection s1 =
+      core::make_selector("stochastic-greedy", zoo_options)
+          ->select(inst.system, inst.costs, budget, engine);
+  const core::Selection s2 =
+      core::make_selector("stochastic-greedy", zoo_options)
+          ->select(inst.system, inst.costs, budget, engine);
+  if (s1.paths != s2.paths || s1.objective != s2.objective) {
+    return CheckResult::fail(
+        "stochastic greedy not deterministic at fixed seed " +
+        std::to_string(zoo_options.seed));
+  }
+  if (s1.cost > budget + kTol) {
+    return CheckResult::fail("stochastic greedy exceeded the budget: " +
+                             fmt(s1.cost) + " vs " + fmt(budget));
+  }
+  return CheckResult::ok();
+}
+
 const std::vector<Check>& all_checks() {
   static const std::vector<Check> checks = {
       {"er-monotone-submodular",
@@ -872,6 +976,10 @@ const std::vector<Check>& all_checks() {
        "zero-noise inference matches ground truth to 1e-9 on every "
        "identifiable link, for both measurement models",
        1, true, check_inference_roundtrip},
+      {"optimizer-bounds",
+       "branch-and-bound equals the enumeration oracle, lazy greedy is "
+       "bitwise eager RoMe, every selector clears (1 - 1/sqrt(e))",
+       4, true, check_optimizer_bounds},
   };
   return checks;
 }

@@ -78,5 +78,6 @@ CheckResult check_kernel_matches_scenario(const TestInstance&,
                                           const FaultPlan&);
 CheckResult check_protocol_framing(const TestInstance&, const FaultPlan&);
 CheckResult check_inference_roundtrip(const TestInstance&, const FaultPlan&);
+CheckResult check_optimizer_bounds(const TestInstance&, const FaultPlan&);
 
 }  // namespace rnt::testkit

@@ -1,0 +1,65 @@
+// ErEngine adapter over the brute-force ExhaustiveErTable.
+//
+// The optimizer checks compare Selector implementations against each
+// other and against the enumeration oracle down to exact path lists and
+// bitwise objectives.  That only works when every party scores subsets
+// with the *identical floating-point function*: core::ExactEr and the
+// table agree mathematically but round differently (different summation
+// trees), which would smear the oracles' 1e-12 tie windows.  Wrapping
+// the table as an engine lets the production selectors and the oracle
+// share one evaluator, so "same selection" is an exact comparison
+// rather than a tolerance game.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/expected_rank.h"
+#include "testkit/oracles.h"
+
+namespace rnt::testkit {
+
+class TableEngine final : public core::ErEngine {
+ public:
+  /// The table must outlive the engine (and any accumulator it makes).
+  explicit TableEngine(const ExhaustiveErTable& table) : table_(table) {}
+
+  double evaluate(const std::vector<std::size_t>& subset) const override {
+    return table_.er(subset);
+  }
+
+  std::unique_ptr<core::ErAccumulator> make_accumulator() const override {
+    return std::make_unique<Accumulator>(table_);
+  }
+
+  std::string name() const override { return "exhaustive-table"; }
+
+ private:
+  class Accumulator final : public core::ErAccumulator {
+   public:
+    explicit Accumulator(const ExhaustiveErTable& table) : table_(table) {}
+
+    double gain(std::size_t path) const override {
+      ++gains_;
+      return table_.er(mask_ | (std::uint64_t{1} << path)) - value_;
+    }
+    void add(std::size_t path) override {
+      mask_ |= std::uint64_t{1} << path;
+      value_ = table_.er(mask_);
+    }
+    double value() const override { return value_; }
+    std::size_t gain_computations() const override { return gains_; }
+
+   private:
+    const ExhaustiveErTable& table_;
+    std::uint64_t mask_ = 0;
+    double value_ = 0.0;
+    mutable std::size_t gains_ = 0;
+  };
+
+  const ExhaustiveErTable& table_;
+};
+
+}  // namespace rnt::testkit

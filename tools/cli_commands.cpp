@@ -15,6 +15,7 @@
 #include "core/matrome.h"
 #include "core/rome.h"
 #include "core/select_path.h"
+#include "core/selectors/selector.h"
 #include "exp/metrics.h"
 #include "exp/workload.h"
 #include "failures/srlg.h"
@@ -72,37 +73,80 @@ exp::Workload build_workload(Flags& flags) {
   return exp::make_custom_workload(nodes, links, paths, seed, intensity);
 }
 
+/// The ER engine behind a Selector-driven algorithm, or nullptr for the
+/// algorithms that bypass the Selector registry (select-path, mat-rome).
+/// `engine_kind` overrides the scenario backend independently of the
+/// optimizer: monte-rome and kernel-rome are the same 50-scenario
+/// sampler on the scenario ("mc") or bit-packed ("kernel") backend, so
+/// either spelling composes with any --optimizer; prob-rome is the
+/// analytical bound and accepts no override.
+std::unique_ptr<core::ErEngine> make_engine(const exp::Workload& w,
+                                            const std::string& algorithm,
+                                            const std::string& engine_kind,
+                                            std::uint64_t seed) {
+  if (algorithm == "prob-rome") {
+    if (!engine_kind.empty() && engine_kind != "prob") {
+      throw std::invalid_argument(
+          "--engine: prob-rome always uses the analytical ProbBound engine");
+    }
+    return std::make_unique<core::ProbBoundEr>(*w.system, *w.failures);
+  }
+  if (algorithm == "monte-rome" || algorithm == "kernel-rome") {
+    const std::string kind =
+        !engine_kind.empty() ? engine_kind
+                             : (algorithm == "monte-rome" ? "mc" : "kernel");
+    // Same sampler and seed for both backends, so the selection is
+    // identical — the bit-packed rank kernel just gets there faster.
+    Rng rng(seed * 101);
+    if (kind == "mc") {
+      return std::make_unique<core::MonteCarloEr>(*w.system, *w.failures, 50,
+                                                  rng);
+    }
+    if (kind == "kernel") {
+      return std::make_unique<core::KernelErEngine>(
+          core::KernelErEngine::monte_carlo(*w.system, *w.failures, 50, rng));
+    }
+    throw std::invalid_argument("unknown --engine (want mc or kernel): " +
+                                kind);
+  }
+  return nullptr;
+}
+
 core::Selection run_algorithm(const exp::Workload& w,
                               const std::string& algorithm, double budget,
-                              std::uint64_t seed) {
-  if (algorithm == "prob-rome") {
-    core::ProbBoundEr engine(*w.system, *w.failures);
-    return core::rome(*w.system, w.costs, budget, engine);
+                              std::uint64_t seed,
+                              const std::string& optimizer = "rome",
+                              const std::string& engine_kind = "") {
+  const std::unique_ptr<core::ErEngine> engine =
+      make_engine(w, algorithm, engine_kind, seed);
+  if (engine == nullptr) {
+    if (optimizer != "rome" || !engine_kind.empty()) {
+      throw std::invalid_argument("--optimizer/--engine do not apply to " +
+                                  algorithm +
+                                  ": it does not run through the Selector "
+                                  "registry");
+    }
+    if (algorithm == "select-path") {
+      Rng rng(seed * 103);
+      return core::select_path_budgeted(*w.system, w.costs, budget, rng);
+    }
+    if (algorithm == "mat-rome") {
+      return core::matrome(*w.system, *w.failures);
+    }
+    throw std::invalid_argument(
+        "unknown --algorithm (want prob-rome, monte-rome, kernel-rome, "
+        "select-path or mat-rome): " +
+        algorithm);
   }
-  if (algorithm == "monte-rome") {
-    Rng rng(seed * 101);
-    core::MonteCarloEr engine(*w.system, *w.failures, 50, rng);
-    return core::rome(*w.system, w.costs, budget, engine);
+  core::SelectorOptions options;
+  options.seed = seed;
+  std::unique_ptr<core::ProbBoundEr> bound;
+  if (optimizer == "branch-and-bound") {
+    bound = std::make_unique<core::ProbBoundEr>(*w.system, *w.failures);
+    options.bound_engine = bound.get();
   }
-  if (algorithm == "kernel-rome") {
-    // Same sampler and seed as monte-rome, so the selection is identical —
-    // the bit-packed rank kernel just gets there faster.
-    Rng rng(seed * 101);
-    const core::KernelErEngine engine =
-        core::KernelErEngine::monte_carlo(*w.system, *w.failures, 50, rng);
-    return core::rome(*w.system, w.costs, budget, engine);
-  }
-  if (algorithm == "select-path") {
-    Rng rng(seed * 103);
-    return core::select_path_budgeted(*w.system, w.costs, budget, rng);
-  }
-  if (algorithm == "mat-rome") {
-    return core::matrome(*w.system, *w.failures);
-  }
-  throw std::invalid_argument(
-      "unknown --algorithm (want prob-rome, monte-rome, kernel-rome, "
-      "select-path or mat-rome): " +
-      algorithm);
+  return core::make_selector(optimizer, options)
+      ->select(*w.system, w.costs, budget, *engine);
 }
 
 double total_cost(const exp::Workload& w) {
@@ -151,6 +195,9 @@ void print_usage(std::ostream& out) {
       "select/evaluate/localize flags:\n"
       "  --algorithm A      prob-rome | monte-rome | kernel-rome | "
       "select-path | mat-rome\n"
+      "  --optimizer O      rome | eager | lazy-greedy | stochastic-greedy | "
+      "local-search | branch-and-bound\n"
+      "  --engine E         scenario backend override: mc | kernel\n"
       "  --budget-frac F    budget as a fraction of probing all paths\n"
       "  --scenarios N      evaluation failure scenarios\n"
       "  --identifiability  also score link identifiability (evaluate)\n"
@@ -272,12 +319,19 @@ int cmd_topology(Flags& flags, std::ostream& out) {
 int cmd_select(Flags& flags, std::ostream& out) {
   const exp::Workload w = build_workload(flags);
   const std::string algorithm = flags.get_string("algorithm", "prob-rome");
+  const std::string optimizer = flags.get_string("optimizer", "rome");
+  const std::string engine_kind = flags.get_string("engine", "");
   const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
-  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  const core::Selection sel =
+      run_algorithm(w, algorithm, budget, w.seed, optimizer, engine_kind);
 
+  // The default optimizer keeps the historical label so default output
+  // stays byte-identical; non-default optimizers are named explicitly.
+  const std::string label =
+      optimizer == "rome" ? algorithm : algorithm + "+" + optimizer;
   out << "workload: " << w.topology_name << ", " << w.system->path_count()
       << " candidate paths, budget " << budget << "\n";
-  out << algorithm << " selected " << sel.size() << " paths, cost "
+  out << label << " selected " << sel.size() << " paths, cost "
       << sel.cost << ", objective " << sel.objective << ", rank "
       << w.system->rank_of(sel.paths) << "\n\n";
   TablePrinter table({"path", "src", "dst", "hops", "cost", "availability"});
@@ -308,7 +362,10 @@ int cmd_evaluate(Flags& flags, std::ostream& out) {
       static_cast<std::size_t>(flags.get_int("scenarios", 200));
   const bool identifiability = flags.get_bool("identifiability", false);
 
-  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  const core::Selection sel =
+      run_algorithm(w, algorithm, budget, w.seed,
+                    flags.get_string("optimizer", "rome"),
+                    flags.get_string("engine", ""));
   Rng rng = w.eval_rng();
   exp::EvalOptions opts;
   opts.scenarios = scenarios;
@@ -391,7 +448,10 @@ int cmd_localize(Flags& flags, std::ostream& out) {
   const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
   const auto trials =
       static_cast<std::size_t>(flags.get_int("scenarios", 300));
-  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  const core::Selection sel =
+      run_algorithm(w, algorithm, budget, w.seed,
+                    flags.get_string("optimizer", "rome"),
+                    flags.get_string("engine", ""));
   Rng rng = w.eval_rng();
   const auto score =
       tomo::score_localization(*w.system, sel.paths, *w.failures, trials, rng);
@@ -422,7 +482,10 @@ int cmd_infer(Flags& flags, std::ostream& out) {
   config.scenarios = static_cast<std::size_t>(flags.get_int("scenarios", 200));
   config.threads = static_cast<std::size_t>(flags.get_int("threads", 1));
 
-  const core::Selection sel = run_algorithm(w, algorithm, budget, w.seed);
+  const core::Selection sel =
+      run_algorithm(w, algorithm, budget, w.seed,
+                    flags.get_string("optimizer", "rome"),
+                    flags.get_string("engine", ""));
   const infer::GroundTruth truth = infer::campaign_truth(
       config.model, w.system->link_count(), w.seed, config.truth);
 
