@@ -38,6 +38,9 @@ struct CommonOptions {
   std::string engine = "mc";  ///< Scenario ER engine: "mc" (float
                               ///< elimination) or "kernel" (bit-packed
                               ///< ranks) — same sampler, bitwise-equal ER.
+  std::string kernel = "auto";  ///< Rank kernel inside --engine=kernel:
+                                ///< "auto" | "sliced" | "scalar" —
+                                ///< bitwise-equal results, speed only.
   std::size_t threads = 0;  ///< Workers for parallel ER evaluation;
                             ///< 0 = hardware concurrency.
 };
@@ -50,6 +53,7 @@ inline CommonOptions parse_common(Flags& flags) {
   opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   opts.topology = flags.get_string("topology", "");
   opts.engine = flags.get_string("engine", "mc");
+  opts.kernel = flags.get_string("kernel", "auto");
   opts.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   return opts;
 }
@@ -57,16 +61,25 @@ inline CommonOptions parse_common(Flags& flags) {
 /// Monte-Carlo-style scenario engine for --engine: both choices draw the
 /// identical scenario set from `rng` (same sampler, same order), so their
 /// evaluate()/gain() results are bitwise-equal — the kernel engine is just
-/// faster.  Throws on unknown names so typos fail loudly.
+/// faster.  `kernel` picks the rank kernel inside the kernel engine
+/// (auto | sliced | scalar; same answers again).  Throws on unknown names
+/// so typos fail loudly.
 inline std::unique_ptr<core::ScenarioErEngine> make_scenario_engine(
     const std::string& engine, const tomo::PathSystem& system,
-    const failures::FailureModel& model, std::size_t runs, Rng& rng) {
+    const failures::FailureModel& model, std::size_t runs, Rng& rng,
+    const std::string& kernel = "auto") {
+  const core::KernelMode mode = core::parse_kernel_mode(kernel);
   if (engine == "mc") {
+    if (mode != core::KernelMode::kAuto) {
+      throw std::invalid_argument("--kernel only applies to --engine=kernel");
+    }
     return std::make_unique<core::MonteCarloEr>(system, model, runs, rng);
   }
   if (engine == "kernel") {
-    return std::make_unique<core::KernelErEngine>(
+    auto built = std::make_unique<core::KernelErEngine>(
         core::KernelErEngine::monte_carlo(system, model, runs, rng));
+    built->set_kernel_mode(mode);
+    return built;
   }
   throw std::invalid_argument("unknown --engine '" + engine +
                               "' (expected mc or kernel)");

@@ -82,8 +82,9 @@ int main_body(Flags& flags) {
 
       core::ProbBoundEr prob_engine(*w.system, *w.failures);
       Rng mc_rng = w.eval_rng();
-      const auto mc_engine_ptr = make_scenario_engine(
-          opts.engine, *w.system, *w.failures, mc_runs, mc_rng);
+      const auto mc_engine_ptr =
+          make_scenario_engine(opts.engine, *w.system, *w.failures, mc_runs,
+                               mc_rng, opts.kernel);
       const core::ScenarioErEngine& mc_engine = *mc_engine_ptr;
 
       for (double frac : budget_fractions) {
@@ -173,8 +174,9 @@ int main_body(Flags& flags) {
     spec.failure_intensity = intensity;
     const exp::Workload w = exp::make_workload(spec);
     Rng mc_rng = w.eval_rng();
-    const auto engine_ptr = make_scenario_engine(opts.engine, *w.system,
-                                                 *w.failures, mc_runs, mc_rng);
+    const auto engine_ptr =
+        make_scenario_engine(opts.engine, *w.system, *w.failures, mc_runs,
+                             mc_rng, opts.kernel);
     std::vector<std::size_t> all(w.system->path_count());
     std::iota(all.begin(), all.end(), std::size_t{0});
     const double budget = 0.08 * w.costs.subset_cost(*w.system, all);

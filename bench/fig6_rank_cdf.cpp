@@ -45,7 +45,8 @@ int main_body(Flags& flags) {
   core::ProbBoundEr prob_engine(*w.system, *w.failures);
   Rng mc_rng = w.eval_rng();
   const auto mc_engine_ptr =
-      make_scenario_engine(opts.engine, *w.system, *w.failures, mc_runs, mc_rng);
+      make_scenario_engine(opts.engine, *w.system, *w.failures, mc_runs,
+                           mc_rng, opts.kernel);
   const core::ScenarioErEngine& mc_engine = *mc_engine_ptr;
 
   const auto prob_sel = core::rome(*w.system, w.costs, budget, prob_engine);

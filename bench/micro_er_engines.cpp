@@ -41,6 +41,9 @@ int run(Flags& flags) {
   const std::string json_path = flags.get_string("json", "");
   const bool csv = flags.get_bool("csv", false);
 
+  const std::size_t wide_runs =
+      static_cast<std::size_t>(flags.get_int("wide-runs", 256));
+
   const exp::Workload w =
       exp::make_custom_workload(87, 161, paths, seed, /*intensity=*/5.0);
   Rng rng = w.eval_rng();
@@ -48,6 +51,19 @@ int run(Flags& flags) {
   const core::KernelErEngine kernel(*w.system, scenario.scenarios(),
                                     scenario.weights(), scenario.name());
   const core::ProbBoundEr probbound(*w.system, *w.failures);
+
+  // Forced sliced-vs-scalar pair over one shared mixture, sampled at a
+  // scenario count that fills the 64 instance lanes — the head-to-head
+  // that isolates the rank kernel itself from the engine plumbing.
+  // (The `kernel` engine above keeps the shipped auto default, which
+  // resolves to sliced on this mixture.)
+  const core::MonteCarloEr wide(*w.system, *w.failures, wide_runs, rng);
+  core::KernelErEngine sliced_engine(*w.system, wide.scenarios(),
+                                     wide.weights(), wide.name());
+  sliced_engine.set_kernel_mode(core::KernelMode::kSliced);
+  core::KernelErEngine scalar_engine(*w.system, wide.scenarios(),
+                                     wide.weights(), wide.name());
+  scalar_engine.set_kernel_mode(core::KernelMode::kScalar);
 
   std::vector<std::size_t> all(w.system->path_count());
   std::iota(all.begin(), all.end(), std::size_t{0});
@@ -60,6 +76,10 @@ int run(Flags& flags) {
               << " differs from scenario evaluate " << scenario_er << "\n";
     return 1;
   }
+  if (sliced_engine.evaluate(all) != scalar_engine.evaluate(all)) {
+    std::cerr << "FATAL: sliced and scalar kernels disagree on evaluate\n";
+    return 1;
+  }
 
   bench::BenchReport report("micro_er_engines");
   report.set_config("topology", "custom-87n-161l");
@@ -69,6 +89,7 @@ int run(Flags& flags) {
   report.set_config("threads", static_cast<double>(threads));
   report.set_config("gain_sweep",
                     "fresh accumulator + paths/2 adds + paths/2 gains");
+  report.set_config("wide_scenarios", static_cast<double>(wide_runs));
 
   auto time_evaluate = [&](const core::ErEngine& engine) {
     return bench::measure([&] { (void)engine.evaluate(all); },
@@ -114,6 +135,10 @@ int run(Flags& flags) {
   const bench::LatencySample probbound_gain = time_gain_sweep(probbound);
   const bench::LatencySample scenario_rome = time_rome(scenario);
   const bench::LatencySample kernel_rome = time_rome(kernel);
+  const bench::LatencySample sliced_gain = time_gain_sweep(sliced_engine);
+  const bench::LatencySample scalar_gain = time_gain_sweep(scalar_engine);
+  const bench::LatencySample sliced_rome = time_rome(sliced_engine);
+  const bench::LatencySample scalar_rome = time_rome(scalar_engine);
 
   report.add_metric("scenario_evaluate", scenario_eval);
   report.add_metric("kernel_evaluate", kernel_eval);
@@ -125,7 +150,15 @@ int run(Flags& flags) {
   report.add_metric("probbound_gain_sweep", probbound_gain);
   report.add_metric("scenario_rome", scenario_rome);
   report.add_metric("kernel_rome", kernel_rome);
+  report.add_metric("kernel_gain_sweep_sliced", sliced_gain);
+  report.add_metric("kernel_gain_sweep_scalar", scalar_gain);
+  report.add_metric("kernel_rome_sliced", sliced_rome);
+  report.add_metric("kernel_rome_scalar", scalar_rome);
 
+  report.add_ratio("sliced_vs_scalar_gain",
+                   sliced_gain.ops_per_sec / scalar_gain.ops_per_sec);
+  report.add_ratio("sliced_vs_scalar_rome",
+                   sliced_rome.ops_per_sec / scalar_rome.ops_per_sec);
   report.add_ratio("kernel_vs_scenario_evaluate",
                    kernel_eval.ops_per_sec / scenario_eval.ops_per_sec);
   report.add_ratio("kernel_vs_scenario_gain",
@@ -149,6 +182,10 @@ int run(Flags& flags) {
       {"probbound_gain_sweep", probbound_gain},
       {"scenario_rome", scenario_rome},
       {"kernel_rome", kernel_rome},
+      {"kernel_gain_sweep_sliced", sliced_gain},
+      {"kernel_gain_sweep_scalar", scalar_gain},
+      {"kernel_rome_sliced", sliced_rome},
+      {"kernel_rome_scalar", scalar_rome},
   };
   for (const auto& [name, sample] : rows) {
     table.add_row({name, fmt(sample.ops_per_sec, 1), fmt(sample.p50_us, 2),
@@ -163,6 +200,12 @@ int run(Flags& flags) {
               << "x, rome "
               << fmt(kernel_rome.ops_per_sec / scenario_rome.ops_per_sec, 2)
               << "x (ER = " << fmt(kernel_er, 6) << ", bitwise equal)\n";
+    std::cout << "sliced vs scalar kernel (MC-" << wide_runs
+              << "): gain sweep "
+              << fmt(sliced_gain.ops_per_sec / scalar_gain.ops_per_sec, 2)
+              << "x, rome "
+              << fmt(sliced_rome.ops_per_sec / scalar_rome.ops_per_sec, 2)
+              << "x\n";
   }
 
   if (!json_path.empty()) {

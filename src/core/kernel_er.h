@@ -18,6 +18,9 @@
 //      only for GF(2)-ambiguous rows (the odd-minor certificate in
 //      linalg/bitrank.h makes the common case exact integer work),
 //      optionally in parallel — rank work lands in disjoint slots, and
+//      under KernelMode::kSliced up to 64 distinct masks advance per
+//      masked word pass of the scenario-sliced GF(2)+GF(3) kernel
+//      (linalg/slicedrank.h) instead of one elimination each — and
 //      the final weighted sum reuses the deterministic chunked reduction
 //      of the base class, so results are bitwise identical to
 //      ScenarioErEngine::evaluate() and stable across thread counts.
@@ -52,6 +55,7 @@
 //    bitwise regardless of sharding or failover.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -65,6 +69,31 @@
 namespace rnt::core {
 
 class KernelShardAccumulator;
+
+/// Which rank kernel the engine runs.
+///
+///  - kScalar is the original per-scenario path: one GF(2) elimination per
+///    distinct surviving mask, floating-point fallback per ambiguous row.
+///  - kSliced packs one surviving-mask *instance per bit* and advances up
+///    to 64 eliminations per masked word pass (linalg/slicedrank.h), with
+///    a GF(3) side basis that certifies most rows GF(2) leaves ambiguous.
+///  - kAuto resolves per engine: sliced when the scenario list is large
+///    enough to occupy the lanes, scalar for tiny mixtures.
+///
+/// Both kernels produce bitwise-identical results (integer ranks feed the
+/// same fixed reduction tree; accumulator verdicts agree row for row), so
+/// the knob is purely a performance selector — which is what the
+/// sliced-vs-scenario differential check enforces.
+enum class KernelMode : std::uint8_t {
+  kAuto = 0,
+  kSliced = 1,
+  kScalar = 2,
+};
+
+const char* kernel_mode_name(KernelMode mode);
+
+/// Parses "auto" | "sliced" | "scalar" (throws otherwise).
+KernelMode parse_kernel_mode(const std::string& name);
 
 /// Scenario equivalence classes by full-candidate surviving-path mask, in
 /// first-appearance order over the scenario list.  Two scenarios with the
@@ -112,6 +141,22 @@ class KernelErEngine : public ScenarioErEngine {
                            std::size_t threads = 0) const override;
   std::unique_ptr<ErAccumulator> make_accumulator() const override;
 
+  /// Kernel selection (see KernelMode).  Set before sharing the engine
+  /// across threads — the mode is read unguarded on every evaluate.
+  void set_kernel_mode(KernelMode mode) { kernel_mode_ = mode; }
+  KernelMode kernel_mode() const { return kernel_mode_; }
+
+  /// kAuto resolved for this engine: sliced once the mixture is big
+  /// enough to occupy the 64 instance lanes, scalar below that.
+  static constexpr std::size_t kSlicedAutoThreshold = 8;
+  KernelMode resolved_kernel_mode() const;
+
+  /// Number of memoized ranks the given kernel has produced (kAuto reads
+  /// the engine's resolved mode).  The memo is partitioned per kernel so
+  /// one kernel's cached answers can never stand in for the other's —
+  /// the cross-kernel cache-isolation regression pins this.
+  std::size_t rank_memo_entries(KernelMode mode) const;
+
   /// Integer surviving rank per scenario, in scenario order — the hook the
   /// kernel≡scenario differential check compares against
   /// PathSystem::surviving_rank.
@@ -143,6 +188,7 @@ class KernelErEngine : public ScenarioErEngine {
 
  private:
   friend class KernelAccumulator;
+  friend class SlicedKernelAccumulator;
   friend class KernelShardAccumulator;
 
   /// Shared core of the evaluate paths: packs the subset rows, dedups the
@@ -153,21 +199,42 @@ class KernelErEngine : public ScenarioErEngine {
       const std::vector<std::size_t>& subset, std::size_t threads,
       std::size_t begin, std::size_t end) const;
 
+  /// Per-class rank of the FULL candidate path set — the ceiling any
+  /// accumulator's per-class rank can reach.  The sliced accumulator
+  /// turns it into a saturation certificate: a class whose committed
+  /// rank hit its ceiling rejects every later row, with no elimination
+  /// work at all.  Built once per engine (mutex-guarded) by the sliced
+  /// float-fallback sweep, whose trajectory ranks match the scenario
+  /// engine's float arithmetic.
+  const std::vector<std::size_t>& class_full_ranks() const;
+
   linalg::BitRows path_bits_;    ///< All candidate paths, packed by link.
   linalg::BitRows failed_bits_;  ///< All scenarios' failed links, packed.
+
+  KernelMode kernel_mode_ = KernelMode::kAuto;
 
   /// Cross-call rank memo keyed by the surviving path-id set (a bitmask
   /// over all candidate paths, serialized to bytes).  The rank of a
   /// surviving row set depends only on which paths survive, so the memo
   /// is valid across different subsets and calls.  Guarded by a mutex:
   /// the engine is shared const across service worker threads.
+  ///
+  /// One map per kernel ([0] scalar, [1] sliced): the kernels agree on
+  /// every rank by construction, but partitioning keeps a defect in one
+  /// kernel from hiding behind the other's cached answers — an engine
+  /// switched between modes re-derives, never cross-reads.
   mutable std::mutex memo_mutex_;
-  mutable std::unordered_map<std::string, std::size_t> rank_memo_;
+  mutable std::array<std::unordered_map<std::string, std::size_t>, 2>
+      rank_memo_;
 
   /// Lazily built scenario-class structure (heap-allocated so class masks
   /// stay at stable addresses across engine moves).
   mutable std::mutex classes_mutex_;
   mutable std::unique_ptr<ScenarioClasses> classes_;
+
+  /// Lazily built class_full_ranks() result (same stability rationale).
+  mutable std::mutex full_ranks_mutex_;
+  mutable std::unique_ptr<std::vector<std::size_t>> class_full_ranks_;
 };
 
 /// A KernelAccumulator restricted to the scenario slice [begin, end):
@@ -178,6 +245,9 @@ class KernelErEngine : public ScenarioErEngine {
 /// coordinator summing class weights over them in fixed global class
 /// order reproduces the single-node accumulator's gain() and value()
 /// bitwise, no matter how scenarios are sharded or which worker answers.
+/// Always runs the scalar per-class bases regardless of the engine's
+/// KernelMode — its replies are exact {0, 1} bits either way, and the
+/// kernels agree on every verdict, so coordinator sums are unaffected.
 /// Not thread-safe; callers (the service's sweep sessions) serialize.
 class KernelShardAccumulator {
  public:

@@ -1,5 +1,6 @@
 #include "linalg/incremental_basis.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,19 +12,36 @@ IncrementalBasis::IncrementalBasis(std::size_t dimension, double tol,
       tol_(tol),
       track_combinations_(track_combinations) {}
 
+IncrementalBasis::IncrementalBasis(const IncrementalBasis& other,
+                                   std::size_t prefix)
+    : dimension_(other.dimension_),
+      tol_(other.tol_),
+      track_combinations_(other.track_combinations_) {
+  prefix = std::min(prefix, other.eliminated_.size());
+  eliminated_.assign(other.eliminated_.begin(),
+                     other.eliminated_.begin() + prefix);
+  pivot_cols_.assign(other.pivot_cols_.begin(),
+                     other.pivot_cols_.begin() + prefix);
+  if (track_combinations_) {
+    combos_.assign(other.combos_.begin(), other.combos_.begin() + prefix);
+  }
+}
+
 Reduction IncrementalBasis::reduce_impl(std::span<const double> row,
-                                        std::vector<double>* out_reduced) const {
+                                        std::vector<double>* out_reduced,
+                                        std::size_t limit) const {
   if (row.size() != dimension_) {
     throw std::invalid_argument("IncrementalBasis: row dimension mismatch");
   }
+  limit = std::min(limit, eliminated_.size());
   std::vector<double> r(row.begin(), row.end());
   // combo[j]: coefficient of inserted independent row j in the eliminated
   // residue subtracted so far.  The original row equals
   //   r + sum_j combo[j] * original_row_j   after full reduction,
   // so when r vanishes, row = -sum_j combo[j] * original_row_j... with sign
   // folded below.
-  std::vector<double> combo(track_combinations_ ? eliminated_.size() : 0, 0.0);
-  for (std::size_t i = 0; i < eliminated_.size(); ++i) {
+  std::vector<double> combo(track_combinations_ ? limit : 0, 0.0);
+  for (std::size_t i = 0; i < limit; ++i) {
     const std::size_t p = pivot_cols_[i];
     const double factor = r[p] / eliminated_[i][p];
     if (std::abs(factor) <= tol_) continue;
@@ -54,16 +72,21 @@ Reduction IncrementalBasis::reduce_impl(std::span<const double> row,
 }
 
 Reduction IncrementalBasis::reduce(std::span<const double> row) const {
-  return reduce_impl(row, nullptr);
+  return reduce_impl(row, nullptr, eliminated_.size());
 }
 
 bool IncrementalBasis::is_independent(std::span<const double> row) const {
-  return reduce_impl(row, nullptr).independent;
+  return reduce_impl(row, nullptr, eliminated_.size()).independent;
+}
+
+bool IncrementalBasis::is_independent_prefix(std::span<const double> row,
+                                             std::size_t prefix) const {
+  return reduce_impl(row, nullptr, prefix).independent;
 }
 
 Reduction IncrementalBasis::add_with_reduction(std::span<const double> row) {
   std::vector<double> reduced;
-  Reduction result = reduce_impl(row, &reduced);
+  Reduction result = reduce_impl(row, &reduced, eliminated_.size());
   if (!result.independent) return result;
   // Find the pivot of the reduced row: largest-magnitude entry for
   // numerical robustness.

@@ -42,6 +42,12 @@ class IncrementalBasis {
                             double tol = kDefaultTolerance,
                             bool track_combinations = true);
 
+  /// Prefix copy: a basis holding only the first `prefix` eliminated rows
+  /// of `other` (clamped to other.rank()).  Lets callers that share one
+  /// append-only basis across several logical states fork a diverging
+  /// state without re-reducing its rows from scratch.
+  IncrementalBasis(const IncrementalBasis& other, std::size_t prefix);
+
   /// Number of columns / vector dimension.
   std::size_t dimension() const { return dimension_; }
 
@@ -54,6 +60,13 @@ class IncrementalBasis {
 
   /// Tests independence without modifying the basis.
   bool is_independent(std::span<const double> row) const;
+
+  /// Tests independence against only the first `prefix` eliminated rows —
+  /// bit-identical arithmetic to is_independent() on a basis holding
+  /// exactly those rows, without materializing it.  `prefix` is clamped
+  /// to rank().
+  bool is_independent_prefix(std::span<const double> row,
+                             std::size_t prefix) const;
 
   /// Reduces `row` against the basis and reports independence plus, for a
   /// dependent row, the support of its representation in terms of the
@@ -70,7 +83,8 @@ class IncrementalBasis {
 
  private:
   Reduction reduce_impl(std::span<const double> row,
-                        std::vector<double>* out_reduced) const;
+                        std::vector<double>* out_reduced,
+                        std::size_t limit) const;
 
   std::size_t dimension_;
   double tol_;

@@ -50,7 +50,8 @@ double total_cost(const exp::Workload& w) {
 /// call bit for bit.
 core::Selection run_algorithm(const CachedWorkload& cw,
                               const std::string& algorithm,
-                              const std::string& optimizer, double budget) {
+                              const std::string& optimizer, double budget,
+                              core::KernelMode kernel) {
   const exp::Workload& w = cw.workload;
   const core::ErEngine* engine = nullptr;
   std::unique_ptr<core::ErEngine> owned;
@@ -64,7 +65,7 @@ core::Selection run_algorithm(const CachedWorkload& cw,
   } else if (algorithm == "kernel-rome") {
     // Same mixture and seeding as monte-rome, evaluated by the cached
     // bit-packed engine — identical selection, shared across requests.
-    engine = &cw.kernel_engine();
+    engine = &cw.kernel_engine(50, kernel);
   } else if (algorithm == "select-path") {
     if (optimizer != "rome") {
       throw std::invalid_argument(
@@ -158,6 +159,7 @@ std::vector<std::size_t> resolve_subset(const Request& request,
     // Consume the selection parameters anyway so they are not "unknown".
     request.get("algorithm", "");
     request.get("optimizer", "");
+    request.get("kernel", "");
     request.get_double("budget-frac", 0.3);
     return parse_subset(explicit_subset, cw.workload.system->path_count());
   }
@@ -165,7 +167,9 @@ std::vector<std::size_t> resolve_subset(const Request& request,
   const std::string optimizer = request.get("optimizer", "rome");
   const double budget =
       request.get_double("budget-frac", 0.3) * total_cost(cw.workload);
-  return run_algorithm(cw, algorithm, optimizer, budget).paths;
+  const core::KernelMode kernel =
+      core::parse_kernel_mode(request.get("kernel", "auto"));
+  return run_algorithm(cw, algorithm, optimizer, budget, kernel).paths;
 }
 
 }  // namespace
@@ -305,8 +309,10 @@ Response Service::dispatch(const Request& request) {
       const std::string optimizer = request.get("optimizer", "rome");
       const double budget =
           request.get_double("budget-frac", 0.3) * total_cost(w);
+      const core::KernelMode kernel =
+          core::parse_kernel_mode(request.get("kernel", "auto"));
       const core::Selection sel =
-          run_algorithm(*cw, algorithm, optimizer, budget);
+          run_algorithm(*cw, algorithm, optimizer, budget, kernel);
       Response r;
       r.set("workload", w.topology_name);
       r.set("algorithm", algorithm);
@@ -341,7 +347,10 @@ Response Service::dispatch(const Request& request) {
       if (request.get("engine", "") == "kernel") {
         // The cached bit-packed MC engine: repeated ER queries against the
         // same workload hit its mask-to-rank memo instead of eliminating.
-        r.set("kernel-er", cw->kernel_engine().evaluate(subset));
+        r.set("kernel-er",
+              cw->kernel_engine(
+                    50, core::parse_kernel_mode(request.get("kernel", "auto")))
+                  .evaluate(subset));
       }
       return r;
     }
@@ -496,7 +505,8 @@ Response Service::dispatch(const Request& request) {
       if (runs == 0) {
         throw std::invalid_argument("shard-eval: runs must be positive");
       }
-      const core::KernelErEngine& engine = cw->kernel_engine(runs);
+      const core::KernelErEngine& engine = cw->kernel_engine(
+          runs, core::parse_kernel_mode(request.get("kernel", "auto")));
       const std::vector<std::size_t> subset = parse_subset(
           request.get("subset", ""), cw->workload.system->path_count());
       const std::int64_t begin = request.get_int("begin", 0);
@@ -605,7 +615,8 @@ Response Service::handle_shard_sweep(const Request& request) {
     if (runs == 0) {
       throw std::invalid_argument("shard-sweep: runs must be positive");
     }
-    const core::KernelErEngine& engine = cw->kernel_engine(runs);
+    const core::KernelErEngine& engine = cw->kernel_engine(
+        runs, core::parse_kernel_mode(request.get("kernel", "auto")));
     if (static_cast<std::size_t>(end) > engine.scenario_count()) {
       throw std::invalid_argument("shard-sweep: slice exceeds scenario count");
     }

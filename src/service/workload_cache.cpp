@@ -26,14 +26,15 @@ exp::Workload build_workload(const WorkloadKey& key) {
 }  // namespace
 
 const core::KernelErEngine& CachedWorkload::kernel_engine(
-    std::size_t runs) const {
+    std::size_t runs, core::KernelMode mode) const {
   const std::lock_guard<std::mutex> lock(kernel_mu_);
-  auto& slot = kernels_[runs];
+  auto& slot = kernels_[{runs, mode}];
   if (!slot) {
     Rng rng(workload.seed * 101);
     slot = std::make_unique<core::KernelErEngine>(
         core::KernelErEngine::monte_carlo(*workload.system, *workload.failures,
                                           runs, rng));
+    slot->set_kernel_mode(mode);
   }
   return *slot;
 }

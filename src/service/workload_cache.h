@@ -67,12 +67,18 @@ struct CachedWorkload {
   /// ER queries on a cached workload into hash lookups.  Because the
   /// sampler is deterministic in (seed, runs), a cluster worker and its
   /// coordinator asking for the same runs count hold scenario-for-scenario
-  /// identical engines.
-  const core::KernelErEngine& kernel_engine(std::size_t runs = 50) const;
+  /// identical engines.  `mode` selects the rank kernel (auto | sliced |
+  /// scalar — purely a performance knob, answers are bitwise identical);
+  /// engines are cached per (runs, mode) because the mode is fixed at
+  /// engine construction, before the engine is shared across threads.
+  const core::KernelErEngine& kernel_engine(
+      std::size_t runs = 50,
+      core::KernelMode mode = core::KernelMode::kAuto) const;
 
  private:
   mutable std::mutex kernel_mu_;
-  mutable std::map<std::size_t, std::unique_ptr<core::KernelErEngine>>
+  mutable std::map<std::pair<std::size_t, core::KernelMode>,
+                   std::unique_ptr<core::KernelErEngine>>
       kernels_;
 };
 

@@ -18,6 +18,7 @@
 #include "linalg/elimination.h"
 #include "linalg/incremental_basis.h"
 #include "linalg/qr.h"
+#include "linalg/slicedrank.h"
 #include "linalg/sparse.h"
 #include "online/replanner.h"
 #include "service/protocol.h"
@@ -923,6 +924,147 @@ CheckResult check_optimizer_bounds(const TestInstance& inst,
   return CheckResult::ok();
 }
 
+// --------------------------------------------------------------------------
+// 17. The scenario-sliced kernel is a faithful twin at every layer:
+// per-scenario integer ranks equal the elimination oracle, sliced and
+// scalar kernels produce bitwise-identical ER and accumulator
+// trajectories, and the standalone sliced_ranks driver agrees between its
+// exact-oracle and float fallback tiers on a forced-scalar lane.
+// --------------------------------------------------------------------------
+
+CheckResult check_sliced_matches_scenario(const TestInstance& inst,
+                                          const FaultPlan& fault) {
+  Rng rng = check_rng(inst, "sliced-matches-scenario");
+  Rng mc_rng = rng.fork();
+  // 65 scenarios straddles the 64-lane word boundary, so every sweep runs
+  // one full slice plus a one-lane tail.  The failure family under test
+  // is whatever the instance spec drew, so over a fuzz run this covers
+  // all of them.
+  const core::MonteCarloEr mc(inst.system, inst.model, 65, mc_rng);
+
+  core::KernelErEngine sliced(inst.system, mc.scenarios(), mc.weights(),
+                              mc.name());
+  sliced.set_kernel_mode(core::KernelMode::kSliced);
+  core::KernelErEngine scalar(inst.system, mc.scenarios(), mc.weights(),
+                              mc.name());
+  scalar.set_kernel_mode(core::KernelMode::kScalar);
+
+  const std::vector<std::vector<std::size_t>> subsets = {
+      all_paths(inst), random_subset(rng, inst.path_count())};
+  for (const auto& subset : subsets) {
+    // Integer per-scenario ranks against the elimination oracle.
+    const auto ranks = sliced.scenario_ranks(subset);
+    for (std::size_t s = 0; s < ranks.size(); ++s) {
+      const std::size_t oracle =
+          inst.system.surviving_rank(subset, mc.scenarios()[s]);
+      if (ranks[s] != oracle) {
+        return CheckResult::fail(
+            "scenario " + std::to_string(s) + ": sliced rank " +
+            std::to_string(ranks[s]) + " != elimination rank " +
+            std::to_string(oracle));
+      }
+    }
+    // Bitwise ER across all three engines (the fault hook inflates the
+    // sliced value so an injected defect must be caught and shrunk).
+    const double reference = mc.evaluate(subset);
+    const double scalar_er = scalar.evaluate(subset);
+    const double sliced_er =
+        sliced.evaluate(subset) + fault.sliced_er_inflate;
+    if (sliced_er != scalar_er) {
+      return CheckResult::fail("sliced evaluate " + fmt(sliced_er) +
+                               " differs bitwise from scalar kernel " +
+                               fmt(scalar_er));
+    }
+    if (sliced_er != reference) {
+      return CheckResult::fail("sliced evaluate " + fmt(sliced_er) +
+                               " differs bitwise from scenario engine " +
+                               fmt(reference));
+    }
+    for (const std::size_t threads : {std::size_t{0}, std::size_t{3}}) {
+      const double parallel = sliced.evaluate_parallel(subset, threads);
+      if (parallel != reference) {
+        return CheckResult::fail(
+            "sliced evaluate_parallel(threads=" + std::to_string(threads) +
+            ") = " + fmt(parallel) + " differs bitwise from " +
+            fmt(reference));
+      }
+    }
+  }
+
+  // Accumulator twins over one shuffled greedy trajectory: sliced gains
+  // and values are bitwise the scalar kernel's and within kTol of the
+  // scenario engine's (class-merged weights reorder that sum).
+  auto scenario_acc = mc.make_accumulator();
+  auto scalar_acc = scalar.make_accumulator();
+  auto sliced_acc = sliced.make_accumulator();
+  std::vector<std::size_t> order = all_paths(inst);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.index(i)]);
+  }
+  for (const std::size_t path : order) {
+    for (std::size_t q = 0; q < inst.path_count(); ++q) {
+      const double kg = scalar_acc->gain(q);
+      const double sg = sliced_acc->gain(q);
+      if (sg != kg) {
+        return CheckResult::fail("gain(" + std::to_string(q) +
+                                 "): sliced " + fmt(sg) +
+                                 " differs bitwise from scalar " + fmt(kg));
+      }
+      if (std::abs(sg - scenario_acc->gain(q)) > kTol) {
+        return CheckResult::fail("gain(" + std::to_string(q) +
+                                 "): sliced " + fmt(sg) + " drifts from "
+                                 "scenario engine " +
+                                 fmt(scenario_acc->gain(q)));
+      }
+    }
+    scenario_acc->add(path);
+    scalar_acc->add(path);
+    sliced_acc->add(path);
+    if (sliced_acc->value() != scalar_acc->value()) {
+      return CheckResult::fail(
+          "accumulator value: sliced " + fmt(sliced_acc->value()) +
+          " differs bitwise from scalar " + fmt(scalar_acc->value()));
+    }
+    if (std::abs(sliced_acc->value() - scenario_acc->value()) > kTol) {
+      return CheckResult::fail(
+          "accumulator value: sliced " + fmt(sliced_acc->value()) +
+          " drifts from scenario engine " + fmt(scenario_acc->value()));
+    }
+  }
+
+  // Standalone driver: the exact-oracle and float fallback tiers must
+  // agree instance for instance, including on a forced 64-bit lane.
+  linalg::BitRows rows(inst.link_count());
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    rows.append_indices(inst.system.path(p).links);
+  }
+  const std::size_t instances = mc.scenarios().size();
+  const std::size_t stride = (instances + 63) / 64;
+  std::vector<std::uint64_t> alive(inst.path_count() * stride, 0);
+  for (std::size_t p = 0; p < inst.path_count(); ++p) {
+    for (std::size_t s = 0; s < instances; ++s) {
+      if (inst.system.path_survives(p, mc.scenarios()[s])) {
+        alive[p * stride + s / 64] |= std::uint64_t{1} << (s % 64);
+      }
+    }
+  }
+  const auto exact_tier =
+      linalg::sliced_ranks(rows, alive, instances, linalg::SliceLane::kAuto,
+                           linalg::SlicedFallback::kExact);
+  const auto float_tier = linalg::sliced_ranks(
+      rows, alive, instances, linalg::SliceLane::kScalar64,
+      linalg::SlicedFallback::kFloat);
+  for (std::size_t s = 0; s < instances; ++s) {
+    if (exact_tier[s] != float_tier[s]) {
+      return CheckResult::fail(
+          "sliced_ranks instance " + std::to_string(s) + ": exact tier " +
+          std::to_string(exact_tier[s]) + " != float tier " +
+          std::to_string(float_tier[s]));
+    }
+  }
+  return CheckResult::ok();
+}
+
 const std::vector<Check>& all_checks() {
   static const std::vector<Check> checks = {
       {"er-monotone-submodular",
@@ -968,6 +1110,10 @@ const std::vector<Check>& all_checks() {
        "bit-packed kernel engine: exact scenario ranks, bitwise ER, "
        "accumulator gains within 1e-9 of the scenario engine",
        1, true, check_kernel_matches_scenario},
+      {"sliced-matches-scenario",
+       "scenario-sliced kernel: oracle scenario ranks, bitwise ER and "
+       "gains vs the scalar kernel, exact and float fallback tiers agree",
+       1, true, check_sliced_matches_scenario},
       {"protocol-framing",
        "hostile bytes never escape the line parsers; well-formed "
        "requests, doubles and shard bits round-trip exactly",

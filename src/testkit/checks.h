@@ -22,6 +22,11 @@ struct FaultPlan {
   /// Deflates the ProbBound value by this amount per selected path before
   /// the dominance/tightness comparison (breaks Eq. 6/7's guarantee).
   double probbound_deflate = 0.0;
+
+  /// Inflates the sliced kernel's evaluate() result by this amount before
+  /// the bitwise sliced-vs-scalar/scenario comparisons (breaks the
+  /// differential twin; exercises the shrinker on the sliced check).
+  double sliced_er_inflate = 0.0;
 };
 
 struct CheckResult {
@@ -78,6 +83,8 @@ CheckResult check_kernel_matches_scenario(const TestInstance&,
                                           const FaultPlan&);
 CheckResult check_protocol_framing(const TestInstance&, const FaultPlan&);
 CheckResult check_inference_roundtrip(const TestInstance&, const FaultPlan&);
+CheckResult check_sliced_matches_scenario(const TestInstance&,
+                                          const FaultPlan&);
 CheckResult check_optimizer_bounds(const TestInstance&, const FaultPlan&);
 
 }  // namespace rnt::testkit

@@ -83,11 +83,21 @@ exp::Workload build_workload(Flags& flags) {
 std::unique_ptr<core::ErEngine> make_engine(const exp::Workload& w,
                                             const std::string& algorithm,
                                             const std::string& engine_kind,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            const std::string& kernel_mode) {
+  // --kernel selects the rank-kernel implementation inside the bit-packed
+  // engine (auto | sliced | scalar); selections are bitwise identical
+  // either way, so it is purely a performance knob.
+  const core::KernelMode mode = core::parse_kernel_mode(kernel_mode);
+  const bool mode_forced = mode != core::KernelMode::kAuto;
   if (algorithm == "prob-rome") {
     if (!engine_kind.empty() && engine_kind != "prob") {
       throw std::invalid_argument(
           "--engine: prob-rome always uses the analytical ProbBound engine");
+    }
+    if (mode_forced) {
+      throw std::invalid_argument(
+          "--kernel only applies to the kernel engine");
     }
     return std::make_unique<core::ProbBoundEr>(*w.system, *w.failures);
   }
@@ -99,12 +109,18 @@ std::unique_ptr<core::ErEngine> make_engine(const exp::Workload& w,
     // identical — the bit-packed rank kernel just gets there faster.
     Rng rng(seed * 101);
     if (kind == "mc") {
+      if (mode_forced) {
+        throw std::invalid_argument(
+            "--kernel only applies to the kernel engine");
+      }
       return std::make_unique<core::MonteCarloEr>(*w.system, *w.failures, 50,
                                                   rng);
     }
     if (kind == "kernel") {
-      return std::make_unique<core::KernelErEngine>(
+      auto engine = std::make_unique<core::KernelErEngine>(
           core::KernelErEngine::monte_carlo(*w.system, *w.failures, 50, rng));
+      engine->set_kernel_mode(mode);
+      return engine;
     }
     throw std::invalid_argument("unknown --engine (want mc or kernel): " +
                                 kind);
@@ -116,15 +132,17 @@ core::Selection run_algorithm(const exp::Workload& w,
                               const std::string& algorithm, double budget,
                               std::uint64_t seed,
                               const std::string& optimizer = "rome",
-                              const std::string& engine_kind = "") {
+                              const std::string& engine_kind = "",
+                              const std::string& kernel_mode = "auto") {
   const std::unique_ptr<core::ErEngine> engine =
-      make_engine(w, algorithm, engine_kind, seed);
+      make_engine(w, algorithm, engine_kind, seed, kernel_mode);
   if (engine == nullptr) {
-    if (optimizer != "rome" || !engine_kind.empty()) {
-      throw std::invalid_argument("--optimizer/--engine do not apply to " +
-                                  algorithm +
-                                  ": it does not run through the Selector "
-                                  "registry");
+    if (optimizer != "rome" || !engine_kind.empty() ||
+        core::parse_kernel_mode(kernel_mode) != core::KernelMode::kAuto) {
+      throw std::invalid_argument(
+          "--optimizer/--engine/--kernel do not apply to " + algorithm +
+          ": it does not run through the Selector "
+          "registry");
     }
     if (algorithm == "select-path") {
       Rng rng(seed * 103);
@@ -198,6 +216,10 @@ void print_usage(std::ostream& out) {
       "  --optimizer O      rome | eager | lazy-greedy | stochastic-greedy | "
       "local-search | branch-and-bound\n"
       "  --engine E         scenario backend override: mc | kernel\n"
+      "  --kernel K         kernel engine rank kernel: auto | sliced | "
+      "scalar\n"
+      "                     (identical selections; sliced packs 64 "
+      "scenarios per word)\n"
       "  --budget-frac F    budget as a fraction of probing all paths\n"
       "  --scenarios N      evaluation failure scenarios\n"
       "  --identifiability  also score link identifiability (evaluate)\n"
@@ -273,6 +295,8 @@ void print_usage(std::ostream& out) {
       "  --no-shrink        keep failing instances unminimized\n"
       "  --inject-probbound X  deliberately deflate ProbBound by X per "
       "path (harness self-test)\n"
+      "  --inject-sliced-er X  deliberately inflate the sliced kernel's "
+      "ER by X (harness self-test)\n"
       "  --list             list registered checks and exit\n";
 }
 
@@ -323,7 +347,8 @@ int cmd_select(Flags& flags, std::ostream& out) {
   const std::string engine_kind = flags.get_string("engine", "");
   const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
   const core::Selection sel =
-      run_algorithm(w, algorithm, budget, w.seed, optimizer, engine_kind);
+      run_algorithm(w, algorithm, budget, w.seed, optimizer, engine_kind,
+                    flags.get_string("kernel", "auto"));
 
   // The default optimizer keeps the historical label so default output
   // stays byte-identical; non-default optimizers are named explicitly.
@@ -365,7 +390,8 @@ int cmd_evaluate(Flags& flags, std::ostream& out) {
   const core::Selection sel =
       run_algorithm(w, algorithm, budget, w.seed,
                     flags.get_string("optimizer", "rome"),
-                    flags.get_string("engine", ""));
+                    flags.get_string("engine", ""),
+                    flags.get_string("kernel", "auto"));
   Rng rng = w.eval_rng();
   exp::EvalOptions opts;
   opts.scenarios = scenarios;
@@ -451,7 +477,8 @@ int cmd_localize(Flags& flags, std::ostream& out) {
   const core::Selection sel =
       run_algorithm(w, algorithm, budget, w.seed,
                     flags.get_string("optimizer", "rome"),
-                    flags.get_string("engine", ""));
+                    flags.get_string("engine", ""),
+                    flags.get_string("kernel", "auto"));
   Rng rng = w.eval_rng();
   const auto score =
       tomo::score_localization(*w.system, sel.paths, *w.failures, trials, rng);
@@ -485,7 +512,8 @@ int cmd_infer(Flags& flags, std::ostream& out) {
   const core::Selection sel =
       run_algorithm(w, algorithm, budget, w.seed,
                     flags.get_string("optimizer", "rome"),
-                    flags.get_string("engine", ""));
+                    flags.get_string("engine", ""),
+                    flags.get_string("kernel", "auto"));
   const infer::GroundTruth truth = infer::campaign_truth(
       config.model, w.system->link_count(), w.seed, config.truth);
 
@@ -931,6 +959,7 @@ int cmd_client(Flags& flags, std::istream& in, std::ostream& out) {
 int cmd_fuzz(Flags& flags, std::ostream& out) {
   testkit::FaultPlan fault;
   fault.probbound_deflate = flags.get_double("inject-probbound", 0.0);
+  fault.sliced_er_inflate = flags.get_double("inject-sliced-er", 0.0);
 
   if (flags.get_bool("list", false)) {
     flags.finish();
