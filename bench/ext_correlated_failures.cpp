@@ -13,12 +13,20 @@
 // Expected shape: correlation hurts everyone; the correlated-scenario
 // MonteRoMe holds up best as group probability grows, the marginal-fed
 // ProbRoMe degrades toward (but stays above) SelectPath.
+//
+// --family picks the correlated model the sweep escalates:
+//   srlg (default) — random shared-risk groups, sweep over group prob;
+//   node           — NodeFailureModel, sweep over per-node failure prob;
+//   cascade        — CascadeModel, sweep over the spread probability.
+#include <memory>
 #include <numeric>
 
 #include "bench_common.h"
 #include "core/expected_rank.h"
 #include "core/rome.h"
 #include "core/select_path.h"
+#include "failures/cascade.h"
+#include "failures/node_failure.h"
 #include "failures/srlg.h"
 
 namespace rnt::bench {
@@ -28,6 +36,10 @@ int main_body(Flags& flags) {
   const CommonOptions opts = parse_common(flags);
   const std::string topology =
       opts.topology.empty() ? "AS1755" : opts.topology;
+  const std::string family = flags.get_string("family", "srlg");
+  if (family != "srlg" && family != "node" && family != "cascade") {
+    throw std::invalid_argument("--family must be srlg, node, or cascade");
+  }
   const auto paths = static_cast<std::size_t>(
       flags.get_int("paths", opts.full ? 400 : 200));
   const auto scenarios = static_cast<std::size_t>(
@@ -38,8 +50,8 @@ int main_body(Flags& flags) {
   const auto group_size =
       static_cast<std::size_t>(flags.get_int("group-size", 6));
   const double budget_frac = flags.get_double("budget-frac", 0.12);
-  print_header("Extension: selection under correlated (SRLG) failures (" +
-                   topology + ")",
+  print_header("Extension: selection under correlated failures, family=" +
+                   family + " (" + topology + ")",
                opts);
 
   exp::WorkloadSpec spec;
@@ -52,13 +64,41 @@ int main_body(Flags& flags) {
   std::iota(all.begin(), all.end(), std::size_t{0});
   const double budget = budget_frac * w.costs.subset_cost(*w.system, all);
 
-  TablePrinter table({"group prob", "ProbRoMe(marginal)", "MonteRoMe(SRLG)",
+  // Per-family sweep: the escalating correlation knob and its levels.
+  const std::string level_label = family == "srlg"     ? "group prob"
+                                  : family == "node"   ? "node prob"
+                                                       : "spread";
+  const std::vector<double> levels =
+      family == "srlg"   ? std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.4}
+      : family == "node" ? std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.1}
+                         : std::vector<double>{0.0, 0.1, 0.2, 0.4, 0.6};
+
+  TablePrinter table({level_label, "ProbRoMe(marginal)", "MonteRoMe(family)",
                       "SelectPath"});
-  for (double gp : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    Rng setup(opts.seed * 71 + static_cast<std::uint64_t>(gp * 100));
-    const failures::SrlgModel srlg = failures::make_random_srlg_model(
-        *w.failures, groups, group_size, gp, setup);
-    const failures::FailureModel marginal = srlg.marginal_model();
+  for (const double level : levels) {
+    Rng setup(opts.seed * 71 + static_cast<std::uint64_t>(level * 100));
+    std::unique_ptr<failures::ScenarioFamily> correlated;
+    if (family == "srlg") {
+      correlated = std::make_unique<failures::SrlgFamily>(
+          failures::make_random_srlg_model(*w.failures, groups, group_size,
+                                           level, setup));
+    } else if (family == "node") {
+      correlated = std::make_unique<failures::NodeFailureModel>(
+          failures::NodeFailureModel::from_graph(
+              w.graph, *w.failures,
+              std::vector<double>(w.graph.node_count(), level)));
+    } else {
+      correlated = std::make_unique<failures::CascadeModel>(
+          failures::CascadeModel::from_graph(w.graph, *w.failures, level,
+                                             /*decay=*/0.5));
+    }
+    // Cascade marginals have no tractable closed form on ISP-sized
+    // graphs; the mis-specified ProbRoMe gets Monte Carlo marginals there.
+    const failures::FailureModel marginal =
+        family == "cascade"
+            ? static_cast<const failures::CascadeModel&>(*correlated)
+                  .approx_marginal_model(2000, setup)
+            : correlated->marginal_model();
 
     // ProbRoMe on the marginal (independent) approximation.
     core::ProbBoundEr marg_engine(*w.system, marginal);
@@ -66,25 +106,22 @@ int main_body(Flags& flags) {
 
     // MonteRoMe whose scenarios come from the true correlated model.
     Rng mc_rng = w.eval_rng();
-    std::vector<failures::FailureVector> mc_draws;
-    for (std::size_t s = 0; s < mc_scenarios; ++s) {
-      mc_draws.push_back(srlg.sample(mc_rng));
-    }
-    core::ScenarioErEngine srlg_engine(
-        *w.system, std::move(mc_draws),
-        std::vector<double>(mc_scenarios, 1.0 / static_cast<double>(mc_scenarios)),
-        "MC-SRLG");
-    const auto mc_sel = core::rome(*w.system, w.costs, budget, srlg_engine);
+    const auto mc_scen =
+        failures::monte_carlo_mixture(*correlated, mc_scenarios, mc_rng);
+    core::ScenarioErEngine family_engine(
+        *w.system, mc_scen.scenarios, mc_scen.weights,
+        "MC-" + correlated->name());
+    const auto mc_sel = core::rome(*w.system, w.costs, budget, family_engine);
 
-    Rng sp_rng(opts.seed * 13 + static_cast<std::uint64_t>(gp * 100));
+    Rng sp_rng(opts.seed * 13 + static_cast<std::uint64_t>(level * 100));
     const auto sp_sel =
         core::select_path_budgeted(*w.system, w.costs, budget, sp_rng);
 
     // Evaluate all three under the true correlated model.
     RunningStats prob_stats, mc_stats, sp_stats;
-    Rng rng(opts.seed * 17 + static_cast<std::uint64_t>(gp * 100));
+    Rng rng(opts.seed * 17 + static_cast<std::uint64_t>(level * 100));
     for (std::size_t s = 0; s < scenarios; ++s) {
-      const auto v = srlg.sample(rng);
+      const auto v = correlated->sample(rng);
       prob_stats.add(
           static_cast<double>(w.system->surviving_rank(prob_sel.paths, v)));
       mc_stats.add(
@@ -92,7 +129,7 @@ int main_body(Flags& flags) {
       sp_stats.add(
           static_cast<double>(w.system->surviving_rank(sp_sel.paths, v)));
     }
-    table.add_row({fmt(gp, 2), fmt(prob_stats.mean(), 2),
+    table.add_row({fmt(level, 2), fmt(prob_stats.mean(), 2),
                    fmt(mc_stats.mean(), 2), fmt(sp_stats.mean(), 2)});
   }
   table.print(std::cout, opts.csv);

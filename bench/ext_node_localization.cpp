@@ -1,0 +1,221 @@
+// Extension — multi-failure Boolean localization under node and cascade
+// failure families, with a machine-readable BENCH_LOCAL.json report.
+//
+// The paper selects probes for rank robustness; this driver measures what
+// that buys for *Boolean localization* (src/boolnt): a ProbRoMe selection
+// fed each family's marginal link probabilities is compared against a
+// size-matched uniform random selection on the fraction of injected
+// failures it localizes exactly (unique minimal hitting set == the visible
+// truth) and on Ma–He maximal identifiability of the probed subset.
+//
+//   * node family    — NodeFailureModel over the workload graph: node
+//     failures knock out every incident link; hypotheses are nodes.
+//   * cascade family — CascadeModel: background seeds spread to
+//     link-graph neighbors with geometric decay; hypotheses are links.
+//
+// Every gated ratio is built from deterministic counts (seeded truth
+// injection, exhaustive hitting-set enumeration, exact identifiability),
+// so runs reproduce bitwise on any machine; wall-clock latencies are
+// reported as metrics only.  tools/bench_compare gates CI on the ratios
+// against bench/baselines/BENCH_LOCAL.json.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "boolnt/hypothesis.h"
+#include "boolnt/identifiability.h"
+#include "boolnt/localize.h"
+#include "core/expected_rank.h"
+#include "core/rome.h"
+#include "failures/cascade.h"
+#include "failures/node_failure.h"
+
+namespace rnt::bench {
+namespace {
+
+/// Outcome of scoring one (selection, family) cell.
+struct Cell {
+  boolnt::MultiLocalizationScore score;
+  std::size_t max_identifiable = 0;
+};
+
+Cell run_cell(const tomo::PathSystem& system,
+              const std::vector<std::size_t>& subset,
+              const boolnt::HypothesisSpace& space, std::size_t k,
+              std::size_t trials, std::uint64_t truth_seed,
+              std::size_t ident_cap) {
+  Cell cell;
+  Rng rng(truth_seed);
+  cell.score =
+      boolnt::score_multi_localization(system, subset, space, k, trials, rng);
+  cell.max_identifiable =
+      boolnt::identifiability_report(system, subset, space, ident_cap)
+          .max_identifiable;
+  return cell;
+}
+
+/// Laplace-smoothed count ratio: both counts are deterministic, the +0.5
+/// only keeps the ratio finite when the random baseline scores zero.
+double smoothed(std::size_t a, std::size_t b) {
+  return (static_cast<double>(a) + 0.5) / (static_cast<double>(b) + 0.5);
+}
+
+int main_body(Flags& flags) {
+  const CommonOptions opts = parse_common(flags);
+  const auto nodes =
+      static_cast<std::size_t>(flags.get_int("nodes", opts.full ? 40 : 26));
+  const auto links =
+      static_cast<std::size_t>(flags.get_int("links", opts.full ? 80 : 44));
+  const auto paths =
+      static_cast<std::size_t>(flags.get_int("paths", opts.full ? 120 : 70));
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 2));
+  const auto trials = static_cast<std::size_t>(
+      flags.get_int("trials", opts.full ? 400 : 200));
+  const auto ident_cap =
+      static_cast<std::size_t>(flags.get_int("ident-cap", 2));
+  const double budget_frac = flags.get_double("budget-frac", 0.3);
+  const double min_seconds = flags.get_double("min-seconds", 0.1);
+  const std::string json_path = flags.get_string("json", "");
+  print_header("Extension: multi-failure localization (node/cascade)", opts);
+
+  const exp::Workload w =
+      exp::make_custom_workload(nodes, links, paths, opts.seed, 5.0);
+  const std::vector<std::size_t> all = all_paths_of(*w.system);
+  const double budget = budget_frac * total_probing_cost(w);
+
+  // The two families over the same workload graph and background model.
+  const auto node_family = failures::NodeFailureModel::from_graph(
+      w.graph, *w.failures,
+      std::vector<double>(w.graph.node_count(), 0.08));
+  const auto cascade_family = failures::CascadeModel::from_graph(
+      w.graph, *w.failures, /*spread=*/0.35, /*decay=*/0.5);
+  Rng marginal_rng(opts.seed * 23 + 5);
+  const failures::FailureModel node_marginal = node_family.marginal_model();
+  const failures::FailureModel cascade_marginal =
+      cascade_family.approx_marginal_model(4000, marginal_rng);
+
+  const auto node_space = boolnt::HypothesisSpace::nodes_of(w.graph);
+  const auto link_space =
+      boolnt::HypothesisSpace::links_of(w.system->link_count());
+
+  BenchReport report("ext_node_localization");
+  report.set_config("nodes", static_cast<double>(nodes));
+  report.set_config("links", static_cast<double>(links));
+  report.set_config("paths", static_cast<double>(paths));
+  report.set_config("seed", static_cast<double>(opts.seed));
+  report.set_config("k", static_cast<double>(k));
+  report.set_config("trials", static_cast<double>(trials));
+  report.set_config("budget_frac", budget_frac);
+
+  TablePrinter table({"family", "selection", "paths", "exact", "ambiguous",
+                      "misled", "invisible", "exact frac", "hit frac",
+                      "max ident"});
+
+  struct FamilyCase {
+    std::string name;
+    const failures::FailureModel* marginal;
+    const boolnt::HypothesisSpace* space;
+  };
+  const std::vector<FamilyCase> cases = {
+      {"node", &node_marginal, &node_space},
+      {"cascade", &cascade_marginal, &link_space},
+  };
+
+  std::vector<Cell> rome_cells, random_cells;
+  for (std::size_t f = 0; f < cases.size(); ++f) {
+    const FamilyCase& fc = cases[f];
+    // ProbRoMe fed the family marginal vs a size-matched random subset.
+    core::ProbBoundEr engine(*w.system, *fc.marginal);
+    const auto rome_sel = core::rome(*w.system, w.costs, budget, engine);
+    Rng random_rng(opts.seed * 29 + f);
+    const auto random_sel =
+        random_k_paths(random_rng, w.system->path_count(), rome_sel.paths.size());
+
+    // Identical truth seed per family: both selections face the same
+    // injected failure sequence.
+    const std::uint64_t truth_seed = opts.seed * 31 + f;
+    const Cell rome_cell = run_cell(*w.system, rome_sel.paths, *fc.space, k,
+                                    trials, truth_seed, ident_cap);
+    const Cell random_cell = run_cell(*w.system, random_sel, *fc.space, k,
+                                      trials, truth_seed, ident_cap);
+    rome_cells.push_back(rome_cell);
+    random_cells.push_back(random_cell);
+
+    for (const auto& [label, sel, cell] :
+         {std::tuple{"ProbRoMe", &rome_sel.paths, &rome_cell},
+          std::tuple{"random", &random_sel, &random_cell}}) {
+      table.add_row({fc.name, label,
+                     fmt(static_cast<double>(sel->size()), 0),
+                     fmt(static_cast<double>(cell->score.exact), 0),
+                     fmt(static_cast<double>(cell->score.ambiguous), 0),
+                     fmt(static_cast<double>(cell->score.misled), 0),
+                     fmt(static_cast<double>(cell->score.invisible), 0),
+                     fmt(cell->score.exact_fraction(), 3),
+                     fmt(cell->score.hit_fraction(), 3),
+                     fmt(static_cast<double>(cell->max_identifiable), 0)});
+    }
+
+    report.add_ratio(fc.name + "_exact_rome_over_random",
+                     smoothed(rome_cell.score.exact, random_cell.score.exact));
+    report.add_ratio(fc.name + "_hit_rome_over_random",
+                     smoothed(rome_cell.score.exact + rome_cell.score.ambiguous,
+                              random_cell.score.exact +
+                                  random_cell.score.ambiguous));
+    report.add_ratio(fc.name + "_rome_exact_fraction",
+                     rome_cell.score.exact_fraction());
+    report.add_ratio(fc.name + "_ident_rome_over_random",
+                     smoothed(rome_cell.max_identifiable,
+                              random_cell.max_identifiable));
+  }
+  table.print(std::cout, opts.csv);
+
+  // Wall-clock, metrics only (never gated): one localization call and one
+  // identifiability report on the node-family ProbRoMe selection.
+  {
+    core::ProbBoundEr engine(*w.system, node_marginal);
+    const auto sel = core::rome(*w.system, w.costs, budget, engine);
+    Rng sample_rng(opts.seed * 37);
+    const auto truth = node_family.sample(sample_rng);
+    report.add_metric("localize_node_call",
+                      measure(
+                          [&] {
+                            (void)boolnt::localize_multi_failure(
+                                *w.system, sel.paths, truth, node_space, k);
+                          },
+                          /*min_iterations=*/20, min_seconds));
+    report.add_metric("identifiability_report",
+                      measure(
+                          [&] {
+                            (void)boolnt::identifiability_report(
+                                *w.system, sel.paths, node_space, ident_cap);
+                          },
+                          /*min_iterations=*/5, min_seconds));
+  }
+
+  if (!opts.csv) {
+    std::cout << "\nexact-localization lift (ProbRoMe over random, "
+                 "smoothed): node "
+              << fmt(smoothed(rome_cells[0].score.exact,
+                              random_cells[0].score.exact), 2)
+              << "x, cascade "
+              << fmt(smoothed(rome_cells[1].score.exact,
+                              random_cells[1].score.exact), 2)
+              << "x\n";
+  }
+  if (!json_path.empty()) {
+    report.write(json_path);
+    if (!opts.csv) std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rnt::bench
+
+int main(int argc, char** argv) {
+  return rnt::bench::run_driver(argc, argv, rnt::bench::main_body);
+}

@@ -1,0 +1,59 @@
+#include "boolnt/hypothesis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rnt::boolnt {
+
+HypothesisSpace::HypothesisSpace(std::size_t link_count,
+                                 std::vector<Component> components)
+    : link_count_(link_count), components_(std::move(components)) {
+  for (const Component& c : components_) {
+    if (!std::is_sorted(c.links.begin(), c.links.end()) ||
+        std::adjacent_find(c.links.begin(), c.links.end()) !=
+            c.links.end()) {
+      throw std::invalid_argument(
+          "HypothesisSpace: component links must be sorted and unique");
+    }
+    for (std::uint32_t l : c.links) {
+      if (l >= link_count_) {
+        throw std::invalid_argument(
+            "HypothesisSpace: component link id out of range");
+      }
+    }
+  }
+}
+
+HypothesisSpace HypothesisSpace::links_of(std::size_t link_count) {
+  std::vector<Component> components;
+  components.reserve(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    components.push_back(
+        {"l" + std::to_string(l), {static_cast<std::uint32_t>(l)}});
+  }
+  return HypothesisSpace(link_count, std::move(components));
+}
+
+HypothesisSpace HypothesisSpace::nodes_of(const graph::Graph& graph) {
+  std::vector<Component> components;
+  components.reserve(graph.node_count());
+  for (std::size_t n = 0; n < graph.node_count(); ++n) {
+    Component c;
+    c.label = "n" + std::to_string(n);
+    c.links = graph.incident_edges(static_cast<graph::NodeId>(n));
+    std::sort(c.links.begin(), c.links.end());
+    components.push_back(std::move(c));
+  }
+  return HypothesisSpace(graph.edge_count(), std::move(components));
+}
+
+failures::FailureVector HypothesisSpace::failure_vector(
+    const std::vector<std::uint32_t>& component_ids) const {
+  failures::FailureVector v(link_count_, false);
+  for (std::uint32_t c : component_ids) {
+    for (std::uint32_t l : components_.at(c).links) v[l] = true;
+  }
+  return v;
+}
+
+}  // namespace rnt::boolnt

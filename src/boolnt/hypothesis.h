@@ -1,0 +1,60 @@
+// Failure-hypothesis spaces for Boolean network tomography.
+//
+// Boolean tomography only sees one bit per probed path — failed or not —
+// so inference happens over *components*: atomic failure units whose link
+// sets determine which probes they knock out.  A component is a single
+// link (the paper's setting), a node with all incident links (the Ma–He
+// node-failure setting), or any other shared-fate unit (an SRLG, a
+// conduit).  The localization and identifiability code in this subsystem
+// is written against HypothesisSpace and never cares which it is.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "graph/graph.h"
+
+namespace rnt::boolnt {
+
+/// One atomic failure unit: a label for reporting plus the links it downs.
+struct Component {
+  std::string label;
+  std::vector<std::uint32_t> links;  ///< Sorted, unique link ids.
+
+  bool operator==(const Component&) const = default;
+};
+
+/// An ordered set of components over a fixed link universe.
+class HypothesisSpace {
+ public:
+  /// Component links must be sorted, unique, and < link_count.
+  HypothesisSpace(std::size_t link_count, std::vector<Component> components);
+
+  /// One component per link: the multi-*link* failure hypothesis space.
+  static HypothesisSpace links_of(std::size_t link_count);
+
+  /// One component per graph node, carrying its incident edges: the
+  /// node-failure hypothesis space (edge id == link id).
+  static HypothesisSpace nodes_of(const graph::Graph& graph);
+
+  std::size_t link_count() const { return link_count_; }
+  std::size_t component_count() const { return components_.size(); }
+  const Component& component(std::size_t c) const {
+    return components_.at(c);
+  }
+  const std::vector<Component>& components() const { return components_; }
+
+  /// The failure vector produced by the given component set failing (ids
+  /// into components(), need not be sorted).
+  failures::FailureVector failure_vector(
+      const std::vector<std::uint32_t>& component_ids) const;
+
+ private:
+  std::size_t link_count_;
+  std::vector<Component> components_;
+};
+
+}  // namespace rnt::boolnt

@@ -1,0 +1,54 @@
+// Exact identifiability metrics for Boolean network tomography.
+//
+// A probe selection can only localize what it can distinguish: failure
+// hypotheses S and T are *distinguishable* iff they fail a different set
+// of probed paths (their Boolean signatures differ).  Two exact metrics,
+// both computed by exhaustively signing every component set up to a size
+// cap on small instances:
+//
+//  * Ma–He maximal identifiability ("Network Capability in Localizing Node
+//    Failures"): the largest k such that ALL pairs of distinct component
+//    sets of size <= k have distinct signatures.  Up to k simultaneous
+//    failures, the observation pins down the failure set uniquely.
+//  * Bartolini per-component identifiability ("On Fundamental Bounds of
+//    Failure Identifiability by Boolean Network Tomography"): component c
+//    is k-identifiable iff no two sets of size <= k that disagree about c
+//    (c in the symmetric difference) share a signature — the network can
+//    always decide whether *c* failed, even when the full set is
+//    ambiguous.  Per-component levels expose which parts of the topology
+//    are weakly covered.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "boolnt/hypothesis.h"
+#include "tomo/path_system.h"
+
+namespace rnt::boolnt {
+
+struct IdentifiabilityReport {
+  /// The size cap actually analyzed: min(requested cap, component count),
+  /// possibly lowered further so the number of sets stays under max_sets.
+  std::size_t k_cap = 0;
+  /// Ma–He: every failure set of size <= max_identifiable is uniquely
+  /// determined by its signature (<= k_cap; equality means "at least").
+  std::size_t max_identifiable = 0;
+  /// Bartolini: per_component[c] is the largest k <= k_cap such that no
+  /// signature collision among sets of size <= k disagrees about c.
+  std::vector<std::size_t> per_component;
+  /// Number of component sets signed (all sets of size <= k_cap).
+  std::size_t sets_examined = 0;
+};
+
+/// Signs every component set of size <= k_cap against the probed subset
+/// and reduces signature collisions to both metrics.  `threads` splits the
+/// signature computation (results are integers, so every thread count
+/// returns the identical report); `max_sets` bounds the exhaustive work by
+/// lowering the effective cap.
+IdentifiabilityReport identifiability_report(
+    const tomo::PathSystem& system, const std::vector<std::size_t>& subset,
+    const HypothesisSpace& space, std::size_t k_cap, std::size_t threads = 1,
+    std::size_t max_sets = 200000);
+
+}  // namespace rnt::boolnt

@@ -1,0 +1,231 @@
+#include "boolnt/localize.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rnt::boolnt {
+namespace {
+
+/// Does the component's link set intersect the path's (both sorted)?
+bool touches(const std::vector<std::uint32_t>& component_links,
+             const std::vector<graph::EdgeId>& path_links) {
+  auto a = component_links.begin();
+  auto b = path_links.begin();
+  while (a != component_links.end() && b != path_links.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Enumerates hitting sets of `hitters` (per failed probe, the feasible
+/// components touching it) up to size `max_failures`, branching on the
+/// first uncovered probe.  Emits into `out` (deduplicated by the caller).
+struct HittingSetSearch {
+  const std::vector<std::vector<std::uint32_t>>* hitters = nullptr;
+  std::size_t max_failures = 0;
+  std::size_t max_candidates = 0;
+  std::set<std::vector<std::uint32_t>>* out = nullptr;
+  bool truncated = false;
+
+  /// `chosen` is kept sorted; `covered[p]` counts chosen components
+  /// touching failed probe p.
+  void expand(std::vector<std::uint32_t>& chosen,
+              std::vector<std::size_t>& covered) {
+    if (truncated) return;
+    std::size_t uncovered = hitters->size();
+    for (std::size_t p = 0; p < hitters->size(); ++p) {
+      if (covered[p] == 0) {
+        uncovered = p;
+        break;
+      }
+    }
+    if (uncovered == hitters->size()) {
+      out->insert(chosen);
+      if (out->size() >= max_candidates) truncated = true;
+      return;
+    }
+    if (chosen.size() == max_failures) return;
+    for (std::uint32_t c : (*hitters)[uncovered]) {
+      if (std::binary_search(chosen.begin(), chosen.end(), c)) continue;
+      const auto pos =
+          std::lower_bound(chosen.begin(), chosen.end(), c);
+      chosen.insert(pos, c);
+      for (std::size_t p = 0; p < hitters->size(); ++p) {
+        if (std::binary_search((*hitters)[p].begin(), (*hitters)[p].end(),
+                               c)) {
+          ++covered[p];
+        }
+      }
+      expand(chosen, covered);
+      for (std::size_t p = 0; p < hitters->size(); ++p) {
+        if (std::binary_search((*hitters)[p].begin(), (*hitters)[p].end(),
+                               c)) {
+          --covered[p];
+        }
+      }
+      chosen.erase(std::find(chosen.begin(), chosen.end(), c));
+      if (truncated) return;
+    }
+  }
+};
+
+/// Keeps only inclusion-minimal sets (input sorted sets in lexicographic
+/// order; output preserves that order).
+std::vector<std::vector<std::uint32_t>> minimal_sets(
+    const std::set<std::vector<std::uint32_t>>& sets) {
+  std::vector<std::vector<std::uint32_t>> out;
+  for (const auto& candidate : sets) {
+    bool has_subset = false;
+    for (const auto& other : sets) {
+      if (other.size() >= candidate.size() || other == candidate) continue;
+      if (std::includes(candidate.begin(), candidate.end(), other.begin(),
+                        other.end())) {
+        has_subset = true;
+        break;
+      }
+    }
+    if (!has_subset) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace
+
+MultiLocalizationResult localize_multi_failure(
+    const tomo::PathSystem& system, const std::vector<std::size_t>& subset,
+    const failures::FailureVector& v, const HypothesisSpace& space,
+    std::size_t max_failures, std::size_t max_candidates) {
+  MultiLocalizationResult result;
+  std::vector<std::size_t> failed;
+  std::vector<std::size_t> survived;
+  for (std::size_t q : subset) {
+    if (system.path_survives(q, v)) {
+      survived.push_back(q);
+    } else {
+      failed.push_back(q);
+    }
+  }
+  if (failed.empty()) {
+    result.no_failure = true;
+    result.candidates.push_back({});
+    return result;
+  }
+  if (max_failures == 0) return result;  // Nothing can explain a failure.
+
+  // Exoneration: a component touching any surviving probe cannot have
+  // failed, so it is removed from the hypothesis space up front.
+  std::vector<bool> feasible(space.component_count(), true);
+  for (std::size_t c = 0; c < space.component_count(); ++c) {
+    for (std::size_t q : survived) {
+      if (touches(space.component(c).links, system.path(q).links)) {
+        feasible[c] = false;
+        break;
+      }
+    }
+  }
+  // Per failed probe, the feasible components that could explain it.
+  std::vector<std::vector<std::uint32_t>> hitters(failed.size());
+  for (std::size_t p = 0; p < failed.size(); ++p) {
+    for (std::size_t c = 0; c < space.component_count(); ++c) {
+      if (feasible[c] &&
+          touches(space.component(c).links, system.path(failed[p]).links)) {
+        hitters[p].push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    if (hitters[p].empty()) return result;  // No hypothesis explains it.
+  }
+
+  std::set<std::vector<std::uint32_t>> found;
+  HittingSetSearch search;
+  search.hitters = &hitters;
+  search.max_failures = max_failures;
+  search.max_candidates = max_candidates;
+  search.out = &found;
+  std::vector<std::uint32_t> chosen;
+  std::vector<std::size_t> covered(failed.size(), 0);
+  search.expand(chosen, covered);
+  result.truncated = search.truncated;
+  result.candidates = minimal_sets(found);
+  return result;
+}
+
+MultiLocalizationScore score_multi_localization(
+    const tomo::PathSystem& system, const std::vector<std::size_t>& subset,
+    const HypothesisSpace& space, std::size_t max_failures,
+    std::size_t trials, Rng& rng,
+    const std::vector<double>& component_weights) {
+  MultiLocalizationScore score;
+  score.trials = trials;
+  if (space.component_count() == 0 || max_failures == 0) {
+    score.invisible = trials;
+    return score;
+  }
+  // Which components can the probes see at all?
+  std::vector<bool> visible(space.component_count(), false);
+  for (std::size_t c = 0; c < space.component_count(); ++c) {
+    for (std::size_t q : subset) {
+      if (touches(space.component(c).links, system.path(q).links)) {
+        visible[c] = true;
+        break;
+      }
+    }
+  }
+  double candidate_total = 0.0;
+  std::size_t visible_trials = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t want =
+        1 + t % std::min(max_failures, space.component_count());
+    // Draw `want` distinct components, weighted when weights are given.
+    std::vector<std::uint32_t> truth;
+    if (component_weights.empty()) {
+      for (std::size_t i :
+           rng.sample_without_replacement(space.component_count(), want)) {
+        truth.push_back(static_cast<std::uint32_t>(i));
+      }
+    } else {
+      std::vector<double> weights = component_weights;
+      for (std::size_t draw = 0; draw < want; ++draw) {
+        const std::size_t pick = rng.weighted_index(weights);
+        truth.push_back(static_cast<std::uint32_t>(pick));
+        weights[pick] = 0.0;
+      }
+    }
+    std::vector<std::uint32_t> visible_truth;
+    for (std::uint32_t c : truth) {
+      if (visible[c]) visible_truth.push_back(c);
+    }
+    std::sort(visible_truth.begin(), visible_truth.end());
+    if (visible_truth.empty()) {
+      ++score.invisible;
+      continue;
+    }
+    ++visible_trials;
+    const failures::FailureVector v = space.failure_vector(truth);
+    const MultiLocalizationResult result =
+        localize_multi_failure(system, subset, v, space, max_failures);
+    candidate_total += static_cast<double>(result.candidates.size());
+    const bool found =
+        std::find(result.candidates.begin(), result.candidates.end(),
+                  visible_truth) != result.candidates.end();
+    if (!found) {
+      ++score.misled;
+    } else if (result.candidates.size() == 1) {
+      ++score.exact;
+    } else {
+      ++score.ambiguous;
+    }
+  }
+  score.mean_candidates =
+      visible_trials == 0
+          ? 0.0
+          : candidate_total / static_cast<double>(visible_trials);
+  return score;
+}
+
+}  // namespace rnt::boolnt

@@ -1,0 +1,226 @@
+#include "failures/cascade.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace rnt::failures {
+
+std::vector<std::vector<std::uint32_t>> link_adjacency(
+    const graph::Graph& graph) {
+  std::vector<std::set<std::uint32_t>> adj(graph.edge_count());
+  for (std::size_t n = 0; n < graph.node_count(); ++n) {
+    const auto& incident = graph.incident_edges(static_cast<graph::NodeId>(n));
+    for (std::uint32_t a : incident) {
+      for (std::uint32_t b : incident) {
+        if (a != b) adj[a].insert(b);
+      }
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> out(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    out[i].assign(adj[i].begin(), adj[i].end());
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> link_adjacency_from_paths(
+    const std::vector<std::vector<std::uint32_t>>& path_links,
+    std::size_t link_count) {
+  std::vector<std::set<std::uint32_t>> adj(link_count);
+  for (const auto& links : path_links) {
+    for (std::uint32_t a : links) {
+      for (std::uint32_t b : links) {
+        if (a != b) adj.at(a).insert(b);
+      }
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> out(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    out[i].assign(adj[i].begin(), adj[i].end());
+  }
+  return out;
+}
+
+CascadeModel::CascadeModel(FailureModel seeds,
+                           std::vector<std::vector<std::uint32_t>> adjacency,
+                           double spread, double decay)
+    : seeds_(std::move(seeds)),
+      adjacency_(std::move(adjacency)),
+      spread_(spread),
+      decay_(decay) {
+  if (adjacency_.size() != seeds_.link_count()) {
+    throw std::invalid_argument(
+        "CascadeModel: adjacency size != seed model link count");
+  }
+  if (spread_ < 0.0 || spread_ > 1.0 || decay_ < 0.0 || decay_ > 1.0) {
+    throw std::invalid_argument(
+        "CascadeModel: spread and decay must lie in [0, 1]");
+  }
+  for (const auto& neighbors : adjacency_) {
+    for (std::uint32_t l : neighbors) {
+      if (l >= adjacency_.size()) {
+        throw std::invalid_argument("CascadeModel: neighbor id out of range");
+      }
+    }
+  }
+}
+
+CascadeModel CascadeModel::from_graph(const graph::Graph& graph,
+                                      FailureModel seeds, double spread,
+                                      double decay) {
+  if (seeds.link_count() != graph.edge_count()) {
+    throw std::invalid_argument(
+        "CascadeModel::from_graph: seed model size != edge count");
+  }
+  return CascadeModel(std::move(seeds), link_adjacency(graph), spread, decay);
+}
+
+std::vector<std::size_t> CascadeModel::distances(
+    const FailureVector& seed_set) const {
+  constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(link_count(), kUnreachable);
+  std::deque<std::uint32_t> frontier;
+  for (std::size_t i = 0; i < seed_set.size(); ++i) {
+    if (seed_set[i]) {
+      dist[i] = 0;
+      frontier.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t next : adjacency_[cur]) {
+      if (dist[next] == kUnreachable) {
+        dist[next] = dist[cur] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+double CascadeModel::conditional_probability(
+    std::size_t link, const FailureVector& seed_set) const {
+  if (seed_set.at(link)) return 1.0;
+  const std::vector<std::size_t> dist = distances(seed_set);
+  const std::size_t d = dist[link];
+  if (d == std::numeric_limits<std::size_t>::max()) return 0.0;
+  double q = spread_;
+  for (std::size_t step = 1; step < d; ++step) q *= decay_;
+  return q;
+}
+
+FailureVector CascadeModel::sample(Rng& rng) const {
+  // Coin order is fixed (all seed coins via the background model, then one
+  // spread coin per non-seed link in id order) so draws are reproducible.
+  const FailureVector seed_set = seeds_.sample(rng);
+  const std::vector<std::size_t> dist = distances(seed_set);
+  FailureVector v = seed_set;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (seed_set[i]) continue;
+    const std::size_t d = dist[i];
+    if (d == std::numeric_limits<std::size_t>::max()) continue;
+    double q = spread_;
+    for (std::size_t step = 1; step < d; ++step) q *= decay_;
+    if (rng.bernoulli(q)) v[i] = true;
+  }
+  return v;
+}
+
+FailureModel CascadeModel::marginal_model() const {
+  const std::size_t n = link_count();
+  if (n > 20) {
+    throw std::invalid_argument(
+        "CascadeModel::marginal_model: too many links for the exact sum; "
+        "use approx_marginal_model");
+  }
+  std::vector<double> marginal(n, 0.0);
+  enumerate_scenarios(
+      seeds_,
+      [&](const FailureVector& seed_set, double seed_prob) {
+        if (seed_prob <= 0.0) return;
+        const std::vector<std::size_t> dist = distances(seed_set);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (seed_set[i]) {
+            marginal[i] += seed_prob;
+          } else if (dist[i] != std::numeric_limits<std::size_t>::max()) {
+            double q = spread_;
+            for (std::size_t step = 1; step < dist[i]; ++step) q *= decay_;
+            marginal[i] += seed_prob * q;
+          }
+        }
+      },
+      n);
+  for (double& p : marginal) p = std::min(1.0, std::max(0.0, p));
+  return FailureModel(std::move(marginal));
+}
+
+FailureModel CascadeModel::approx_marginal_model(std::size_t samples,
+                                                 Rng& rng) const {
+  if (samples == 0) {
+    throw std::invalid_argument(
+        "CascadeModel::approx_marginal_model: samples must be positive");
+  }
+  std::vector<double> counts(link_count(), 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const FailureVector v = sample(rng);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i]) counts[i] += 1.0;
+    }
+  }
+  for (double& c : counts) c /= static_cast<double>(samples);
+  return FailureModel(std::move(counts));
+}
+
+void CascadeModel::enumerate(
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_atoms) const {
+  if (atom_count() > max_atoms) {
+    throw std::invalid_argument(
+        "CascadeModel::enumerate: too many coins for exhaustive enumeration");
+  }
+  const std::size_t n = link_count();
+  detail::ScenarioAggregator agg;
+  enumerate_scenarios(
+      seeds_,
+      [&](const FailureVector& seed_set, double seed_prob) {
+        if (seed_prob <= 0.0) return;
+        const std::vector<std::size_t> dist = distances(seed_set);
+        // Links whose spread coin can come up either way, with its odds.
+        std::vector<std::uint32_t> open;
+        std::vector<double> odds;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (seed_set[i] ||
+              dist[i] == std::numeric_limits<std::size_t>::max()) {
+            continue;
+          }
+          double q = spread_;
+          for (std::size_t step = 1; step < dist[i]; ++step) q *= decay_;
+          if (q > 0.0) {
+            open.push_back(static_cast<std::uint32_t>(i));
+            odds.push_back(q);
+          }
+        }
+        const std::uint64_t total = std::uint64_t{1} << open.size();
+        for (std::uint64_t mask = 0; mask < total; ++mask) {
+          double p = seed_prob;
+          FailureVector v = seed_set;
+          for (std::size_t b = 0; b < open.size(); ++b) {
+            if ((mask >> b) & 1) {
+              p *= odds[b];
+              v[open[b]] = true;
+            } else {
+              p *= 1.0 - odds[b];
+            }
+          }
+          agg.add(v, p);
+        }
+      },
+      n);
+  agg.visit_all(visit);
+}
+
+}  // namespace rnt::failures

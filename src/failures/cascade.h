@@ -1,0 +1,86 @@
+// Cascade-correlated failures: seed failures spread to nearby links.
+//
+// Each epoch, seed links fail independently under a background model; the
+// failure then propagates through the *link graph* (links are adjacent when
+// they share an endpoint): a non-seed link at BFS distance d >= 1 from the
+// nearest seed additionally fails with probability spread * decay^(d-1),
+// with one independent coin per link.  This models fate-sharing beyond
+// fixed risk groups — overload shifts, SRG-less conduit damage — where the
+// blast radius shrinks geometrically with distance.
+//
+// Every conditional coin is independent given the seed set, so exact
+// scenario probabilities, marginals, and exhaustive enumeration all reduce
+// to sums over seed subsets and stay computable on testkit-sized graphs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/family.h"
+#include "graph/graph.h"
+
+namespace rnt::failures {
+
+/// Link-graph adjacency for a topology: links are adjacent iff they share
+/// an endpoint.  Lists are sorted, self-free, and indexed by link id.
+std::vector<std::vector<std::uint32_t>> link_adjacency(
+    const graph::Graph& graph);
+
+/// Proxy adjacency when only a path system is known (testkit instances have
+/// no underlying graph): links are adjacent iff some path crosses both.
+/// Coarser than endpoint sharing, but it induces the same kind of
+/// positive correlation along probed routes.
+std::vector<std::vector<std::uint32_t>> link_adjacency_from_paths(
+    const std::vector<std::vector<std::uint32_t>>& path_links,
+    std::size_t link_count);
+
+/// ScenarioFamily over seed + spread coins.
+class CascadeModel : public ScenarioFamily {
+ public:
+  /// `seeds` gives per-link seed probabilities; `adjacency` the link graph;
+  /// spread and decay must lie in [0, 1].
+  CascadeModel(FailureModel seeds,
+               std::vector<std::vector<std::uint32_t>> adjacency,
+               double spread, double decay);
+
+  static CascadeModel from_graph(const graph::Graph& graph, FailureModel seeds,
+                                 double spread, double decay);
+
+  std::string name() const override { return "cascade"; }
+  std::size_t link_count() const override { return seeds_.link_count(); }
+  /// One seed coin plus (at most) one spread coin per link.
+  std::size_t atom_count() const override { return 2 * link_count(); }
+
+  const FailureModel& seeds() const { return seeds_; }
+  double spread() const { return spread_; }
+  double decay() const { return decay_; }
+
+  /// Conditional failure probability of link i given the seed set: 1 if i
+  /// is a seed, spread * decay^(d-1) at finite link-graph distance d, else 0.
+  double conditional_probability(std::size_t link,
+                                 const FailureVector& seed_set) const;
+
+  FailureVector sample(Rng& rng) const override;
+
+  /// Exact marginals by summing over all 2^L seed sets; guarded to
+  /// link_count() <= 20 (use approx_marginal_model beyond).
+  FailureModel marginal_model() const override;
+
+  /// Monte Carlo marginals for graphs too large for the exact sum.
+  FailureModel approx_marginal_model(std::size_t samples, Rng& rng) const;
+
+  void enumerate(const std::function<void(const FailureVector&, double)>& visit,
+                 std::size_t max_atoms) const override;
+
+ private:
+  /// Link-graph BFS hop distance from the seed set (0 for seeds, SIZE_MAX
+  /// when unreachable).
+  std::vector<std::size_t> distances(const FailureVector& seed_set) const;
+
+  FailureModel seeds_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  double spread_;
+  double decay_;
+};
+
+}  // namespace rnt::failures

@@ -1,0 +1,110 @@
+#include "failures/family.h"
+
+#include <stdexcept>
+
+namespace rnt::failures {
+
+void enumerate_scenarios(
+    const ScenarioFamily& family,
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_atoms) {
+  family.enumerate(visit, max_atoms);
+}
+
+std::vector<FailureVector> sample_scenarios(const ScenarioFamily& family,
+                                            std::size_t count, Rng& rng) {
+  std::vector<FailureVector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(family.sample(rng));
+  }
+  return out;
+}
+
+WeightedScenarios exact_mixture(const ScenarioFamily& family,
+                                std::size_t max_atoms) {
+  WeightedScenarios mix;
+  family.enumerate(
+      [&mix](const FailureVector& v, double p) {
+        mix.scenarios.push_back(v);
+        mix.weights.push_back(p);
+      },
+      max_atoms);
+  return mix;
+}
+
+WeightedScenarios monte_carlo_mixture(const ScenarioFamily& family,
+                                      std::size_t runs, Rng& rng) {
+  if (runs == 0) {
+    throw std::invalid_argument("monte_carlo_mixture: runs must be positive");
+  }
+  WeightedScenarios mix;
+  mix.scenarios = sample_scenarios(family, runs, rng);
+  mix.weights.assign(runs, 1.0 / static_cast<double>(runs));
+  return mix;
+}
+
+// --------------------------------------------------------------------------
+// IndependentFamily
+// --------------------------------------------------------------------------
+
+IndependentFamily::IndependentFamily(FailureModel model)
+    : model_(std::move(model)) {}
+
+FailureVector IndependentFamily::sample(Rng& rng) const {
+  return model_.sample(rng);
+}
+
+void IndependentFamily::enumerate(
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_atoms) const {
+  enumerate_scenarios(model_, visit, max_atoms);
+}
+
+// --------------------------------------------------------------------------
+// SrlgFamily
+// --------------------------------------------------------------------------
+
+SrlgFamily::SrlgFamily(SrlgModel model) : model_(std::move(model)) {}
+
+FailureVector SrlgFamily::sample(Rng& rng) const { return model_.sample(rng); }
+
+void SrlgFamily::enumerate(
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_atoms) const {
+  if (atom_count() > max_atoms) {
+    throw std::invalid_argument(
+        "SrlgFamily::enumerate: too many coins for exhaustive enumeration");
+  }
+  const std::size_t links = model_.link_count();
+  const auto& groups = model_.groups();
+  detail::ScenarioAggregator agg;
+  const std::uint64_t group_total = std::uint64_t{1} << groups.size();
+  for (std::uint64_t gmask = 0; gmask < group_total; ++gmask) {
+    double group_prob = 1.0;
+    FailureVector forced(links, false);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if ((gmask >> g) & 1) {
+        group_prob *= groups[g].probability;
+        for (std::uint32_t l : groups[g].links) forced[l] = true;
+      } else {
+        group_prob *= 1.0 - groups[g].probability;
+      }
+    }
+    if (group_prob <= 0.0) continue;
+    // Fold every background outcome on top of the forced group failures.
+    enumerate_scenarios(
+        model_.background(),
+        [&](const FailureVector& bg, double bg_prob) {
+          FailureVector v = forced;
+          for (std::size_t l = 0; l < links; ++l) {
+            if (bg[l]) v[l] = true;
+          }
+          agg.add(v, group_prob * bg_prob);
+        },
+        links);
+  }
+  agg.visit_all(visit);
+}
+
+}  // namespace rnt::failures

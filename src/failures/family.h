@@ -1,0 +1,149 @@
+// Scenario families: a common interface over every failure process.
+//
+// The paper's machinery only ever consumes failure processes in two shapes:
+// a *marginal* per-link model (ProbBound, EA, the analytical surrogates) and
+// an explicit weighted scenario list (the ScenarioErEngine/KernelErEngine
+// mixture).  ScenarioFamily captures exactly those two projections plus
+// sampling, so the independent, SRLG, node-failure, and cascade processes
+// all flow through `enumerate_scenarios`/`sample_scenarios` and into the ER
+// engines and selectors without any engine changes: engines keep taking
+// (system, scenarios, weights, name) and never learn where the mixture came
+// from.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.h"
+#include "failures/scenario.h"
+#include "failures/srlg.h"
+#include "util/rng.h"
+
+namespace rnt::failures {
+
+/// A distribution over failure vectors in {0,1}^links.
+class ScenarioFamily {
+ public:
+  virtual ~ScenarioFamily() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t link_count() const = 0;
+
+  /// Draws one epoch's failure vector.
+  virtual FailureVector sample(Rng& rng) const = 0;
+
+  /// Exact per-link marginal failure probabilities.  Feeding these into the
+  /// independence-based machinery (ProbBound, EA) is the natural
+  /// (mis)approximation the correlated-failure ablations study.
+  virtual FailureModel marginal_model() const = 0;
+
+  /// Number of independent Bernoulli coins behind one epoch — exhaustive
+  /// enumeration visits at most 2^atoms weighted outcomes, so callers can
+  /// bound the work before asking for it.
+  virtual std::size_t atom_count() const = 0;
+
+  /// Calls `visit(v, P(v))` once per distinct failure vector with P(v) > 0
+  /// possible, in lexicographic order of v, with probabilities summing to 1.
+  /// Throws if atom_count() > max_atoms.
+  virtual void enumerate(
+      const std::function<void(const FailureVector&, double)>& visit,
+      std::size_t max_atoms) const = 0;
+};
+
+/// Family-interface overloads of the FailureModel free functions, so call
+/// sites sweep families and independent models with the same code.
+void enumerate_scenarios(
+    const ScenarioFamily& family,
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_atoms = 24);
+std::vector<FailureVector> sample_scenarios(const ScenarioFamily& family,
+                                            std::size_t count, Rng& rng);
+
+/// An explicit weighted scenario list — the exact shape the scenario/kernel
+/// ER engines take, so `ScenarioErEngine(system, m.scenarios, m.weights,
+/// family.name())` plugs any family into any engine.
+struct WeightedScenarios {
+  std::vector<FailureVector> scenarios;
+  std::vector<double> weights;
+};
+
+/// The family's full distribution (enumerate), for exact ER on small
+/// instances.  Throws if atom_count() > max_atoms.
+WeightedScenarios exact_mixture(const ScenarioFamily& family,
+                                std::size_t max_atoms = 24);
+
+/// `runs` i.i.d. draws with uniform weight 1/runs — the Monte Carlo mixture
+/// (common random numbers across greedy iterations, as in MonteCarloEr).
+WeightedScenarios monte_carlo_mixture(const ScenarioFamily& family,
+                                      std::size_t runs, Rng& rng);
+
+/// The paper's independent per-link process as a family.
+class IndependentFamily : public ScenarioFamily {
+ public:
+  explicit IndependentFamily(FailureModel model);
+
+  std::string name() const override { return "independent"; }
+  std::size_t link_count() const override { return model_.link_count(); }
+  std::size_t atom_count() const override { return model_.link_count(); }
+  FailureVector sample(Rng& rng) const override;
+  FailureModel marginal_model() const override { return model_; }
+  void enumerate(const std::function<void(const FailureVector&, double)>& visit,
+                 std::size_t max_atoms) const override;
+
+  const FailureModel& model() const { return model_; }
+
+ private:
+  FailureModel model_;
+};
+
+/// Shared-risk-group correlation (srlg.h) as a family.  One coin per group
+/// plus one background coin per link; enumerate() aggregates coin outcomes
+/// that produce the same failure vector (groups may overlap).
+class SrlgFamily : public ScenarioFamily {
+ public:
+  explicit SrlgFamily(SrlgModel model);
+
+  std::string name() const override { return "srlg"; }
+  std::size_t link_count() const override { return model_.link_count(); }
+  std::size_t atom_count() const override {
+    return model_.link_count() + model_.groups().size();
+  }
+  FailureVector sample(Rng& rng) const override;
+  FailureModel marginal_model() const override {
+    return model_.marginal_model();
+  }
+  void enumerate(const std::function<void(const FailureVector&, double)>& visit,
+                 std::size_t max_atoms) const override;
+
+  const SrlgModel& model() const { return model_; }
+
+ private:
+  SrlgModel model_;
+};
+
+namespace detail {
+
+/// Shared enumeration tail: aggregates duplicate vectors produced by
+/// distinct coin outcomes and visits each distinct vector once, in
+/// lexicographic order (std::map over vector<bool> is lexicographic).
+class ScenarioAggregator {
+ public:
+  void add(const FailureVector& v, double probability) {
+    if (probability > 0.0) mass_[v] += probability;
+  }
+  void visit_all(
+      const std::function<void(const FailureVector&, double)>& visit) const {
+    for (const auto& [v, p] : mass_) visit(v, p);
+  }
+
+ private:
+  std::map<FailureVector, double> mass_;
+};
+
+}  // namespace detail
+
+}  // namespace rnt::failures

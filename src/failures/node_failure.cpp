@@ -1,0 +1,127 @@
+#include "failures/node_failure.h"
+
+#include <stdexcept>
+
+namespace rnt::failures {
+
+NodeFailureModel::NodeFailureModel(
+    FailureModel background, std::vector<std::vector<std::uint32_t>> node_links,
+    std::vector<double> node_probs)
+    : background_(std::move(background)),
+      node_links_(std::move(node_links)),
+      node_probs_(std::move(node_probs)) {
+  if (node_links_.size() != node_probs_.size()) {
+    throw std::invalid_argument(
+        "NodeFailureModel: node_links and node_probs sizes differ");
+  }
+  for (const auto& links : node_links_) {
+    for (std::uint32_t l : links) {
+      if (l >= background_.link_count()) {
+        throw std::invalid_argument("NodeFailureModel: link id out of range");
+      }
+    }
+  }
+  for (double p : node_probs_) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(
+          "NodeFailureModel: node probability outside [0, 1]");
+    }
+  }
+}
+
+NodeFailureModel NodeFailureModel::from_graph(const graph::Graph& graph,
+                                              FailureModel background,
+                                              std::vector<double> node_probs) {
+  if (background.link_count() != graph.edge_count()) {
+    throw std::invalid_argument(
+        "NodeFailureModel::from_graph: background size != edge count");
+  }
+  std::vector<std::vector<std::uint32_t>> node_links(graph.node_count());
+  for (std::size_t n = 0; n < graph.node_count(); ++n) {
+    node_links[n] = graph.incident_edges(static_cast<graph::NodeId>(n));
+  }
+  return NodeFailureModel(std::move(background), std::move(node_links),
+                          std::move(node_probs));
+}
+
+NodeFailureModel NodeFailureModel::uniform_from_graph(
+    const graph::Graph& graph, double node_prob, double background_link_prob) {
+  return from_graph(graph,
+                    uniform_model(graph.edge_count(), background_link_prob),
+                    std::vector<double>(graph.node_count(), node_prob));
+}
+
+FailureVector NodeFailureModel::sample(Rng& rng) const {
+  return sample_with_nodes(rng, nullptr);
+}
+
+FailureVector NodeFailureModel::sample_with_nodes(
+    Rng& rng, std::vector<std::uint32_t>* failed_nodes) const {
+  FailureVector v(link_count(), false);
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (rng.bernoulli(node_probs_[n])) {
+      if (failed_nodes != nullptr) {
+        failed_nodes->push_back(static_cast<std::uint32_t>(n));
+      }
+      for (std::uint32_t l : node_links_[n]) v[l] = true;
+    }
+  }
+  const FailureVector bg = background_.sample(rng);
+  for (std::size_t l = 0; l < v.size(); ++l) {
+    if (bg[l]) v[l] = true;
+  }
+  return v;
+}
+
+FailureModel NodeFailureModel::marginal_model() const {
+  std::vector<double> alive(link_count());
+  for (std::size_t l = 0; l < alive.size(); ++l) {
+    alive[l] = 1.0 - background_.probability(l);
+  }
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    for (std::uint32_t l : node_links_[n]) {
+      alive[l] *= 1.0 - node_probs_[n];
+    }
+  }
+  for (double& a : alive) a = 1.0 - a;
+  return FailureModel(std::move(alive));
+}
+
+void NodeFailureModel::enumerate(
+    const std::function<void(const FailureVector&, double)>& visit,
+    std::size_t max_atoms) const {
+  if (atom_count() > max_atoms) {
+    throw std::invalid_argument(
+        "NodeFailureModel::enumerate: too many coins for exhaustive "
+        "enumeration");
+  }
+  const std::size_t links = link_count();
+  detail::ScenarioAggregator agg;
+  const std::uint64_t node_total = std::uint64_t{1} << node_count();
+  for (std::uint64_t nmask = 0; nmask < node_total; ++nmask) {
+    double node_prob = 1.0;
+    FailureVector forced(links, false);
+    for (std::size_t n = 0; n < node_count(); ++n) {
+      if ((nmask >> n) & 1) {
+        node_prob *= node_probs_[n];
+        for (std::uint32_t l : node_links_[n]) forced[l] = true;
+      } else {
+        node_prob *= 1.0 - node_probs_[n];
+      }
+    }
+    if (node_prob <= 0.0) continue;
+    enumerate_scenarios(
+        background_,
+        [&](const FailureVector& bg, double bg_prob) {
+          FailureVector v = forced;
+          for (std::size_t l = 0; l < links; ++l) {
+            if (bg[l]) v[l] = true;
+          }
+          agg.add(v, node_prob * bg_prob);
+        },
+        links);
+  }
+  agg.visit_all(visit);
+}
+
+}  // namespace rnt::failures

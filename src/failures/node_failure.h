@@ -1,0 +1,79 @@
+// Node-failure process: a failed node knocks out every incident link.
+//
+// The paper (and our base FailureModel) treats links as the failing unit;
+// Ma–He et al. study the node-failure setting, where a router or optical
+// node going down removes all links touching it at once.  NodeFailureModel
+// composes both: each epoch every node fails independently with its
+// probability, every link additionally fails independently under a
+// background link model, and a link is down iff it failed directly or any
+// covering node failed.  The result is heavy positive correlation between
+// links sharing an endpoint — exactly the structure Boolean localization
+// (src/boolnt) exploits via node hypothesis components.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failures/family.h"
+#include "graph/graph.h"
+
+namespace rnt::failures {
+
+/// ScenarioFamily over node + background-link coins.
+class NodeFailureModel : public ScenarioFamily {
+ public:
+  /// `node_links[n]` lists the links knocked out when node n fails;
+  /// `node_probs[n]` is its per-epoch failure probability.  Link ids must be
+  /// < background.link_count(); the two vectors must have equal size.
+  NodeFailureModel(FailureModel background,
+                   std::vector<std::vector<std::uint32_t>> node_links,
+                   std::vector<double> node_probs);
+
+  /// Builds the node→links map from a graph's incidence lists (edge id ==
+  /// link id, as everywhere in the tomography layer).
+  static NodeFailureModel from_graph(const graph::Graph& graph,
+                                     FailureModel background,
+                                     std::vector<double> node_probs);
+
+  /// All nodes fail with probability `node_prob`, links only via nodes.
+  static NodeFailureModel uniform_from_graph(const graph::Graph& graph,
+                                             double node_prob,
+                                             double background_link_prob = 0.0);
+
+  std::string name() const override { return "node"; }
+  std::size_t link_count() const override { return background_.link_count(); }
+  std::size_t node_count() const { return node_links_.size(); }
+  std::size_t atom_count() const override {
+    return link_count() + node_count();
+  }
+
+  const FailureModel& background() const { return background_; }
+  const std::vector<std::uint32_t>& links_of_node(std::size_t n) const {
+    return node_links_.at(n);
+  }
+  double node_probability(std::size_t n) const { return node_probs_.at(n); }
+
+  FailureVector sample(Rng& rng) const override;
+
+  /// sample() variant that also reports which nodes failed — the ground
+  /// truth the localization benches score against.  Coin order (all node
+  /// coins in id order, then the background model) matches sample(), so
+  /// both draws are bitwise identical for the same Rng state.
+  FailureVector sample_with_nodes(Rng& rng,
+                                  std::vector<std::uint32_t>* failed_nodes)
+      const;
+
+  /// Closed form: link l survives iff its background coin and every
+  /// covering node's coin come up alive.
+  FailureModel marginal_model() const override;
+
+  void enumerate(const std::function<void(const FailureVector&, double)>& visit,
+                 std::size_t max_atoms) const override;
+
+ private:
+  FailureModel background_;
+  std::vector<std::vector<std::uint32_t>> node_links_;
+  std::vector<double> node_probs_;
+};
+
+}  // namespace rnt::failures

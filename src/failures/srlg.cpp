@@ -1,5 +1,7 @@
 #include "failures/srlg.h"
 
+#include <deque>
+#include <limits>
 #include <stdexcept>
 
 namespace rnt::failures {
@@ -64,6 +66,56 @@ SrlgModel make_random_srlg_model(FailureModel background,
       groups[g].links.push_back(
           static_cast<std::uint32_t>(chosen[g * group_size + i]));
     }
+  }
+  return SrlgModel(std::move(background), std::move(groups));
+}
+
+SrlgModel make_radius_srlg_model(const graph::Graph& graph,
+                                 FailureModel background,
+                                 std::size_t epicenter_count,
+                                 std::size_t radius, double group_probability,
+                                 Rng& rng) {
+  if (background.link_count() != graph.edge_count()) {
+    throw std::invalid_argument(
+        "make_radius_srlg_model: background size != edge count");
+  }
+  if (epicenter_count > graph.node_count()) {
+    throw std::invalid_argument(
+        "make_radius_srlg_model: more epicenters than nodes");
+  }
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+  const auto epicenters =
+      rng.sample_without_replacement(graph.node_count(), epicenter_count);
+  std::vector<RiskGroup> groups;
+  groups.reserve(epicenter_count);
+  for (const std::size_t epicenter : epicenters) {
+    // Hop-distance BFS out to `radius`; the group takes every edge with an
+    // endpoint inside the ball.
+    std::vector<std::size_t> dist(graph.node_count(), kUnreached);
+    dist[epicenter] = 0;
+    std::deque<graph::NodeId> frontier{
+        static_cast<graph::NodeId>(epicenter)};
+    while (!frontier.empty()) {
+      const graph::NodeId cur = frontier.front();
+      frontier.pop_front();
+      if (dist[cur] == radius) continue;
+      for (const graph::EdgeId e : graph.incident_edges(cur)) {
+        const graph::NodeId next = graph.edge(e).other(cur);
+        if (dist[next] == kUnreached) {
+          dist[next] = dist[cur] + 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+    RiskGroup group;
+    group.probability = group_probability;
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      const graph::Edge& edge = graph.edge(static_cast<graph::EdgeId>(e));
+      if (dist[edge.u] != kUnreached || dist[edge.v] != kUnreached) {
+        group.links.push_back(static_cast<std::uint32_t>(e));
+      }
+    }
+    groups.push_back(std::move(group));
   }
   return SrlgModel(std::move(background), std::move(groups));
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "failures/failure_model.h"
+#include "graph/graph.h"
 #include "util/rng.h"
 
 namespace rnt::failures {
@@ -66,5 +67,17 @@ SrlgModel make_random_srlg_model(FailureModel background,
                                  std::size_t group_count,
                                  std::size_t group_size,
                                  double group_probability, Rng& rng);
+
+/// Geographic/radius correlation: `epicenter_count` epicenter nodes are
+/// drawn uniformly without replacement, and each spawns one risk group
+/// containing every edge with an endpoint within `radius` hops of the
+/// epicenter — a disaster-area model (power region, conduit corridor)
+/// where one event downs everything nearby.  Groups naturally overlap when
+/// epicenters are close.
+SrlgModel make_radius_srlg_model(const graph::Graph& graph,
+                                 FailureModel background,
+                                 std::size_t epicenter_count,
+                                 std::size_t radius, double group_probability,
+                                 Rng& rng);
 
 }  // namespace rnt::failures

@@ -10,11 +10,12 @@
 namespace rnt::service {
 namespace {
 
-constexpr std::array<std::pair<RequestType, const char*>, 15> kVerbs{{
+constexpr std::array<std::pair<RequestType, const char*>, 16> kVerbs{{
     {RequestType::kSelect, "select"},
     {RequestType::kErEval, "er-eval"},
     {RequestType::kIdentifiability, "identifiability"},
     {RequestType::kLocalize, "localize"},
+    {RequestType::kLocalizeNode, "localize-node"},
     {RequestType::kInfer, "infer"},
     {RequestType::kFeed, "feed"},
     {RequestType::kReplan, "replan"},

@@ -6,9 +6,9 @@
 //
 //   request  = verb *( SP key "=" value )
 //   verb     = "select" | "er-eval" | "identifiability" | "localize"
-//            | "infer" | "feed" | "replan" | "pipeline-stats"
-//            | "worker-hello" | "heartbeat" | "shard-eval" | "shard-sweep"
-//            | "stats" | "ping" | "shutdown"
+//            | "localize-node" | "infer" | "feed" | "replan"
+//            | "pipeline-stats" | "worker-hello" | "heartbeat"
+//            | "shard-eval" | "shard-sweep" | "stats" | "ping" | "shutdown"
 //   reply    = "ok" *( SP key "=" value ) | "error" SP message
 //   key      = 1*( ALPHA | DIGIT | "-" | "_" | "." )
 //   value    = 1*( any char except SP / TAB / CR / LF )
@@ -32,6 +32,7 @@ enum class RequestType {
   kErEval,
   kIdentifiability,
   kLocalize,
+  kLocalizeNode,   ///< Multi-failure Boolean localization over components.
   kInfer,          ///< End-to-end metric inference under failures (src/infer).
   kFeed,           ///< Telemetry into the workload's adaptive session.
   kReplan,         ///< Warm-start re-selection from the estimated model.

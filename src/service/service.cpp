@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "boolnt/identifiability.h"
+#include "boolnt/localize.h"
 #include "core/matrome.h"
 #include "core/rome.h"
 #include "core/select_path.h"
@@ -545,6 +547,56 @@ Response Service::dispatch(const Request& request) {
       r.set("invisible", score.invisible);
       r.set("mean-candidates", score.mean_candidates);
       r.set("exact-fraction", score.exact_fraction());
+      return r;
+    }
+    case RequestType::kLocalizeNode: {
+      const auto cw = cache_.get(key_from(request));
+      const exp::Workload& w = cw->workload;
+      const std::vector<std::size_t> subset = resolve_subset(request, *cw);
+      const std::string family = request.get("family", "node");
+      boolnt::HypothesisSpace space =
+          family == "link"
+              ? boolnt::HypothesisSpace::links_of(w.system->link_count())
+              : boolnt::HypothesisSpace::nodes_of(w.graph);
+      if (family != "node" && family != "link") {
+        throw std::invalid_argument(
+            "localize-node: family must be node or link");
+      }
+      const auto k = static_cast<std::size_t>(request.get_int("k", 2));
+      if (k == 0) {
+        throw std::invalid_argument("localize-node: k must be positive");
+      }
+      const auto trials =
+          static_cast<std::size_t>(request.get_int("scenarios", 300));
+      const auto ident_cap =
+          static_cast<std::size_t>(request.get_int("ident-cap", 0));
+      Rng rng = w.eval_rng();
+      const auto score = boolnt::score_multi_localization(
+          *w.system, subset, space, k, trials, rng);
+      Response r;
+      r.set("workload", w.topology_name);
+      r.set("paths", subset.size());
+      r.set("components", space.component_count());
+      r.set("k", k);
+      r.set("trials", score.trials);
+      r.set("exact", score.exact);
+      r.set("ambiguous", score.ambiguous);
+      r.set("misled", score.misled);
+      r.set("invisible", score.invisible);
+      r.set("mean-candidates", score.mean_candidates);
+      r.set("exact-fraction", score.exact_fraction());
+      r.set("hit-fraction", score.hit_fraction());
+      if (ident_cap > 0) {
+        const auto report = boolnt::identifiability_report(
+            *w.system, subset, space, ident_cap);
+        r.set("ident-cap", report.k_cap);
+        r.set("max-identifiable", report.max_identifiable);
+        std::size_t min_component = report.k_cap;
+        for (const std::size_t level : report.per_component) {
+          min_component = std::min(min_component, level);
+        }
+        r.set("min-component-ident", min_component);
+      }
       return r;
     }
     case RequestType::kInfer: {

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
 #include <sstream>
 #include <string_view>
 #include <vector>
 
+#include "boolnt/hypothesis.h"
+#include "boolnt/identifiability.h"
+#include "boolnt/localize.h"
 #include "core/expected_rank.h"
+#include "failures/cascade.h"
+#include "failures/family.h"
+#include "failures/node_failure.h"
 #include "core/kernel_er.h"
 #include "core/matrome.h"
 #include "core/rome.h"
@@ -1065,6 +1072,242 @@ CheckResult check_sliced_matches_scenario(const TestInstance& inst,
   return CheckResult::ok();
 }
 
+/// Pseudo-node grouping of the instance's links, derived from the check
+/// Rng alone so a shrunken instance re-derives its own grouping: link l
+/// belongs to group l mod groups, every group non-empty.
+std::vector<boolnt::Component> pseudo_node_components(std::size_t links,
+                                                      Rng& rng) {
+  const std::size_t groups = std::min<std::size_t>(2 + rng.index(3), links);
+  std::vector<boolnt::Component> comps(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    comps[g].label = "g" + std::to_string(g);
+  }
+  for (std::size_t l = 0; l < links; ++l) {
+    comps[l % groups].links.push_back(static_cast<std::uint32_t>(l));
+  }
+  return comps;
+}
+
+CheckResult check_node_localization(const TestInstance& inst,
+                                    const FaultPlan&) {
+  Rng rng = check_rng(inst, "node-localization");
+  const std::size_t links = inst.link_count();
+  // Two hypothesis spaces: singleton links (multi-link localization) and
+  // pseudo-node groups (node localization without needing a graph).
+  std::vector<boolnt::HypothesisSpace> spaces;
+  spaces.push_back(boolnt::HypothesisSpace::links_of(links));
+  spaces.emplace_back(links, pseudo_node_components(links, rng));
+  for (const boolnt::HypothesisSpace& space : spaces) {
+    if (space.component_count() > 20) continue;  // Oracle guard.
+    std::vector<std::vector<std::uint32_t>> component_links;
+    for (const boolnt::Component& c : space.components()) {
+      component_links.push_back(c.links);
+    }
+    const std::size_t k = std::min<std::size_t>(3, space.component_count());
+    const std::vector<std::vector<std::size_t>> subsets = {
+        all_paths(inst), random_subset(rng, inst.path_count())};
+    for (const auto& subset : subsets) {
+      for (std::size_t trial = 0; trial < 6; ++trial) {
+        // Even trials inject a component truth; odd trials feed an
+        // arbitrary sampled scenario, which the localizer must explain
+        // (or reject) exactly like the brute-force oracle.
+        failures::FailureVector v;
+        if (trial % 2 == 0) {
+          const std::size_t j = 1 + rng.index(k);
+          std::vector<std::uint32_t> truth;
+          for (const std::size_t c :
+               rng.sample_without_replacement(space.component_count(), j)) {
+            truth.push_back(static_cast<std::uint32_t>(c));
+          }
+          v = space.failure_vector(truth);
+        } else {
+          v = inst.model.sample(rng);
+        }
+        const boolnt::MultiLocalizationResult result =
+            boolnt::localize_multi_failure(inst.system, subset, v, space, k,
+                                           100000);
+        if (result.truncated) continue;
+        const auto oracle = oracle_multi_localization(
+            inst, subset, component_links, v, k);
+        if (result.candidates != oracle) {
+          return CheckResult::fail(
+              "localize_multi_failure (" +
+              std::to_string(space.component_count()) + " components, k=" +
+              std::to_string(k) + ", " + std::to_string(subset.size()) +
+              " probes): " + std::to_string(result.candidates.size()) +
+              " candidates != oracle's " + std::to_string(oracle.size()));
+        }
+      }
+      // Identifiability is integer work: every thread count must produce
+      // the identical report.
+      const auto rep1 = boolnt::identifiability_report(inst.system, subset,
+                                                       space, k, 1);
+      const auto rep4 = boolnt::identifiability_report(inst.system, subset,
+                                                       space, k, 4);
+      if (rep1.max_identifiable != rep4.max_identifiable ||
+          rep1.per_component != rep4.per_component ||
+          rep1.k_cap != rep4.k_cap) {
+        return CheckResult::fail(
+            "identifiability_report differs across thread counts");
+      }
+      // Ma–He semantics: when the whole cap is identifiable, every truth
+      // of size <= cap must localize to itself uniquely.
+      if (rep1.k_cap >= 1 && rep1.max_identifiable >= rep1.k_cap) {
+        for (std::size_t size = 1; size <= rep1.k_cap; ++size) {
+          std::vector<std::uint32_t> truth;
+          for (const std::size_t c : rng.sample_without_replacement(
+                   space.component_count(), size)) {
+            truth.push_back(static_cast<std::uint32_t>(c));
+          }
+          std::sort(truth.begin(), truth.end());
+          const auto result = boolnt::localize_multi_failure(
+              inst.system, subset, space.failure_vector(truth), space,
+              rep1.k_cap, 100000);
+          if (result.candidates !=
+              std::vector<std::vector<std::uint32_t>>{truth}) {
+            return CheckResult::fail(
+                "max_identifiable=" + std::to_string(rep1.max_identifiable) +
+                " but a size-" + std::to_string(size) +
+                " truth did not localize uniquely");
+          }
+        }
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
+CheckResult check_family_engines_agree(const TestInstance& inst,
+                                       const FaultPlan&) {
+  Rng rng = check_rng(inst, "family-engines-agree");
+  const std::size_t links = inst.link_count();
+  // Both correlated families are derived from the instance alone (link
+  // groups as pseudo-nodes, co-path occurrence as adjacency) so shrunken
+  // instances re-derive theirs.
+  std::vector<std::unique_ptr<failures::ScenarioFamily>> families;
+  {
+    std::vector<std::vector<std::uint32_t>> node_links;
+    for (boolnt::Component& c : pseudo_node_components(links, rng)) {
+      node_links.push_back(std::move(c.links));
+    }
+    std::vector<double> node_probs(node_links.size());
+    for (double& x : node_probs) x = rng.uniform(0.05, 0.3);
+    families.push_back(std::make_unique<failures::NodeFailureModel>(
+        inst.model, std::move(node_links), std::move(node_probs)));
+  }
+  families.push_back(std::make_unique<failures::CascadeModel>(
+      inst.model, failures::link_adjacency_from_paths(inst.path_links, links),
+      rng.uniform(0.1, 0.6), rng.uniform(0.2, 0.8)));
+
+  for (const auto& family : families) {
+    // Full-distribution sanity on small instances: the enumeration is a
+    // probability distribution and reproduces the closed-form marginals.
+    if (links <= 10) {
+      const auto mix = failures::exact_mixture(*family, 24);
+      double total = 0.0;
+      std::vector<double> marginal(links, 0.0);
+      for (std::size_t s = 0; s < mix.scenarios.size(); ++s) {
+        total += mix.weights[s];
+        for (std::size_t l = 0; l < links; ++l) {
+          if (mix.scenarios[s][l]) marginal[l] += mix.weights[s];
+        }
+      }
+      if (std::abs(total - 1.0) > kTol) {
+        return CheckResult::fail(family->name() +
+                                 " enumeration mass sums to " + fmt(total));
+      }
+      const failures::FailureModel closed = family->marginal_model();
+      for (std::size_t l = 0; l < links; ++l) {
+        if (std::abs(marginal[l] - closed.probability(l)) > kTol) {
+          return CheckResult::fail(
+              family->name() + " marginal of link " + std::to_string(l) +
+              ": enumerated " + fmt(marginal[l]) + " != closed form " +
+              fmt(closed.probability(l)));
+        }
+      }
+    }
+
+    // The same Monte Carlo mixture through all three engines: 65
+    // scenarios straddles the 64-lane word boundary.
+    Rng mc_rng = rng.fork();
+    const auto mix = failures::monte_carlo_mixture(*family, 65, mc_rng);
+    const core::ScenarioErEngine scenario(inst.system, mix.scenarios,
+                                          mix.weights, family->name());
+    core::KernelErEngine sliced(inst.system, mix.scenarios, mix.weights,
+                                family->name());
+    sliced.set_kernel_mode(core::KernelMode::kSliced);
+    core::KernelErEngine scalar(inst.system, mix.scenarios, mix.weights,
+                                family->name());
+    scalar.set_kernel_mode(core::KernelMode::kScalar);
+
+    const std::vector<std::vector<std::size_t>> subsets = {
+        all_paths(inst), random_subset(rng, inst.path_count())};
+    for (const auto& subset : subsets) {
+      const auto ranks = sliced.scenario_ranks(subset);
+      for (std::size_t s = 0; s < ranks.size(); ++s) {
+        const std::size_t oracle =
+            inst.system.surviving_rank(subset, mix.scenarios[s]);
+        if (ranks[s] != oracle) {
+          return CheckResult::fail(family->name() + " scenario " +
+                                   std::to_string(s) + ": sliced rank " +
+                                   std::to_string(ranks[s]) +
+                                   " != elimination rank " +
+                                   std::to_string(oracle));
+        }
+      }
+      const double reference = scenario.evaluate(subset);
+      if (scalar.evaluate(subset) != reference ||
+          sliced.evaluate(subset) != reference) {
+        return CheckResult::fail(family->name() +
+                                 ": kernel ER differs bitwise from the "
+                                 "scenario engine");
+      }
+      for (const std::size_t threads : {std::size_t{0}, std::size_t{3}}) {
+        if (sliced.evaluate_parallel(subset, threads) != reference ||
+            scenario.evaluate_parallel(subset, threads) != reference) {
+          return CheckResult::fail(
+              family->name() + ": evaluate_parallel(threads=" +
+              std::to_string(threads) + ") differs bitwise from serial");
+        }
+      }
+    }
+
+    // Greedy accumulator trajectory: sliced gains/values are bitwise the
+    // scalar kernel's and within kTol of the scenario engine's.
+    auto scenario_acc = scenario.make_accumulator();
+    auto scalar_acc = scalar.make_accumulator();
+    auto sliced_acc = sliced.make_accumulator();
+    std::vector<std::size_t> order = all_paths(inst);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    for (const std::size_t path : order) {
+      for (std::size_t q = 0; q < inst.path_count(); ++q) {
+        const double sg = sliced_acc->gain(q);
+        if (sg != scalar_acc->gain(q)) {
+          return CheckResult::fail(family->name() + " gain(" +
+                                   std::to_string(q) +
+                                   "): sliced differs bitwise from scalar");
+        }
+        if (std::abs(sg - scenario_acc->gain(q)) > kTol) {
+          return CheckResult::fail(family->name() + " gain(" +
+                                   std::to_string(q) +
+                                   "): kernel drifts from scenario engine");
+        }
+      }
+      scenario_acc->add(path);
+      scalar_acc->add(path);
+      sliced_acc->add(path);
+      if (sliced_acc->value() != scalar_acc->value() ||
+          std::abs(sliced_acc->value() - scenario_acc->value()) > kTol) {
+        return CheckResult::fail(family->name() +
+                                 ": accumulator value diverges");
+      }
+    }
+  }
+  return CheckResult::ok();
+}
+
 const std::vector<Check>& all_checks() {
   static const std::vector<Check> checks = {
       {"er-monotone-submodular",
@@ -1126,6 +1369,16 @@ const std::vector<Check>& all_checks() {
        "branch-and-bound equals the enumeration oracle, lazy greedy is "
        "bitwise eager RoMe, every selector clears (1 - 1/sqrt(e))",
        4, true, check_optimizer_bounds},
+      {"node-localization",
+       "multi-failure Boolean localization equals the brute-force "
+       "hitting-set oracle; identifiability reports are thread-invariant "
+       "and imply unique localization",
+       2, true, check_node_localization},
+      {"family-engines-agree",
+       "node/cascade families: enumeration mass and marginals check out, "
+       "scenario/kernel-scalar/kernel-sliced ER bitwise identical across "
+       "engines and thread counts",
+       2, true, check_family_engines_agree},
   };
   return checks;
 }

@@ -8,7 +8,9 @@
 #include <unordered_map>
 
 #include "exp/workload.h"
+#include "failures/cascade.h"
 #include "failures/gilbert_elliott.h"
+#include "failures/node_failure.h"
 #include "failures/srlg.h"
 #include "graph/generators.h"
 #include "tomo/monitors.h"
@@ -90,9 +92,12 @@ TestInstance from_workload(const exp::Workload& workload,
 
 namespace {
 
-/// Draws per-link failure probabilities from one of five families.
-std::vector<double> draw_link_probs(std::size_t links, Rng& rng) {
-  const std::size_t family = rng.index(5);
+/// Draws per-link failure probabilities from one of seven families.  The
+/// graph is needed by the node and cascade families, whose marginals carry
+/// the incidence structure of the instance's topology.
+std::vector<double> draw_link_probs(const graph::Graph& g, Rng& rng) {
+  const std::size_t links = g.edge_count();
+  const std::size_t family = rng.index(7);
   std::vector<double> p(links);
   switch (family) {
     case 0: {  // Uniform: every link the same probability.
@@ -119,7 +124,7 @@ std::vector<double> draw_link_probs(std::size_t links, Rng& rng) {
       p = ge.stationary_model().probabilities();
       break;
     }
-    default: {  // SRLG marginals over a light background.
+    case 4: {  // SRLG marginals over a light background.
       std::vector<double> background(links);
       for (double& x : background) x = rng.uniform(0.005, 0.1);
       Rng sub = rng.fork();
@@ -132,6 +137,31 @@ std::vector<double> draw_link_probs(std::size_t links, Rng& rng) {
           failures::FailureModel(background), groups, size,
           rng.uniform(0.02, 0.2), sub);
       p = srlg.marginal_model().probabilities();
+      break;
+    }
+    case 5: {  // Node-failure marginals: nodes down their incident links.
+      std::vector<double> background(links);
+      for (double& x : background) x = rng.uniform(0.005, 0.1);
+      std::vector<double> node_probs(g.node_count());
+      for (double& x : node_probs) x = rng.uniform(0.01, 0.2);
+      const failures::NodeFailureModel node =
+          failures::NodeFailureModel::from_graph(
+              g, failures::FailureModel(background), std::move(node_probs));
+      p = node.marginal_model().probabilities();
+      break;
+    }
+    default: {  // Cascade marginals: seeds spread to adjacent links.
+      std::vector<double> seeds(links);
+      for (double& x : seeds) x = rng.uniform(0.01, 0.2);
+      const failures::CascadeModel cascade = failures::CascadeModel::from_graph(
+          g, failures::FailureModel(seeds), rng.uniform(0.1, 0.6),
+          rng.uniform(0.2, 0.8));
+      if (links <= 20) {
+        p = cascade.marginal_model().probabilities();
+      } else {  // Custom bounds can exceed the exact-sum guard.
+        Rng sub = rng.fork();
+        p = cascade.approx_marginal_model(512, sub).probabilities();
+      }
       break;
     }
   }
@@ -198,7 +228,7 @@ bool try_generate(std::uint64_t attempt_seed, const SpecBounds& bounds,
     }
   }
 
-  std::vector<double> probs = draw_link_probs(g.edge_count(), rng);
+  std::vector<double> probs = draw_link_probs(g, rng);
   std::ostringstream origin;
   origin << "generated(seed=" << attempt_seed << ")";
   *out = make_instance(std::move(path_links), std::move(probs),

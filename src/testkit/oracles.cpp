@@ -210,4 +210,73 @@ OracleSelection exhaustive_best_independent_ea(const TestInstance& instance,
   return out;
 }
 
+std::vector<std::vector<std::uint32_t>> oracle_multi_localization(
+    const TestInstance& instance, const std::vector<std::size_t>& subset,
+    const std::vector<std::vector<std::uint32_t>>& component_links,
+    const std::vector<bool>& observed, std::size_t max_failures) {
+  const std::size_t n = component_links.size();
+  if (n > 20) {
+    throw std::invalid_argument(
+        "oracle_multi_localization: too many components");
+  }
+  // Observed signature: bit q set iff probed path subset[q] failed.
+  std::vector<bool> failed_probe(subset.size(), false);
+  for (std::size_t q = 0; q < subset.size(); ++q) {
+    for (std::uint32_t l : instance.path_links.at(subset[q])) {
+      if (observed.at(l)) {
+        failed_probe[q] = true;
+        break;
+      }
+    }
+  }
+  // Per-component predicted signature.
+  std::vector<std::vector<bool>> hits(n,
+                                      std::vector<bool>(subset.size(), false));
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t q = 0; q < subset.size(); ++q) {
+      for (std::uint32_t l : instance.path_links.at(subset[q])) {
+        if (std::find(component_links[c].begin(), component_links[c].end(),
+                      l) != component_links[c].end()) {
+          hits[c][q] = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::uint32_t> consistent;
+  const std::uint32_t total = std::uint32_t{1} << n;
+  for (std::uint32_t mask = 0; mask < total; ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) > max_failures) {
+      continue;
+    }
+    bool ok = true;
+    for (std::size_t q = 0; q < subset.size() && ok; ++q) {
+      bool predicted = false;
+      for (std::size_t c = 0; c < n && !predicted; ++c) {
+        if (((mask >> c) & 1) != 0 && hits[c][q]) predicted = true;
+      }
+      ok = predicted == failed_probe[q];
+    }
+    if (ok) consistent.push_back(mask);
+  }
+  std::vector<std::vector<std::uint32_t>> out;
+  for (const std::uint32_t mask : consistent) {
+    bool minimal = true;
+    for (const std::uint32_t other : consistent) {
+      if (other != mask && (mask & other) == other) {
+        minimal = false;
+        break;
+      }
+    }
+    if (!minimal) continue;
+    std::vector<std::uint32_t> ids;
+    for (std::size_t c = 0; c < n; ++c) {
+      if ((mask >> c) & 1) ids.push_back(static_cast<std::uint32_t>(c));
+    }
+    out.push_back(std::move(ids));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace rnt::testkit

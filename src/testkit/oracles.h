@@ -76,4 +76,16 @@ OracleSelection exhaustive_best_selection(const TestInstance& instance,
 OracleSelection exhaustive_best_independent_ea(const TestInstance& instance,
                                                std::size_t max_paths);
 
+/// Brute-force multi-failure Boolean localization (the referee for
+/// boolnt::localize_multi_failure, sharing no code with it): enumerates
+/// ALL component sets of size <= max_failures, keeps those whose predicted
+/// probe signature — path fails iff it carries a link of a chosen
+/// component — equals the observed signature of `observed` over `subset`,
+/// and filters to inclusion-minimal sets.  Returns sorted component-id
+/// sets in lexicographic order.  Requires components <= 20.
+std::vector<std::vector<std::uint32_t>> oracle_multi_localization(
+    const TestInstance& instance, const std::vector<std::size_t>& subset,
+    const std::vector<std::vector<std::uint32_t>>& component_links,
+    const std::vector<bool>& observed, std::size_t max_failures);
+
 }  // namespace rnt::testkit

@@ -36,34 +36,56 @@ LocalizationResult localize_single_failure(
 LocalizationScore score_localization(const PathSystem& system,
                                      const std::vector<std::size_t>& subset,
                                      const failures::FailureModel& model,
-                                     std::size_t trials, Rng& rng) {
+                                     std::size_t trials, Rng& rng,
+                                     std::size_t concurrent_failures) {
+  // Which links can the probes see at all?  A culprit off every probed
+  // path cannot be expected in any candidate set.
+  std::vector<bool> probed(system.link_count(), false);
+  for (std::size_t q : subset) {
+    for (graph::EdgeId l : system.path(q).links) probed[l] = true;
+  }
   LocalizationScore score;
   score.trials = trials;
   double candidate_total = 0.0;
-  std::size_t visible = 0;
+  std::size_t visible_trials = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    const auto v = model.sample_exactly_k(1, rng);
-    const auto failed_it = std::find(v.begin(), v.end(), true);
-    const auto failed_link =
-        static_cast<graph::EdgeId>(failed_it - v.begin());
-    const auto result = localize_single_failure(system, subset, v);
-    if (result.candidates.empty()) {
+    const auto v = model.sample_exactly_k(concurrent_failures, rng);
+    bool any_probe_failed = false;
+    for (std::size_t q : subset) {
+      if (!system.path_survives(q, v)) {
+        any_probe_failed = true;
+        break;
+      }
+    }
+    if (!any_probe_failed) {
       ++score.invisible;
       continue;
     }
-    ++visible;
+    ++visible_trials;
+    const auto result = localize_single_failure(system, subset, v);
     candidate_total += static_cast<double>(result.candidates.size());
-    const bool found = std::binary_search(result.candidates.begin(),
+    std::size_t visible_culprits = 0;
+    bool all_found = true;
+    for (std::size_t l = 0; l < v.size(); ++l) {
+      if (!v[l] || !probed[l]) continue;
+      ++visible_culprits;
+      all_found =
+          all_found && std::binary_search(result.candidates.begin(),
                                           result.candidates.end(),
-                                          failed_link);
-    if (found && result.exact()) {
+                                          static_cast<graph::EdgeId>(l));
+    }
+    if (!all_found) {
+      ++score.misled;
+    } else if (result.candidates.size() == visible_culprits) {
       ++score.exact;
     } else {
       ++score.ambiguous;
     }
   }
   score.mean_candidates =
-      visible == 0 ? 0.0 : candidate_total / static_cast<double>(visible);
+      visible_trials == 0
+          ? 0.0
+          : candidate_total / static_cast<double>(visible_trials);
   return score;
 }
 

@@ -39,7 +39,9 @@ LocalizationResult localize_single_failure(
 struct LocalizationScore {
   std::size_t trials = 0;
   std::size_t exact = 0;       ///< Unique culprit identified.
-  std::size_t ambiguous = 0;   ///< Culprit found within >1 candidates.
+  std::size_t ambiguous = 0;   ///< Culprit present among >1 candidates.
+  std::size_t misled = 0;      ///< Failure visible but culprit exonerated —
+                               ///< the candidate set does NOT contain it.
   std::size_t invisible = 0;   ///< No probed path crossed the failed link.
   double mean_candidates = 0;  ///< Mean candidate-set size when visible.
 
@@ -48,13 +50,27 @@ struct LocalizationScore {
                        : static_cast<double>(exact) /
                              static_cast<double>(trials);
   }
+  /// Fraction of trials whose candidate set contains the true culprit
+  /// (exact or ambiguous) — the correct-culprit-in-candidates rate.
+  double hit_fraction() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(exact + ambiguous) /
+                             static_cast<double>(trials);
+  }
 };
 
-/// Injects `trials` single-link failures (links drawn with probability
-/// proportional to the failure model) and scores localization.
+/// Injects `trials` failures of exactly `concurrent_failures` links each
+/// (drawn without replacement, proportional to the failure model) and
+/// scores single-link-hypothesis localization.  A trial is *invisible* when
+/// no probed path failed, *exact*/*ambiguous* when the candidate set
+/// contains every visible culprit (uniquely / among extras), and *misled*
+/// when a visible culprit is missing from the candidates — which only
+/// happens once concurrent failures make the observations inconsistent
+/// with the single-link hypothesis (concurrent_failures >= 2).
 LocalizationScore score_localization(const PathSystem& system,
                                      const std::vector<std::size_t>& subset,
                                      const failures::FailureModel& model,
-                                     std::size_t trials, Rng& rng);
+                                     std::size_t trials, Rng& rng,
+                                     std::size_t concurrent_failures = 1);
 
 }  // namespace rnt::tomo

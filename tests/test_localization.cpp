@@ -109,6 +109,54 @@ TEST(Localization, ScoreAccountingConsistent) {
   EXPECT_LE(score.exact_fraction(), 1.0);
 }
 
+TEST(Localization, SingleFailureScoringNeverMisleads) {
+  // Regression for the hit/misled conflation: with one concurrent failure
+  // the lone culprit can never be exonerated, so misled must stay 0 and
+  // hit_fraction must equal (exact + ambiguous) / trials — previously the
+  // classifier silently counted culprit-missing trials as ambiguous.
+  const exp::Workload w = exp::make_custom_workload(40, 80, 60, 19, 5.0);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng(30);
+  const auto score =
+      tomo::score_localization(*w.system, all, *w.failures, 120, rng, 1);
+  EXPECT_EQ(score.misled, 0u);
+  EXPECT_EQ(score.exact + score.ambiguous + score.invisible, 120u);
+  EXPECT_NEAR(score.hit_fraction(),
+              static_cast<double>(score.exact + score.ambiguous) / 120.0,
+              1e-12);
+}
+
+TEST(Localization, ConcurrentFailuresSurfaceMisledTrials) {
+  // Line 0-1-2-3 probed by (l0), (l0,l1), (l0,l1,l2): fail l0 AND l2
+  // together and all three probes fail.  The single-link intersection is
+  // {l0} — l2 is visible (path 2 crossed it and failed) yet missing from
+  // the candidates, the textbook misled trial the old scorer filed under
+  // "ambiguous".  With every link forced to fail, every trial must land
+  // in the misled bucket and hit_fraction must be 0.
+  const tomo::PathSystem sys = line_system();
+  const failures::FailureModel certain = failures::uniform_model(3, 1.0);
+  Rng rng(31);
+  const auto score = tomo::score_localization(sys, {0, 1, 2}, certain, 20,
+                                              rng, 3);
+  EXPECT_EQ(score.trials, 20u);
+  EXPECT_EQ(score.misled, 20u);
+  EXPECT_EQ(score.exact + score.ambiguous + score.invisible, 0u);
+  EXPECT_EQ(score.hit_fraction(), 0.0);
+}
+
+TEST(Localization, PairwiseAccountingPartitionsTrials) {
+  const exp::Workload w = exp::make_custom_workload(40, 80, 60, 19, 5.0);
+  std::vector<std::size_t> all(w.system->path_count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Rng rng(32);
+  const auto score =
+      tomo::score_localization(*w.system, all, *w.failures, 150, rng, 2);
+  EXPECT_EQ(score.trials, 150u);
+  EXPECT_EQ(score.exact + score.ambiguous + score.misled + score.invisible,
+            150u);
+}
+
 TEST(Localization, RobustSelectionLocalizesBetterThanTinyOne) {
   // Probing everything localizes at least as well as probing one path.
   const exp::Workload w = exp::make_custom_workload(40, 80, 60, 21, 5.0);

@@ -375,6 +375,9 @@ TEST(ReactorServer, RepliesAreByteIdenticalToThreadedServerOnEveryBackend) {
       "ping",
       "select nodes=30 links=60 paths=30 seed=3 intensity=5 budget-frac=0.3",
       "select nodes=30 links=60 paths=30 seed=3 intensity=5 budgett-frac=0.3",
+      "localize-node nodes=20 links=36 paths=24 seed=5 family=node k=2 "
+      "scenarios=40",
+      "localize-node nodes=20 links=36 paths=24 seed=5 family=warp k=2",
       "warp factor=9",
       "=",
       "select budget",

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "boolnt/identifiability.h"
+#include "boolnt/localize.h"
 #include "cluster/coordinator.h"
 #include "core/expected_rank.h"
 #include "core/kernel_er.h"
@@ -199,8 +201,8 @@ std::vector<double> parse_intensities(const std::string& csv) {
 void print_usage(std::ostream& out) {
   out <<
       "usage: rnt_cli "
-      "<topology|select|evaluate|learn|localize|infer|pipeline|serve|client|"
-      "cluster-serve|cluster|fuzz> [--flags]\n"
+      "<topology|select|evaluate|learn|localize|localize-node|infer|pipeline|"
+      "serve|client|cluster-serve|cluster|fuzz> [--flags]\n"
       "\n"
       "common workload flags:\n"
       "  --as NAME          AS1755 | AS3257 | AS1239 (calibrated synthetic)\n"
@@ -223,6 +225,14 @@ void print_usage(std::ostream& out) {
       "  --budget-frac F    budget as a fraction of probing all paths\n"
       "  --scenarios N      evaluation failure scenarios\n"
       "  --identifiability  also score link identifiability (evaluate)\n"
+      "\n"
+      "localize-node flags (plus select flags):\n"
+      "  --family F         node | link hypothesis components (default "
+      "node)\n"
+      "  --k N              max simultaneous failures (default 2)\n"
+      "  --scenarios N      injected failure trials (default 300)\n"
+      "  --ident-cap N      also compute Ma-He / per-component "
+      "identifiability up to N\n"
       "\n"
       "infer flags (plus select flags):\n"
       "  --model M          delay | loss measurement model (default delay)\n"
@@ -489,6 +499,61 @@ int cmd_localize(Flags& flags, std::ostream& out) {
   table.add_row({"ambiguous", std::to_string(score.ambiguous)});
   table.add_row({"invisible", std::to_string(score.invisible)});
   table.add_row({"mean candidate set", fmt(score.mean_candidates, 2)});
+  table.print(out);
+  return 0;
+}
+
+int cmd_localize_node(Flags& flags, std::ostream& out) {
+  const exp::Workload w = build_workload(flags);
+  const std::string algorithm = flags.get_string("algorithm", "prob-rome");
+  const double budget = flags.get_double("budget-frac", 0.3) * total_cost(w);
+  const std::string family = flags.get_string("family", "node");
+  if (family != "node" && family != "link") {
+    throw std::invalid_argument("--family must be node or link");
+  }
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 2));
+  if (k == 0) throw std::invalid_argument("--k must be positive");
+  const auto trials =
+      static_cast<std::size_t>(flags.get_int("scenarios", 300));
+  const auto ident_cap =
+      static_cast<std::size_t>(flags.get_int("ident-cap", 0));
+  const boolnt::HypothesisSpace space =
+      family == "link"
+          ? boolnt::HypothesisSpace::links_of(w.system->link_count())
+          : boolnt::HypothesisSpace::nodes_of(w.graph);
+  const core::Selection sel =
+      run_algorithm(w, algorithm, budget, w.seed,
+                    flags.get_string("optimizer", "rome"),
+                    flags.get_string("engine", ""),
+                    flags.get_string("kernel", "auto"));
+  Rng rng = w.eval_rng();
+  const auto score = boolnt::score_multi_localization(*w.system, sel.paths,
+                                                      space, k, trials, rng);
+  TablePrinter table({"metric", "value"});
+  table.add_row({"selected paths", std::to_string(sel.size())});
+  table.add_row({"components (" + family + ")",
+                 std::to_string(space.component_count())});
+  table.add_row({"max simultaneous failures", std::to_string(k)});
+  table.add_row({"injected failures", std::to_string(score.trials)});
+  table.add_row({"localized exactly", std::to_string(score.exact)});
+  table.add_row({"ambiguous", std::to_string(score.ambiguous)});
+  table.add_row({"misled", std::to_string(score.misled)});
+  table.add_row({"invisible", std::to_string(score.invisible)});
+  table.add_row({"mean candidate sets", fmt(score.mean_candidates, 2)});
+  table.add_row({"exact fraction", fmt(score.exact_fraction(), 3)});
+  table.add_row({"hit fraction", fmt(score.hit_fraction(), 3)});
+  if (ident_cap > 0) {
+    const auto report = boolnt::identifiability_report(*w.system, sel.paths,
+                                                       space, ident_cap);
+    table.add_row({"identifiability cap", std::to_string(report.k_cap)});
+    table.add_row(
+        {"max identifiable", std::to_string(report.max_identifiable)});
+    std::size_t min_component = report.k_cap;
+    for (const std::size_t level : report.per_component) {
+      min_component = std::min(min_component, level);
+    }
+    table.add_row({"weakest component level", std::to_string(min_component)});
+  }
   table.print(out);
   return 0;
 }
@@ -1053,6 +1118,8 @@ int dispatch(int argc, char** argv, std::ostream& out) {
     rc = cmd_learn(flags, out);
   } else if (command == "localize") {
     rc = cmd_localize(flags, out);
+  } else if (command == "localize-node") {
+    rc = cmd_localize_node(flags, out);
   } else if (command == "infer") {
     rc = cmd_infer(flags, out);
   } else if (command == "pipeline") {
